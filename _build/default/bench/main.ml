@@ -1,0 +1,547 @@
+(** The experiment harness: regenerates every experiment of EXPERIMENTS.md.
+
+    The paper is a theory paper — its "evaluation" is Theorems 1–4 — so
+    each experiment validates one claim empirically: agreement of the
+    exact procedures with a chase-simulation oracle (E1, E2, E4),
+    complexity {e shape} (E3, E4b), the variant lattice (E5), the
+    critical-instance reduction (E6), the looping operator (E7) and the
+    §4 restricted-chase preview (E8).  A final section runs Bechamel
+    microbenchmarks of the core operations.
+
+    Run with: dune exec bench/main.exe          (full sizes)
+              dune exec bench/main.exe -- --quick *)
+
+open Chase
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let hr () = Fmt.pr "%s@." (String.make 72 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Small timing helpers (wall-clock scaling tables)                    *)
+(* ------------------------------------------------------------------ *)
+
+let time_avg ?(reps = 3) f =
+  let total = ref 0.0 in
+  for _ = 1 to reps do
+    let t0 = Sys.time () in
+    ignore (Sys.opaque_identity (f ()));
+    total := !total +. (Sys.time () -. t0)
+  done;
+  !total /. float_of_int reps
+
+let pp_time fm s =
+  if s < 1e-3 then Fmt.pf fm "%8.1f µs" (s *. 1e6)
+  else if s < 1.0 then Fmt.pf fm "%8.2f ms" (s *. 1e3)
+  else Fmt.pf fm "%8.2f s " s
+
+(* The chase-simulation oracle used throughout. *)
+let oracle ?(budget = 20_000) variant rules =
+  let crit = Critical.of_rules ~standard:false rules in
+  let config =
+    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+  in
+  (Engine.run ~config rules (Instance.to_list crit)).Engine.status
+  = Engine.Terminated
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 1: acyclicity is exact on simple linear TGDs           *)
+(* ------------------------------------------------------------------ *)
+
+let e1 seeds =
+  section "E1  Theorem 1: RA = CT^o and WA = CT^so on simple linear TGDs";
+  let agree_o = ref 0 and agree_so = ref 0 in
+  let term_o = ref 0 and term_so = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.simple_linear ~seed () in
+    let ra = Rich.is_richly_acyclic rules in
+    let wa = Weak.is_weakly_acyclic rules in
+    let ct_o = oracle Variant.Oblivious rules in
+    let ct_so = oracle Variant.Semi_oblivious rules in
+    if ra = ct_o then incr agree_o;
+    if wa = ct_so then incr agree_so;
+    if ct_o then incr term_o;
+    if ct_so then incr term_so
+  done;
+  Fmt.pr "random SL sets: %d  (terminating: o %d, so %d)@." seeds !term_o
+    !term_so;
+  Fmt.pr "RA vs o-chase oracle agreement:  %d/%d@." !agree_o seeds;
+  Fmt.pr "WA vs so-chase oracle agreement: %d/%d@." !agree_so seeds
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 2: critical acyclicity is exact on linear TGDs         *)
+(* ------------------------------------------------------------------ *)
+
+let e2 seeds =
+  section "E2  Theorem 2: critical acyclicity is exact on linear TGDs";
+  let agree_o = ref 0 and agree_so = ref 0 in
+  let wa_wrong = ref 0 and ra_wrong = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.linear ~seed () in
+    let ct_o = oracle Variant.Oblivious rules in
+    let ct_so = oracle Variant.Semi_oblivious rules in
+    let crit_o =
+      Verdict.is_terminating
+        (Linear.check ~standard:false ~variant:Variant.Oblivious rules)
+    in
+    let crit_so =
+      Verdict.is_terminating
+        (Linear.check ~standard:false ~variant:Variant.Semi_oblivious rules)
+    in
+    if crit_o = ct_o then incr agree_o;
+    if crit_so = ct_so then incr agree_so;
+    (* plain acyclicity is sound but incomplete: count the gap *)
+    if (not (Rich.is_richly_acyclic rules)) && ct_o then incr ra_wrong;
+    if (not (Weak.is_weakly_acyclic rules)) && ct_so then incr wa_wrong
+  done;
+  Fmt.pr "random linear sets: %d@." seeds;
+  Fmt.pr "critical-RA vs o-oracle agreement:  %d/%d@." !agree_o seeds;
+  Fmt.pr "critical-WA vs so-oracle agreement: %d/%d@." !agree_so seeds;
+  Fmt.pr
+    "incompleteness of plain acyclicity (dangerous cycle yet terminating): o \
+     %d, so %d@."
+    !ra_wrong !wa_wrong;
+  Fmt.pr "named counterexample p(X,X) -> p(X,Z): WA %b, exact answer %s@."
+    (Weak.is_weakly_acyclic Families.thm2_counterexample)
+    (Verdict.answer_to_string
+       (Verdict.answer
+          (Linear.check ~variant:Variant.Oblivious Families.thm2_counterexample)))
+
+
+(* ------------------------------------------------------------------ *)
+(* E2b - the sufficient-condition lattice WA <= JA on linear sets       *)
+(* ------------------------------------------------------------------ *)
+
+let e2b seeds =
+  section "E2b  Sufficient conditions: WA ⊆ JA, both sound for the so-chase";
+  let wa_yes = ref 0 and ja_yes = ref 0 and mfa_yes = ref 0 in
+  let ja_unsound = ref 0 and mfa_unsound = ref 0 and lattice_violation = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.linear ~seed () in
+    let wa = Weak.is_weakly_acyclic rules in
+    let ja = Joint.is_jointly_acyclic rules in
+    let mfa = Mfa.is_mfa rules in
+    if wa then incr wa_yes;
+    if ja then incr ja_yes;
+    if mfa then incr mfa_yes;
+    if (wa && not ja) || (ja && not mfa) then incr lattice_violation;
+    if ja && not (oracle Variant.Semi_oblivious rules) then incr ja_unsound;
+    if mfa && not (oracle Variant.Semi_oblivious rules) then incr mfa_unsound
+  done;
+  Fmt.pr "random linear sets: %d@." seeds;
+  Fmt.pr
+    "weakly acyclic: %d   jointly acyclic: %d   MFA: %d@." !wa_yes !ja_yes
+    !mfa_yes;
+  Fmt.pr
+    "lattice (WA ⊆ JA ⊆ MFA) violations: %d   unsound cases: JA %d, MFA %d@."
+    !lattice_violation !ja_unsound !mfa_unsound;
+  Fmt.pr "MFA incompleteness witness (linear, so-terminating, not MFA): %b@."
+    (not (Mfa.is_mfa Families.mfa_incomplete_witness))
+
+(* ------------------------------------------------------------------ *)
+(* E2c - agreement under harder generator profiles                      *)
+(* ------------------------------------------------------------------ *)
+
+let e2c seeds_per_profile =
+  section "E2c  Theorem 1/2 agreement under harder generator profiles";
+  let profiles =
+    [
+      ("5 rules, arity<=4", { Random_tgds.default_profile with n_rules = 5; max_arity = 4 });
+      ("high existential bias", { Random_tgds.default_profile with existential_bias = 0.7 });
+      ("low existential bias", { Random_tgds.default_profile with existential_bias = 0.15 });
+      ("4 preds, 3 heads", { Random_tgds.default_profile with n_preds = 4; max_head = 3 });
+    ]
+  in
+  List.iter
+    (fun (name, profile) ->
+      let agree = ref 0 and diverging = ref 0 in
+      for seed = 0 to seeds_per_profile - 1 do
+        let rules = Random_tgds.linear ~seed ~profile () in
+        let ct = oracle ~budget:30_000 Variant.Semi_oblivious rules in
+        if not ct then incr diverging;
+        let exact =
+          Verdict.is_terminating
+            (Linear.check ~standard:false ~variant:Variant.Semi_oblivious rules)
+        in
+        if exact = ct then incr agree
+      done;
+      Fmt.pr "%-24s agreement %d/%d (diverging: %d)@." name !agree
+        seeds_per_profile !diverging)
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Theorem 3: complexity shape                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e3a () =
+  section "E3a  Theorem 3(1): SL checking scales like graph reachability (NL)";
+  Fmt.pr "%8s %11s %11s %12s@." "rules" "WA check" "RA check" "positions";
+  hr ();
+  List.iter
+    (fun n ->
+      let rules = Families.sl_chain n in
+      let twa = time_avg (fun () -> Weak.is_weakly_acyclic rules) in
+      let tra = time_avg (fun () -> Rich.is_richly_acyclic rules) in
+      let positions = Schema.position_count (Schema.of_rules rules) in
+      Fmt.pr "%8d %a %a %12d@." n pp_time twa pp_time tra positions)
+    [ 16; 64; 256; 1024 ]
+
+let e3b () =
+  section "E3b  Theorem 3(2): the linear procedure is exponential in arity only";
+  Fmt.pr "%8s %11s %11s@." "arity" "divergent family" "terminating family";
+  hr ();
+  List.iter
+    (fun arity ->
+      let div = Families.linear_rotating ~arity in
+      let blk = Families.linear_blocked ~arity in
+      let t1 =
+        time_avg ~reps:1 (fun () ->
+            Linear.check ~standard:false ~variant:Variant.Semi_oblivious div)
+      in
+      let t2 =
+        time_avg ~reps:1 (fun () ->
+            Linear.check ~standard:false ~variant:Variant.Semi_oblivious blk)
+      in
+      Fmt.pr "%8d %a %a@." arity pp_time t1 pp_time t2)
+    [ 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 4: guarded TGDs                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e4a seeds =
+  section "E4a  Theorem 4: guarded checker vs chase oracle";
+  let agree = ref 0 and unknown = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.guarded ~seed () in
+    let ct = oracle ~budget:8_000 Variant.Semi_oblivious rules in
+    match
+      Verdict.answer
+        (Guarded.check ~budget:8_000 ~variant:Variant.Semi_oblivious rules)
+    with
+    | Verdict.Terminates -> if ct then incr agree
+    | Verdict.Diverges -> if not ct then incr agree
+    | Verdict.Unknown -> incr unknown
+  done;
+  Fmt.pr "random guarded sets: %d@." seeds;
+  Fmt.pr "definite answers agreeing with the oracle: %d/%d (unknown: %d)@."
+    !agree seeds !unknown
+
+let e4b () =
+  section "E4b  Theorem 4: guarded cost grows with arity";
+  Fmt.pr "%8s %11s %11s@." "arity" "divergent family" "terminating family";
+  hr ();
+  List.iter
+    (fun arity ->
+      let t1 =
+        time_avg ~reps:1 (fun () ->
+            Guarded.check ~budget:3_000 ~variant:Variant.Semi_oblivious
+              (Families.guarded_divergent ~arity))
+      in
+      let t2 =
+        time_avg ~reps:1 (fun () ->
+            Guarded.check ~budget:3_000 ~variant:Variant.Semi_oblivious
+              (Families.guarded_terminating ~arity))
+      in
+      Fmt.pr "%8d %a %a@." arity pp_time t1 pp_time t2)
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — the variant lattice: CT^o ⊆ CT^so, strictly                    *)
+(* ------------------------------------------------------------------ *)
+
+let e5 seeds =
+  section "E5  Variant census: CT^o ⊆ CT^so (Grahne & Onet), strictly";
+  let both = ref 0 and so_only = ref 0 and neither = ref 0 and violations = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.linear ~seed () in
+    let o = oracle Variant.Oblivious rules in
+    let so = oracle Variant.Semi_oblivious rules in
+    if o && so then incr both
+    else if (not o) && so then incr so_only
+    else if (not o) && not so then incr neither
+    else incr violations
+  done;
+  Fmt.pr "random linear sets: %d@." seeds;
+  Fmt.pr
+    "CT^o ∩ CT^so: %d   CT^so \\ CT^o: %d   neither: %d   violations of CT^o \
+     ⊆ CT^so: %d@."
+    !both !so_only !neither !violations;
+  Fmt.pr "witness of strictness: p(X,Y) -> p(X,Z)  (o diverges, so terminates)@."
+
+(* ------------------------------------------------------------------ *)
+(* E6 — the critical-instance theorem at work                          *)
+(* ------------------------------------------------------------------ *)
+
+let e6 seeds =
+  section "E6  Critical instance: termination on crit ⇒ termination everywhere";
+  let checked = ref 0 and violations = ref 0 in
+  let st = Random.State.make [| 4242 |] in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.linear ~seed () in
+    if oracle Variant.Semi_oblivious rules then begin
+      (* try a few random databases; none may diverge *)
+      for _ = 1 to 3 do
+        incr checked;
+        let schema = Schema.of_rules rules in
+        let db =
+          List.concat_map
+            (fun (p, n) ->
+              List.init
+                (1 + Random.State.int st 3)
+                (fun _ ->
+                  Atom.of_list p
+                    (List.init n (fun _ ->
+                         Term.Const (Fmt.str "c%d" (Random.State.int st 5))))))
+            (Schema.to_list schema)
+        in
+        let config =
+          {
+            Engine.variant = Variant.Semi_oblivious;
+            max_triggers = 50_000;
+            max_atoms = 200_000;
+          }
+        in
+        let r = Engine.run ~config rules db in
+        if r.Engine.status <> Engine.Terminated then incr violations
+      done
+    end
+  done;
+  Fmt.pr
+    "crit-terminating linear sets probed on random databases: %d runs, %d \
+     divergences@."
+    !checked !violations
+
+(* ------------------------------------------------------------------ *)
+(* E7 — the looping operator                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e7 seeds =
+  section "E7  Looping operator: chase termination ⟺ non-entailment";
+  let correct = ref 0 in
+  let entailed_cases = ref 0 in
+  let st = Random.State.make [| 77 |] in
+  for seed = 0 to seeds - 1 do
+    let profile =
+      { Random_tgds.default_profile with existential_bias = 0.0; n_rules = 3 }
+    in
+    let sigma = Random_tgds.guarded ~seed ~profile () in
+    let schema = Schema.of_rules sigma in
+    match Schema.to_list schema with
+    | [] -> incr correct
+    | preds ->
+      let p, n = List.nth preds (Random.State.int st (List.length preds)) in
+      let target =
+        Atom.of_list p (List.init n (fun i -> Term.Var (Fmt.str "T%d" i)))
+      in
+      let q, m = List.hd preds in
+      let db =
+        [ Atom.of_list q (List.init m (fun i -> Term.Const (Fmt.str "d%d" i))) ]
+      in
+      let entailed = Entailment.holds sigma db target in
+      if entailed then incr entailed_cases;
+      let looped = (Looping.apply sigma ~target).Looping.rules in
+      let config =
+        {
+          Engine.variant = Variant.Semi_oblivious;
+          max_triggers = 20_000;
+          max_atoms = 80_000;
+        }
+      in
+      let r = Engine.run ~config looped db in
+      if (r.Engine.status = Engine.Terminated) = not entailed then incr correct
+  done;
+  Fmt.pr "random Datalog programs: %d (entailed targets: %d)@." seeds
+    !entailed_cases;
+  Fmt.pr "loop(Σ,α) termination = ¬entailment: %d/%d@." !correct seeds
+
+(* ------------------------------------------------------------------ *)
+(* E8 — §4 preview: the restricted chase                               *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8  Restricted chase (§4): behaviour on the generic instance";
+  Fmt.pr "%-26s %-8s %-8s %-12s@." "family" "o" "so" "restricted";
+  hr ();
+  let cell rules variant =
+    let generic = Critical.generic_of_rules rules in
+    let config =
+      { Engine.variant; max_triggers = 20_000; max_atoms = 80_000 }
+    in
+    match (Engine.run ~config rules (Instance.to_list generic)).Engine.status with
+    | Engine.Terminated -> "term"
+    | Engine.Budget_exhausted -> "DIV"
+  in
+  List.iter
+    (fun (name, rules) ->
+      Fmt.pr "%-26s %-8s %-8s %-12s@." name
+        (cell rules Variant.Oblivious)
+        (cell rules Variant.Semi_oblivious)
+        (cell rules Variant.Restricted))
+    [
+      ("restricted-separator", Families.restricted_separator);
+      ("example2", Families.example2);
+      ("single-head-chain-4", Families.single_head_chain 4);
+      ("sl-cycle-4", Families.sl_cycle 4);
+      ("separator", Families.separator);
+    ];
+  Fmt.pr
+    "@.the first row separates the restricted chase from both \
+     (semi-)oblivious variants,@.as §4 of the paper anticipates.@."
+
+(* ------------------------------------------------------------------ *)
+(* E9 - beyond the paper: EGDs and cores on data-exchange workloads     *)
+(* ------------------------------------------------------------------ *)
+
+let e9 seeds =
+  section "E9  Data-exchange extras: the chase with EGDs, and cores";
+  let terminated = ref 0 and failed = ref 0 and budget = ref 0 in
+  let merges = ref 0 in
+  let shrunk = ref 0 and core_runs = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let tgds = Random_tgds.guarded ~seed () in
+    (* one key EGD on a binary-or-wider predicate when available *)
+    let egds =
+      match
+        List.find_opt (fun (_, n) -> n >= 2) (Schema.to_list (Schema.of_rules tgds))
+      with
+      | None -> []
+      | Some (p, n) ->
+        let tail tag =
+          List.init (n - 1) (fun i -> Term.Var (Fmt.str "%s%d" tag (i + 1)))
+        in
+        [
+          Egd.make_exn
+            ~body:
+              [ Atom.of_list p (Term.Var "K" :: tail "A");
+                Atom.of_list p (Term.Var "K" :: tail "B") ]
+            ~equalities:[ ("A1", "B1") ] ();
+        ]
+    in
+    let db = Instance.to_list (Critical.generic_of_rules tgds) in
+    let config =
+      { Egd_chase.default_config with
+        Engine.max_triggers = 2_000;
+        max_atoms = 6_000
+      }
+    in
+    let r = Egd_chase.run ~config ~tgds ~egds db in
+    merges := !merges + r.Egd_chase.merges;
+    (match r.Egd_chase.status with
+    | Egd_chase.Terminated ->
+      incr terminated;
+      if
+        Instance.cardinal r.Egd_chase.instance <= 12
+        && Instance.null_count r.Egd_chase.instance <= 4
+      then begin
+        incr core_runs;
+        let k = Core_model.core r.Egd_chase.instance in
+        if Instance.cardinal k < Instance.cardinal r.Egd_chase.instance then
+          incr shrunk
+      end
+    | Egd_chase.Failed _ -> incr failed
+    | Egd_chase.Budget_exhausted -> incr budget)
+  done;
+  Fmt.pr "random guarded mappings with a key EGD: %d@." seeds;
+  Fmt.pr
+    "terminated: %d   failed (constant conflict): %d   budget: %d   null \
+     merges: %d@."
+    !terminated !failed !budget !merges;
+  Fmt.pr "cores computed: %d, of which strictly smaller than the chase: %d@."
+    !core_runs !shrunk
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let microbenches () =
+  section "Microbenchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let stage f = Staged.stage f in
+  let triangle =
+    Chase.Instance.of_list
+      (Parser.parse_database_exn
+         "e(a, b). e(b, c). e(c, a). e(a, d). e(d, c). e(b, e). e(e, a).")
+  in
+  let join_rule = Parser.parse_rule_exn "e(X, Y), e(Y, Z) -> e(X, Z)" in
+  let tower = Families.guarded_tower ~levels:6 in
+  let tower_db = Chase.Instance.to_list (Critical.of_rules tower) in
+  let chain = Families.sl_chain 256 in
+  let tests =
+    [
+      Test.make ~name:"hom/2-path-join"
+        (stage (fun () -> Hom.all triangle (Tgd.body join_rule)));
+      Test.make ~name:"engine/guarded-tower-6"
+        (stage (fun () ->
+             Engine.run
+               ~config:
+                 {
+                   Engine.variant = Variant.Semi_oblivious;
+                   max_triggers = 10_000;
+                   max_atoms = 40_000;
+                 }
+               tower tower_db));
+      Test.make ~name:"acyclicity/wa-chain-256"
+        (stage (fun () -> Weak.is_weakly_acyclic chain));
+      Test.make ~name:"acyclicity/ra-chain-256"
+        (stage (fun () -> Rich.is_richly_acyclic chain));
+      Test.make ~name:"critical-linear/rotating-4"
+        (stage (fun () ->
+             Linear.check ~standard:false ~variant:Variant.Semi_oblivious
+               (Families.linear_rotating ~arity:4)));
+      Test.make ~name:"guarded-check/divergent-3"
+        (stage (fun () ->
+             Guarded.check ~budget:3_000 ~variant:Variant.Semi_oblivious
+               (Families.guarded_divergent ~arity:3)));
+      Test.make ~name:"acyclicity/ja-chain-256"
+        (stage (fun () -> Joint.is_jointly_acyclic chain));
+      Test.make ~name:"critical-instance/standard-arity-3"
+        (stage (fun () ->
+             Critical.of_rules ~standard:true (Families.linear_rotating ~arity:3)));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Fmt.pr "%-38s %14s@." "benchmark" "time/run";
+  hr ();
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let res = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Fmt.pr "%-38s %a@." name pp_time (ns /. 1e9)
+          | Some _ | None -> Fmt.pr "%-38s %14s@." name "n/a")
+        res)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let n_small = if quick then 60 else 300 in
+  let n_tiny = if quick then 30 else 120 in
+  Fmt.pr
+    "Chase termination for guarded existential rules — experiment harness@.";
+  e1 n_small;
+  e2 n_small;
+  e2b n_small;
+  e2c n_tiny;
+  e3a ();
+  e3b ();
+  e4a n_tiny;
+  e4b ();
+  e5 n_small;
+  e6 n_tiny;
+  e7 n_tiny;
+  e8 ();
+  e9 (min n_tiny 40);
+  microbenches ();
+  Fmt.pr "@.done.@."

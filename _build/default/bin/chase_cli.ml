@@ -1,0 +1,89 @@
+(** [chase] — run the chase on a program file.
+
+    The input file mixes rules and facts (see {!Chase.Parser}); the tool
+    runs the selected chase variant and prints the resulting instance and
+    run statistics.  With [--critical] the input database is replaced by
+    the critical instance of the rules. *)
+
+open Cmdliner
+open Chase
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let variant_conv =
+  let parse s =
+    match Variant.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Fmt.str "unknown chase variant %S" s))
+  in
+  Arg.conv (parse, Variant.pp)
+
+let run file variant budget critical standard quiet =
+  match Parser.parse_program (read_file file) with
+  | Error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Ok (rules, facts) ->
+    let db =
+      if critical then Instance.to_list (Critical.of_rules ~standard rules)
+      else facts
+    in
+    if db = [] then begin
+      Fmt.epr "no database: give facts in the file or pass --critical@.";
+      1
+    end
+    else begin
+      let config =
+        { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+      in
+      let result = Engine.run ~config rules db in
+      if not quiet then
+        List.iter
+          (fun a -> Fmt.pr "%a.@." Atom.pp a)
+          (Instance.to_sorted_list result.Engine.instance);
+      Fmt.pr "%a@." Engine.pp_result result;
+      match result.Engine.status with Engine.Terminated -> 0 | _ -> 2
+    end
+
+let file_arg =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE"
+       ~doc:"Program file with rules (body -> head.) and facts (p(a,b).)")
+
+let variant_arg =
+  Arg.(value & opt variant_conv Variant.Oblivious
+       & info [ "v"; "variant" ] ~docv:"VARIANT"
+           ~doc:"Chase variant: oblivious, semi-oblivious or restricted.")
+
+let budget_arg =
+  Arg.(value & opt int 100_000
+       & info [ "b"; "budget" ] ~docv:"N"
+           ~doc:"Maximum number of trigger applications.")
+
+let critical_arg =
+  Arg.(value & flag
+       & info [ "critical" ]
+           ~doc:"Chase the critical instance of the rules instead of the \
+                 facts in the file.")
+
+let standard_arg =
+  Arg.(value & flag
+       & info [ "standard" ]
+           ~doc:"Use the standard-database constants {*, 0, 1} for \
+                 --critical.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print run statistics.")
+
+let cmd =
+  let doc = "run the chase procedure on a rule set and database" in
+  Cmd.v
+    (Cmd.info "chase" ~doc)
+    Cmdliner.Term.(
+      const run $ file_arg $ variant_arg $ budget_arg $ critical_arg
+      $ standard_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

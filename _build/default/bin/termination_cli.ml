@@ -1,0 +1,79 @@
+(** [chase-termination] — decide all-instance chase termination.
+
+    Reads a rule file, classifies the set (simple linear / linear /
+    guarded / unguarded) and dispatches to the strongest procedure of the
+    library ({!Chase.Decide}).  Exit status: 0 terminates, 2 diverges,
+    3 unknown. *)
+
+open Cmdliner
+open Chase
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let variant_conv =
+  let parse s =
+    match Variant.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Fmt.str "unknown chase variant %S" s))
+  in
+  Arg.conv (parse, Variant.pp)
+
+let run file variant budget standard report =
+  match Parser.parse_rules (read_file file) with
+  | Error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Ok rules ->
+    if report then begin
+      Fmt.pr "%a@." Report.pp (Report.build ~budget rules);
+      0
+    end
+    else begin
+      Fmt.pr "class: %a@." Classify.pp_cls (Classify.classify rules);
+      let v = Decide.check ~standard ~budget ~variant rules in
+      Fmt.pr "%a@." Verdict.pp v;
+      match Verdict.answer v with
+      | Verdict.Terminates -> 0
+      | Verdict.Diverges -> 2
+      | Verdict.Unknown -> 3
+    end
+
+let file_arg =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE"
+       ~doc:"Rule file (one 'body -> head.' per statement).")
+
+let variant_arg =
+  Arg.(value & opt variant_conv Variant.Semi_oblivious
+       & info [ "v"; "variant" ] ~docv:"VARIANT"
+           ~doc:"Chase variant: oblivious, semi-oblivious or restricted.")
+
+let budget_arg =
+  Arg.(value & opt int 50_000
+       & info [ "b"; "budget" ] ~docv:"N"
+           ~doc:"Trigger budget for the simulation fallback.")
+
+let standard_arg =
+  Arg.(value & opt bool true
+       & info [ "standard" ] ~docv:"BOOL"
+           ~doc:"Decide over standard databases (constants 0 and 1 \
+                 available).")
+
+let report_arg =
+  Arg.(value & flag
+       & info [ "report" ]
+           ~doc:"Print the full analysis portfolio (class, every \
+                 acyclicity condition, all variants, chase statistics).")
+
+let cmd =
+  let doc = "decide all-instance chase termination for a TGD set" in
+  Cmd.v
+    (Cmd.info "chase-termination" ~doc)
+    Cmdliner.Term.(
+      const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
+      $ report_arg)
+
+let () = exit (Cmd.eval' cmd)

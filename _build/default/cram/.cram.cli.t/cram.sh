@@ -1,0 +1,19 @@
+  $ cat > ex2.chase <<'EOF'
+  > p(X, Y) -> p(Y, Z).
+  > EOF
+  $ ../bin/termination_cli.exe ex2.chase -v oblivious
+  $ cat > sep.chase <<'EOF'
+  > p(X, Y) -> p(X, Z).
+  > EOF
+  $ ../bin/termination_cli.exe sep.chase -v so
+  $ ../bin/termination_cli.exe sep.chase -v o > /dev/null 2>&1; echo "exit $?"
+  $ cat > prog.chase <<'EOF'
+  > emp(N, D) -> dept(D, M).
+  > dept(D, M) -> works(M, D).
+  > emp(ada, cs).
+  > EOF
+  $ ../bin/chase_cli.exe prog.chase -v restricted
+  $ ../bin/termination_cli.exe ../data/university.chase -v so | head -2
+  $ ../bin/chase_cli.exe ex2.chase --critical -b 10 -q > out.txt; echo "exit $?"
+  $ grep -c "budget exhausted" out.txt
+  $ ../bin/termination_cli.exe sep.chase --report

@@ -1,0 +1,66 @@
+The termination CLI classifies and decides; exit code 2 signals divergence.
+
+  $ cat > ex2.chase <<'EOF'
+  > p(X, Y) -> p(Y, Z).
+  > EOF
+  $ ../bin/termination_cli.exe ex2.chase -v oblivious
+  class: simple-linear
+  diverges (by rich-acyclicity)
+  dangerous cycle in the extended dependency graph: p[1] — on simple linear rules every such cycle is realizable (Thm 1)
+  [2]
+
+The separator terminates under the semi-oblivious chase only.
+
+  $ cat > sep.chase <<'EOF'
+  > p(X, Y) -> p(X, Z).
+  > EOF
+  $ ../bin/termination_cli.exe sep.chase -v so
+  class: simple-linear
+  terminates (by weak-acyclicity)
+  the dependency graph has no cycle through a special edge
+  $ ../bin/termination_cli.exe sep.chase -v o > /dev/null 2>&1; echo "exit $?"
+  exit 2
+
+The chase CLI computes universal models.
+
+  $ cat > prog.chase <<'EOF'
+  > emp(N, D) -> dept(D, M).
+  > dept(D, M) -> works(M, D).
+  > emp(ada, cs).
+  > EOF
+  $ ../bin/chase_cli.exe prog.chase -v restricted
+  dept(cs, _:n1).
+  emp(ada, cs).
+  works(_:n1, cs).
+  restricted chase: terminated
+  facts: 3 (created 2)
+  triggers: 2 applied
+  nulls: 1
+  max depth: 2
+
+The bundled university ontology is terminating simple linear.
+
+  $ ../bin/termination_cli.exe ../data/university.chase -v so | head -2
+  class: simple-linear
+  terminates (by weak-acyclicity)
+
+Chasing the critical instance of a divergent set stops at the budget
+(exit code 2).
+
+  $ ../bin/chase_cli.exe ex2.chase --critical -b 10 -q > out.txt; echo "exit $?"
+  exit 2
+  $ grep -c "budget exhausted" out.txt
+  1
+
+The --report mode prints the whole analysis portfolio.
+
+  $ ../bin/termination_cli.exe sep.chase --report
+  rules: 1   class: simple-linear, single-head
+  acyclicity: RA no   WA yes   JA yes   MFA yes
+  oblivious:      diverges (by rich-acyclicity)
+                  dangerous cycle in the extended dependency graph: p[1] — on simple linear rules every such cycle is realizable (Thm 1)
+  semi-oblivious: terminates (by weak-acyclicity)
+                  the dependency graph has no cycle through a special edge
+  restricted:     terminates (by weak-acyclicity (sufficient))
+                  weakly acyclic: the restricted chase terminates on every database
+  critical-instance chase (so, budgeted): terminated — 2 facts, 1 triggers, depth 1, 1 nulls

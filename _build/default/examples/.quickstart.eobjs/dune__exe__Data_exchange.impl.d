@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Atom Chase Core_model Decide Egd_chase Engine Fmt Hom Instance List Option Parser Subst Term Tgd Variant Verdict Weak

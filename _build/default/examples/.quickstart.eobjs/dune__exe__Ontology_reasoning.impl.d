@@ -1,0 +1,1 @@
+examples/ontology_reasoning.ml: Atom Chase Classify Decide Engine Fmt Hom Instance List Parser Sl Subst Term Variant Verdict

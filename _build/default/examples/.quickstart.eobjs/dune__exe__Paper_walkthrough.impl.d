@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Atom Chase Decide Engine Entailment Families Fmt Guarded Instance Linear List Looping Parser Rich Sequence String Term Tgd Variant Verdict Weak

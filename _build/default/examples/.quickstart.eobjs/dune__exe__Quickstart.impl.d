@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atom Chase Decide Engine Families Fmt Instance List Parser Variant Verdict

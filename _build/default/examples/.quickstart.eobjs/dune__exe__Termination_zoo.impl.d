@@ -1,0 +1,1 @@
+examples/termination_zoo.ml: Chase Classify Critical Decide Engine Families Fmt Instance Joint List Mfa Rich String Variant Verdict Weak

@@ -1,0 +1,1 @@
+lib/acyclicity/critical_linear.ml: Array Atom Chase_classes Chase_engine Chase_logic Fmt Hashtbl Hom Int List Map Option Pattern Queue Schema Set String Subst Term Tgd Util

@@ -1,0 +1,1 @@
+lib/acyclicity/critical_linear.mli: Chase_engine Chase_logic Format Pattern Term Tgd

@@ -1,0 +1,1 @@
+lib/acyclicity/dep_graph.ml: Array Atom Chase_logic Digraph Fmt Fun Hashtbl List Schema String Term Tgd Util

@@ -1,0 +1,1 @@
+lib/acyclicity/dep_graph.mli: Atom Chase_logic Digraph Format Tgd

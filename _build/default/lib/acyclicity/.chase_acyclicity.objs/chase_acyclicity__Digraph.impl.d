@@ -1,0 +1,1 @@
+lib/acyclicity/digraph.ml: Array List Option Queue

@@ -1,0 +1,1 @@
+lib/acyclicity/digraph.mli:

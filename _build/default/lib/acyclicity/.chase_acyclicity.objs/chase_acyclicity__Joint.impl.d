@@ -1,0 +1,1 @@
+lib/acyclicity/joint.ml: Chase_logic Dep_graph Digraph Fmt Int List Option Set String Tgd Util

@@ -1,0 +1,1 @@
+lib/acyclicity/joint.mli: Chase_logic

@@ -1,0 +1,1 @@
+lib/acyclicity/mfa.ml: Array Chase_engine Chase_logic Fmt Hashtbl Hom Instance List Option Queue Set Subst Term Tgd Util

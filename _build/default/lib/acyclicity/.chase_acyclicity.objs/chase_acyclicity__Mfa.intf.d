@@ -1,0 +1,1 @@
+lib/acyclicity/mfa.mli: Chase_logic

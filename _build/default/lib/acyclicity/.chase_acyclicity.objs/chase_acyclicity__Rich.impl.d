@@ -1,0 +1,1 @@
+lib/acyclicity/rich.ml: Dep_graph Option

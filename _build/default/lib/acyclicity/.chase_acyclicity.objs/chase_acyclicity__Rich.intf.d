@@ -1,0 +1,1 @@
+lib/acyclicity/rich.mli: Chase_logic

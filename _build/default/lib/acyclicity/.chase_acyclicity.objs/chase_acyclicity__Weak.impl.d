@@ -1,0 +1,1 @@
+lib/acyclicity/weak.ml: Dep_graph Option

@@ -1,0 +1,1 @@
+lib/acyclicity/weak.mli: Chase_logic

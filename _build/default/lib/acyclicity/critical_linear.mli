@@ -1,0 +1,83 @@
+(** Critical weak/rich acyclicity: exact termination analysis for linear
+    TGDs (Theorem 2).
+
+    Facts of the chase of the critical instance are abstracted by their
+    {!Chase_logic.Pattern.t}; for linear rules this abstraction is exact
+    for applicability and deterministic for children, so the chase induces
+    a finite pattern-transition system.  Non-termination is witnessed by a
+    {e productive lasso} — a reachable cycle whose traversals keep
+    producing new full-homomorphism triggers (oblivious) or new frontier
+    keys (semi-oblivious), tracked through a taint product — and every
+    lasso is {e confirmed} by concretely replaying it with fresh nulls
+    before being reported.  See DESIGN.md §3.2. *)
+
+open Chase_logic
+
+(** Provenance of a child-pattern class. *)
+type source =
+  | From_parent of int  (** copied from this parent class (a null class) *)
+  | Fresh  (** an existential variable: a fresh null *)
+  | Cst of string  (** a constant *)
+
+(** One pattern-level chase step. *)
+type transition = {
+  rule_idx : int;
+  head_idx : int;
+  child : Pattern.t;
+  sources : source array;  (** provenance of each child class *)
+  frontier_classes : int list;
+      (** parent null-classes holding images of the rule's frontier *)
+  creates_null : bool;
+}
+
+val transitions_of : Tgd.t list -> Pattern.t -> transition list
+(** All pattern-level steps out of a pattern.
+    @raise Invalid_argument if a rule is not linear. *)
+
+val initial_patterns : constants:Term.t list -> Tgd.t list -> Pattern.Set.t
+(** Patterns of the critical-instance facts. *)
+
+val reachable_patterns : constants:Term.t list -> Tgd.t list -> Pattern.Set.t
+(** BFS closure of the initial patterns — exactly the patterns of facts
+    occurring in the chase of the critical instance. *)
+
+type certificate = {
+  start : Pattern.t;
+  cycle : transition list;  (** the confirmed pumping cycle *)
+  laps_checked : int;
+}
+
+val pp_certificate : Tgd.t list -> Format.formatter -> certificate -> unit
+
+val confirm :
+  semi:bool -> Tgd.t list -> start:Pattern.t -> cycle:transition list -> laps:int -> bool
+(** Replay the cycle concretely for [laps] laps; [true] when after the
+    first lap every step stayed productive (new atoms for the oblivious
+    chase when [semi = false], new frontier keys when [semi = true]) and
+    the final pattern closed the loop.  A confirmed pump is a sound
+    non-termination witness. *)
+
+type verdict =
+  | Terminating
+  | Non_terminating of certificate
+  | Inconclusive of string
+      (** no pump was found, yet the sanity chase of the critical instance
+          did not close either — the reconstructed search missed a pump
+          shape on this input (reported honestly instead of answering
+          "terminating") *)
+
+val check_oblivious : ?standard:bool -> ?sanity_budget:int -> Tgd.t list -> verdict
+(** Critical rich acyclicity — oblivious-chase termination for linear
+    TGDs.  [standard] (default true) includes the constants 0, 1.
+    Divergence answers carry a concretely confirmed pump; termination
+    answers are cross-checked against the actual chase of the critical
+    instance (budget [sanity_budget], default 50_000).
+    @raise Invalid_argument if the set is not linear. *)
+
+val check_semi_oblivious :
+  ?standard:bool -> ?sanity_budget:int -> Tgd.t list -> verdict
+(** Critical weak acyclicity — semi-oblivious-chase termination for
+    linear TGDs. *)
+
+val terminates : ?standard:bool -> variant:Chase_engine.Variant.t -> Tgd.t list -> bool
+(** @raise Invalid_argument for the restricted variant. *)

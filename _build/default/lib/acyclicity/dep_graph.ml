@@ -1,0 +1,106 @@
+(** Dependency graphs over schema positions.
+
+    Nodes are the positions (p, i) of the schema.  For each rule and each
+    occurrence of a universally quantified variable x at body position
+    (p, i):
+
+    - {b plain} (Fagin et al., for weak acyclicity): if x also occurs in
+      the head, add a normal edge to every head position of x and a special
+      edge to every head position holding an existentially quantified
+      variable;
+    - {b extended} (Hernich & Schweikardt, for rich acyclicity): as above,
+      and additionally every body variable — whether or not it reaches the
+      head — contributes the special edges to the existential positions.
+
+    The extended graph has all the edges of the plain one, which is why
+    rich acyclicity implies weak acyclicity (RA ⊆ WA as classes). *)
+
+open Chase_logic
+
+type mode =
+  | Plain  (** dependency graph of Fagin et al. — weak acyclicity *)
+  | Extended  (** extended dependency graph — rich acyclicity *)
+
+type t = {
+  graph : Digraph.t;
+  positions : (string * int) array;  (** node id ↦ position *)
+  node_of : (string * int, int) Hashtbl.t;
+}
+
+let graph t = t.graph
+let position_of_node t id = t.positions.(id)
+
+let node_of t pos =
+  match Hashtbl.find_opt t.node_of pos with
+  | Some id -> id
+  | None -> invalid_arg "Dep_graph.node_of: unknown position"
+
+(** Positions of variable [x] among [atoms], as (pred, index) pairs. *)
+let positions_of_var atoms x =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun i ->
+          match Atom.arg a i with
+          | Term.Var v when String.equal v x -> Some (Atom.pred a, i)
+          | _ -> None)
+        (List.init (Atom.arity a) Fun.id))
+    atoms
+
+let build ~mode rules =
+  let schema = Schema.of_rules rules in
+  let positions = Array.of_list (Schema.positions schema) in
+  let node_of = Hashtbl.create (Array.length positions) in
+  Array.iteri (fun i pos -> Hashtbl.add node_of pos i) positions;
+  let g = Digraph.create (Array.length positions) in
+  let add src dst special =
+    Digraph.add_edge g ~src:(Hashtbl.find node_of src)
+      ~dst:(Hashtbl.find node_of dst) ~special
+  in
+  List.iter
+    (fun r ->
+      let head = Tgd.head r in
+      let existential_positions =
+        Util.Sset.fold
+          (fun z acc -> positions_of_var head z @ acc)
+          (Tgd.existentials r) []
+      in
+      Util.Sset.iter
+        (fun x ->
+          let body_positions = positions_of_var (Tgd.body r) x in
+          let in_head = Util.Sset.mem x (Tgd.head_vars r) in
+          List.iter
+            (fun src ->
+              if in_head then begin
+                List.iter (fun dst -> add src dst false) (positions_of_var head x);
+                List.iter (fun dst -> add src dst true) existential_positions
+              end
+              else
+                match mode with
+                | Extended ->
+                  List.iter (fun dst -> add src dst true) existential_positions
+                | Plain -> ())
+            body_positions)
+        (Tgd.body_vars r))
+    rules;
+  { graph = g; positions; node_of }
+
+(** A dangerous cycle (cycle through a special edge) as a list of positions
+    visited, if one exists. *)
+let dangerous_cycle t =
+  match Digraph.dangerous_cycle t.graph with
+  | None -> None
+  | Some edges ->
+    Some
+      (List.map (fun (e : Digraph.edge) -> t.positions.(e.Digraph.src)) edges)
+
+let pp_position fm (p, i) = Fmt.pf fm "%s[%d]" p i
+
+let pp fm t =
+  let pp_edge fm (e : Digraph.edge) =
+    Fmt.pf fm "%a %s %a" pp_position t.positions.(e.src)
+      (if e.special then "=*=>" else "--->")
+      pp_position t.positions.(e.dst)
+  in
+  Fmt.pf fm "@[<v>%a@]" (Util.pp_list "" (fun fm e -> Fmt.pf fm "%a@ " pp_edge e))
+    (Digraph.edges t.graph)

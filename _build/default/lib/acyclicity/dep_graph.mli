@@ -1,0 +1,31 @@
+(** Dependency graphs over schema positions.
+
+    [Plain] is the dependency graph of Fagin et al. (weak acyclicity);
+    [Extended] is the extended dependency graph of Hernich & Schweikardt
+    (rich acyclicity), which additionally gives every body variable —
+    whether or not it reaches the head — special edges to the existential
+    positions, because the oblivious chase distinguishes triggers by those
+    variables too.  The extended graph contains the plain one, whence
+    RA ⊆ WA as classes. *)
+
+open Chase_logic
+
+type mode =
+  | Plain
+  | Extended
+
+type t
+
+val build : mode:mode -> Tgd.t list -> t
+val graph : t -> Digraph.t
+val position_of_node : t -> int -> string * int
+val node_of : t -> string * int -> int
+
+val positions_of_var : Atom.t list -> string -> (string * int) list
+(** Positions at which a variable occurs in a list of atoms. *)
+
+val dangerous_cycle : t -> (string * int) list option
+(** A cycle through a special edge, as the positions visited. *)
+
+val pp_position : Format.formatter -> string * int -> unit
+val pp : Format.formatter -> t -> unit

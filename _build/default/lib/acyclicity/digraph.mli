@@ -1,0 +1,36 @@
+(** Directed graphs over integer nodes, with normal and special edges.
+
+    Substrate of the acyclicity tests: weak and rich acyclicity ask
+    whether some {e special} edge lies on a cycle, answered via Tarjan's
+    SCC algorithm — a special edge u ⇒ v lies on a cycle iff u and v share
+    an SCC. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  special : bool;
+}
+
+type t
+
+val create : int -> t
+(** [create n] has nodes 0 … n-1 and no edges. *)
+
+val size : t -> int
+val edges : t -> edge list
+val add_edge : t -> src:int -> dst:int -> special:bool -> unit
+val successors : t -> int -> (int * bool) list
+
+val scc : t -> int array
+(** Component id per node, reverse topological numbering. *)
+
+val dangerous_edge : t -> edge option
+(** A special edge lying on a cycle, if any. *)
+
+val has_dangerous_cycle : t -> bool
+
+val path : t -> int -> int -> edge list option
+(** A shortest edge path, [Some []] when the endpoints coincide. *)
+
+val dangerous_cycle : t -> edge list option
+(** A cycle through some special edge, starting with that edge. *)

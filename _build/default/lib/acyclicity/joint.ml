@@ -1,0 +1,119 @@
+(** Joint acyclicity (Krötzsch & Rudolph, IJCAI 2011).
+
+    A sufficient condition for semi-oblivious (skolem) chase termination
+    that strictly generalizes weak acyclicity: instead of tracking null
+    flow position-by-position, it computes for every existential variable
+    z the set Move(z) of {e all} positions where the nulls invented for z
+    can ever travel, and requires the induced dependency relation between
+    existential variables to be acyclic.
+
+    Definitions (adapted to our rule representation; rules are renamed
+    apart first so variable names are rule-unique):
+
+    - Move(z) is the least set of positions P with pos_head(z) ⊆ P that is
+      closed under: for every rule σ and universal variable x of σ
+      occurring in the head, if every body position of x is in P then
+      every head position of x is in P.
+    - z' {e depends on} z when the rule σ' introducing z' has a frontier
+      variable x all of whose body positions lie in Move(z) — a null made
+      for z can then reach a trigger of σ' and cause invention of a null
+      for z'.
+    - Σ is jointly acyclic iff the depends-on graph is acyclic.
+
+    WA ⊆ JA (every weakly acyclic set is jointly acyclic) and JA is sound
+    for the semi-oblivious chase; neither holds for the oblivious chase
+    (use {!Rich} there). *)
+
+open Chase_logic
+
+module Pos_set = Set.Make (struct
+  type t = string * int
+
+  let compare (p1, i1) (p2, i2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c else Int.compare i1 i2
+end)
+
+let positions_of_var atoms x = Pos_set.of_list (Dep_graph.positions_of_var atoms x)
+
+(* All (rule, universal variable occurring in head) pairs, with body and
+   head position sets precomputed. *)
+let head_universals rules =
+  List.concat_map
+    (fun r ->
+      Util.Sset.fold
+        (fun x acc ->
+          ( positions_of_var (Tgd.body r) x,
+            positions_of_var (Tgd.head r) x )
+          :: acc)
+        (Tgd.frontier r) [])
+    rules
+
+(** Move(z) for one existential variable, by fixpoint. *)
+let move rules ~rule ~z =
+  let universals = head_universals rules in
+  let current = ref (positions_of_var (Tgd.head rule) z) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (body_pos, head_pos) ->
+        if
+          (not (Pos_set.is_empty body_pos))
+          && Pos_set.subset body_pos !current
+          && not (Pos_set.subset head_pos !current)
+        then begin
+          current := Pos_set.union head_pos !current;
+          changed := true
+        end)
+      universals
+  done;
+  !current
+
+(** The depends-on graph over existential variables, and its acyclicity. *)
+let check rules =
+  (* rename apart so that (rule index, variable) is keyed by name alone *)
+  let rules =
+    List.mapi (fun i r -> Tgd.rename_apart ~suffix:(Fmt.str "!%d" i) r) rules
+  in
+  let existentials =
+    List.concat_map
+      (fun r -> List.map (fun z -> (r, z)) (Util.Sset.elements (Tgd.existentials r)))
+      rules
+  in
+  let n = List.length existentials in
+  if n = 0 then None (* full rules: trivially jointly acyclic *)
+  else begin
+    let moves =
+      List.map (fun (rule, z) -> ((rule, z), move rules ~rule ~z)) existentials
+    in
+    let g = Digraph.create n in
+    List.iteri
+      (fun i ((_, _), move_z) ->
+        List.iteri
+          (fun j (rule', _) ->
+            (* z_j depends on z_i ? *)
+            let depends =
+              Util.Sset.exists
+                (fun x ->
+                  let body_pos = positions_of_var (Tgd.body rule') x in
+                  (not (Pos_set.is_empty body_pos))
+                  && Pos_set.subset body_pos move_z)
+                (Tgd.frontier rule')
+            in
+            if depends then Digraph.add_edge g ~src:i ~dst:j ~special:true)
+          existentials)
+      moves;
+    (* any cycle is a cycle through a special edge *)
+    match Digraph.dangerous_cycle g with
+    | None -> None
+    | Some edges ->
+      Some
+        (List.map
+           (fun (e : Digraph.edge) ->
+             let rule, z = List.nth existentials e.Digraph.src in
+             (Tgd.name rule, z))
+           edges)
+  end
+
+let is_jointly_acyclic rules = Option.is_none (check rules)

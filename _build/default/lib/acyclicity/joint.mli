@@ -1,0 +1,12 @@
+(** Joint acyclicity (Krötzsch & Rudolph 2011): for each existential
+    variable z compute Move(z), the positions its nulls can ever reach;
+    require the induced depends-on relation between existential variables
+    to be acyclic.  Strictly generalizes weak acyclicity; sound for the
+    semi-oblivious (and hence restricted) chase, {e not} for the
+    oblivious one. *)
+
+val check : Chase_logic.Tgd.t list -> (string * string) list option
+(** A cyclic dependency chain as (rule name, existential variable) pairs,
+    if any ([None] = jointly acyclic). *)
+
+val is_jointly_acyclic : Chase_logic.Tgd.t list -> bool

@@ -1,0 +1,130 @@
+(** Model-faithful acyclicity (Cuenca Grau, Horrocks, Krötzsch, Kupke,
+    Magka, Motik, Wang — KR 2012 / JAIR 2013).
+
+    MFA is the strongest of the standard sufficient conditions for
+    semi-oblivious (skolem) chase termination: skolemize the rules, chase
+    the critical instance, and declare failure as soon as a {e cyclic}
+    functional term appears — a null whose skolem-term structure nests the
+    same function symbol f_{σ,z} inside itself.  If the chase completes
+    without ever building a cyclic term, only finitely many term shapes
+    exist for any database, so the semi-oblivious chase terminates
+    universally:  WA ⊆ JA ⊆ MFA ⊆ CT^so.
+
+    Instead of materializing skolem terms we run our own engine on the
+    critical instance and annotate every null with the {e set} of function
+    symbols occurring in its term tree: the union of the symbol sets of
+    the frontier nulls it was built from, plus its own creating symbol
+    (rule index, existential variable).  A null is cyclic exactly when its
+    creating symbol already occurs among its ancestors' symbols.
+
+    Checking MFA is itself 2EXPTIME-complete; the chase we run is the
+    definition's chase, but we keep a trigger budget as an engineering
+    safeguard and report [`Unknown] if it is ever hit. *)
+
+open Chase_logic
+
+type answer =
+  [ `Mfa  (** the critical chase completed with no cyclic term *)
+  | `Not_mfa of string  (** a cyclic functional term, pretty-printed *)
+  | `Unknown of string  (** budget exhausted (not observed in practice) *)
+  ]
+
+module Sym_set = Set.Make (struct
+  type t = int * string  (* rule index, existential variable *)
+
+  let compare = compare
+end)
+
+let default_budget = 100_000
+
+let check ?(standard = false) ?(budget = default_budget) rules =
+  let rules_arr = Array.of_list rules in
+  let crit = Chase_engine.Critical.of_rules ~standard rules in
+  let instance = Instance.create () in
+  Instance.iter (fun a -> ignore (Instance.add instance a)) crit;
+  (* symbol sets of nulls *)
+  let symbols_of_null : (int, Sym_set.t) Hashtbl.t = Hashtbl.create 256 in
+  let null_counter = ref 0 in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let cyclic = ref None in
+  let triggers = ref 0 in
+  let key rule_idx sub =
+    (rule_idx, Subst.to_list (Subst.restrict sub (Tgd.frontier rules_arr.(rule_idx))))
+  in
+  let enqueue rule_idx sub =
+    let k = key rule_idx sub in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      Queue.add (rule_idx, sub) queue
+    end
+  in
+  let enqueue_all_for i =
+    Hom.iter instance (Tgd.body rules_arr.(i)) (fun sub -> enqueue i sub)
+  in
+  let enqueue_seeded_for i seed =
+    Hom.iter_seeded instance (Tgd.body rules_arr.(i)) ~seed (fun sub ->
+        enqueue i sub)
+  in
+  Array.iteri (fun i _ -> enqueue_all_for i) rules_arr;
+  let inherited_symbols sub frontier =
+    Util.Sset.fold
+      (fun v acc ->
+        match Subst.find_opt v sub with
+        | Some (Term.Null n) -> (
+          match Hashtbl.find_opt symbols_of_null n with
+          | Some s -> Sym_set.union s acc
+          | None -> acc)
+        | Some (Term.Const _) | Some (Term.Var _) | None -> acc)
+      frontier Sym_set.empty
+  in
+  let apply rule_idx sub =
+    incr triggers;
+    let r = rules_arr.(rule_idx) in
+    let inherited = inherited_symbols sub (Tgd.frontier r) in
+    let sub' = ref sub in
+    Util.Sset.iter
+      (fun z ->
+        let sym = (rule_idx, z) in
+        if Sym_set.mem sym inherited && !cyclic = None then
+          cyclic :=
+            Some
+              (Fmt.str
+                 "cyclic term: f_(%s,%s) nested within itself under trigger %a \
+                  of rule %a"
+                 (Tgd.name r) z Subst.pp sub Tgd.pp r);
+        incr null_counter;
+        let n = !null_counter in
+        Hashtbl.replace symbols_of_null n (Sym_set.add sym inherited);
+        sub' := Subst.bind_exn !sub' z (Term.Null n))
+      (Tgd.existentials r);
+    if !cyclic = None then begin
+      let new_atoms =
+        List.filter_map
+          (fun head_atom ->
+            let fact = Subst.apply_atom !sub' head_atom in
+            if Instance.add instance fact then Some fact else None)
+          (Tgd.head r)
+      in
+      List.iter
+        (fun fact -> Array.iteri (fun i _ -> enqueue_seeded_for i fact) rules_arr)
+        new_atoms
+    end
+  in
+  let rec loop () =
+    if !cyclic <> None then `Not_mfa (Option.get !cyclic)
+    else if Queue.is_empty queue then `Mfa
+    else if !triggers >= budget then
+      `Unknown (Fmt.str "MFA chase budget of %d triggers exhausted" budget)
+    else begin
+      let rule_idx, sub = Queue.pop queue in
+      apply rule_idx sub;
+      loop ()
+    end
+  in
+  loop ()
+
+let is_mfa ?standard ?budget rules =
+  match check ?standard ?budget rules with
+  | `Mfa -> true
+  | `Not_mfa _ | `Unknown _ -> false

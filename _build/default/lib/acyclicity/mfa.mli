@@ -1,0 +1,16 @@
+(** Model-faithful acyclicity (Cuenca Grau et al., KR 2012): chase the
+    critical instance with the skolem chase and fail on the first
+    {e cyclic} functional term (a skolem symbol nested within itself).
+    The strongest standard sufficient condition for semi-oblivious chase
+    termination:  WA ⊆ JA ⊆ MFA ⊆ CT^so. *)
+
+type answer =
+  [ `Mfa  (** the critical chase completed with no cyclic term *)
+  | `Not_mfa of string  (** a cyclic functional term, pretty-printed *)
+  | `Unknown of string  (** budget exhausted *)
+  ]
+
+val default_budget : int
+
+val check : ?standard:bool -> ?budget:int -> Chase_logic.Tgd.t list -> answer
+val is_mfa : ?standard:bool -> ?budget:int -> Chase_logic.Tgd.t list -> bool

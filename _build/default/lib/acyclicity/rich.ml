@@ -1,0 +1,17 @@
+(** Rich acyclicity (Hernich & Schweikardt 2007).
+
+    A rule set is richly acyclic when its {e extended} dependency graph —
+    which also tracks the body variables that do not reach the head, since
+    the oblivious chase distinguishes triggers by them — has no cycle
+    through a special edge.  Rich acyclicity guarantees termination of the
+    oblivious chase on every database; by Theorem 1 of the paper it is
+    {e exactly} oblivious-chase termination on simple linear TGDs.
+
+    Every richly acyclic set is weakly acyclic (the extended graph has
+    strictly more edges). *)
+
+let check rules =
+  let dg = Dep_graph.build ~mode:Dep_graph.Extended rules in
+  Dep_graph.dangerous_cycle dg
+
+let is_richly_acyclic rules = Option.is_none (check rules)

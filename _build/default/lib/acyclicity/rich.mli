@@ -1,0 +1,9 @@
+(** Rich acyclicity (Hernich & Schweikardt 2007): no cycle through a
+    special edge in the {e extended} dependency graph.  Sound for the
+    oblivious chase on arbitrary TGDs; exact on simple linear TGDs
+    (Theorem 1).  Every richly acyclic set is weakly acyclic. *)
+
+val check : Chase_logic.Tgd.t list -> (string * int) list option
+(** A dangerous cycle, if any ([None] = richly acyclic). *)
+
+val is_richly_acyclic : Chase_logic.Tgd.t list -> bool

@@ -1,0 +1,13 @@
+(** Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2005).
+
+    A rule set is weakly acyclic when its dependency graph has no cycle
+    through a special edge.  Weak acyclicity guarantees termination of
+    every chase variant on every database; by Theorem 1 of the paper it is
+    moreover {e exactly} semi-oblivious-chase termination on simple linear
+    TGDs. *)
+
+let check rules =
+  let dg = Dep_graph.build ~mode:Dep_graph.Plain rules in
+  Dep_graph.dangerous_cycle dg
+
+let is_weakly_acyclic rules = Option.is_none (check rules)

@@ -1,0 +1,9 @@
+(** Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2005): no cycle
+    through a special edge in the dependency graph.  Sound for every
+    chase variant except the oblivious one; exact for the semi-oblivious
+    chase on simple linear TGDs (Theorem 1). *)
+
+val check : Chase_logic.Tgd.t list -> (string * int) list option
+(** A dangerous cycle, if any ([None] = weakly acyclic). *)
+
+val is_weakly_acyclic : Chase_logic.Tgd.t list -> bool

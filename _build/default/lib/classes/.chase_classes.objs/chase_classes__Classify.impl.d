@@ -1,0 +1,1 @@
+lib/classes/classify.ml: Atom Chase_logic Fmt Hashtbl List Option Tgd Util

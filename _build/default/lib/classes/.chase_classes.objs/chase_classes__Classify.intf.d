@@ -1,0 +1,1 @@
+lib/classes/classify.mli: Atom Chase_logic Format Tgd

@@ -1,0 +1,74 @@
+(** The chase termination library — umbrella module.
+
+    One-stop re-export of the public API.  The sub-libraries group as:
+
+    - logic substrate: {!Term}, {!Atom}, {!Subst}, {!Instance}, {!Hom},
+      {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
+    - chase engine: {!Variant}, {!Engine}, {!Critical}, {!Derivation};
+    - classes: {!Classify};
+    - acyclicity: {!Digraph}, {!Dep_graph}, {!Weak}, {!Rich},
+      {!Critical_linear};
+    - termination procedures: {!Verdict}, {!Sl}, {!Linear}, {!Guarded},
+      {!Simulation}, {!Decide};
+    - reductions: {!Looping}, {!Entailment};
+    - workloads: {!Families}, {!Random_tgds}.
+
+    Quick start:
+
+    {[
+      let rules = Chase.Parser.parse_rules_exn "p(X,Y) -> p(Y,Z)." in
+      let verdict = Chase.Decide.check ~variant:Chase.Variant.Oblivious rules in
+      Fmt.pr "%a@." Chase.Verdict.pp verdict
+    ]} *)
+
+(* Logic substrate *)
+module Term = Chase_logic.Term
+module Atom = Chase_logic.Atom
+module Subst = Chase_logic.Subst
+module Instance = Chase_logic.Instance
+module Hom = Chase_logic.Hom
+module Tgd = Chase_logic.Tgd
+module Schema = Chase_logic.Schema
+module Pattern = Chase_logic.Pattern
+module Parser = Chase_logic.Parser
+module Query = Chase_logic.Query
+module Egd = Chase_logic.Egd
+module Core_model = Chase_logic.Core_model
+
+(* Chase engine *)
+module Variant = Chase_engine.Variant
+module Engine = Chase_engine.Engine
+module Critical = Chase_engine.Critical
+module Derivation = Chase_engine.Derivation
+module Egd_chase = Chase_engine.Egd_chase
+module Sequence = Chase_engine.Sequence
+
+(* TGD classes *)
+module Classify = Chase_classes.Classify
+
+(* Acyclicity notions *)
+module Digraph = Chase_acyclicity.Digraph
+module Dep_graph = Chase_acyclicity.Dep_graph
+module Weak = Chase_acyclicity.Weak
+module Rich = Chase_acyclicity.Rich
+module Joint = Chase_acyclicity.Joint
+module Mfa = Chase_acyclicity.Mfa
+module Critical_linear = Chase_acyclicity.Critical_linear
+
+(* Termination procedures *)
+module Verdict = Chase_termination.Verdict
+module Sl = Chase_termination.Sl
+module Linear = Chase_termination.Linear
+module Guarded = Chase_termination.Guarded
+module Restricted = Chase_termination.Restricted
+module Simulation = Chase_termination.Simulation
+module Decide = Chase_termination.Decide
+module Report = Chase_termination.Report
+
+(* Reductions *)
+module Looping = Chase_reductions.Looping
+module Entailment = Chase_reductions.Entailment
+
+(* Workloads *)
+module Families = Chase_generators.Families
+module Random_tgds = Chase_generators.Random_tgds

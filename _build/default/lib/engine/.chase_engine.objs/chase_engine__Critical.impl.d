@@ -1,0 +1,1 @@
+lib/engine/critical.ml: Array Atom Chase_logic Fmt Instance List Schema Term Tgd Util

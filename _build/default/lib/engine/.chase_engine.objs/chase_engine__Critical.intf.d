@@ -1,0 +1,1 @@
+lib/engine/critical.mli: Chase_logic Instance Schema Term Tgd

@@ -1,0 +1,1 @@
+lib/engine/derivation.ml: Atom Chase_logic Fmt Subst Tgd

@@ -1,0 +1,1 @@
+lib/engine/derivation.mli: Chase_logic Format

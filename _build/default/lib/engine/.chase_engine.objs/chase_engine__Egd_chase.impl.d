@@ -1,0 +1,1 @@
+lib/engine/egd_chase.ml: Atom Chase_logic Egd Engine Fmt Hom Instance List Subst Term Variant

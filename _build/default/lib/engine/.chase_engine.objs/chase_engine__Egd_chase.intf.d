@@ -1,0 +1,1 @@
+lib/engine/egd_chase.mli: Atom Chase_logic Egd Engine Format Instance Tgd

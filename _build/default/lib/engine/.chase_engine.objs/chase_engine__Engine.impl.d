@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Atom Chase_classes Chase_logic Derivation Fmt Hashtbl Hom Instance List Option Queue Subst Term Tgd Util Variant

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Atom Chase_logic Derivation Format Instance Subst Tgd Variant

@@ -1,0 +1,1 @@
+lib/engine/sequence.ml: Atom Chase_logic Engine Fmt Hashtbl Instance List Subst Tgd Util Variant

@@ -1,0 +1,1 @@
+lib/engine/sequence.mli: Atom Chase_logic Engine Format Subst Tgd Variant

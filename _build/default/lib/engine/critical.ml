@@ -1,0 +1,108 @@
+(** The critical instance.
+
+    For a schema S and a finite set C of constants, the critical instance
+    crit(S, C) contains every fact p(c̄) with p ∈ S and c̄ ∈ C^arity(p).
+    With C = {✶} this is Marnette's critical instance: every database over
+    S maps homomorphically onto it (all constants to ✶), and since
+    (semi-)oblivious chase steps are preserved under homomorphisms, the
+    ?-chase terminates on {e every} database iff it terminates on the
+    critical instance.  The paper's {e standard databases} — databases with
+    the constants 0 and 1 available — are covered by C = {✶, 0, 1}.
+
+    The instance has Σ_p |C|^arity(p) facts; [instance] refuses to build
+    more than [max_facts] of them (the termination checkers only ever need
+    tiny schemas per rule set, so hitting the limit indicates misuse). *)
+
+open Chase_logic
+
+let star = Term.Const "*"
+let plain_constants = [ star ]
+let standard_constants = [ star; Term.Const "0"; Term.Const "1" ]
+
+exception Too_large of int
+
+(** Number of facts crit(S, C) would contain. *)
+let size ~constants schema =
+  let k = List.length constants in
+  List.fold_left
+    (fun acc (_, n) ->
+      let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+      acc + pow k n)
+    0 (Schema.to_list schema)
+
+(** [instance ?standard ?constants ?max_facts schema] builds the critical
+    instance.  [standard] defaults to [false] ({✶} only); [constants]
+    overrides the constant set entirely.
+
+    @raise Too_large when the instance would exceed [max_facts]
+    (default 1_000_000). *)
+let instance ?(standard = false) ?constants ?(max_facts = 1_000_000) schema =
+  let constants =
+    match constants with
+    | Some cs -> cs
+    | None -> if standard then standard_constants else plain_constants
+  in
+  let total = size ~constants schema in
+  if total > max_facts then raise (Too_large total);
+  let ins = Instance.create ~initial_capacity:(max 16 total) () in
+  let cs = Array.of_list constants in
+  let k = Array.length cs in
+  List.iter
+    (fun (p, n) ->
+      (* enumerate all k^n tuples *)
+      let args = Array.make n cs.(0) in
+      let rec go i =
+        if i >= n then ignore (Instance.add ins (Atom.make p (Array.copy args)))
+        else
+          for j = 0 to k - 1 do
+            args.(i) <- cs.(j);
+            go (i + 1)
+          done
+      in
+      if n = 0 then ignore (Instance.add ins (Atom.make p [||])) else go 0)
+    (Schema.to_list schema);
+  ins
+
+(** The generic instance: one fact per predicate, with pairwise-distinct
+    fresh constants everywhere.  Dual to the critical instance — where the
+    critical instance maximizes term sharing, the generic one has none —
+    and useful for probing the restricted chase, which the
+    critical-instance reduction does not cover (a restricted chase can
+    terminate on crit(Σ) yet diverge on an all-distinct database). *)
+let generic_instance schema =
+  let ins = Instance.create () in
+  let counter = ref 0 in
+  List.iter
+    (fun (p, n) ->
+      let args =
+        Array.init n (fun _ ->
+            incr counter;
+            Term.Const (Fmt.str "g%d" !counter))
+      in
+      ignore (Instance.add ins (Atom.make p args)))
+    (Schema.to_list schema);
+  ins
+
+let generic_of_rules rules = generic_instance (Schema.of_rules rules)
+
+(** The constant set appropriate for a rule set: ✶, the constants the
+    rules themselves mention (Marnette's construction needs them — a body
+    constant never matches ✶), and 0, 1 in standard mode. *)
+let constants_for ?(standard = false) rules =
+  let base = if standard then standard_constants else plain_constants in
+  let rule_consts =
+    Util.Sset.fold
+      (fun c acc -> Term.Const c :: acc)
+      (Tgd.constants_of_rules rules) []
+  in
+  base @ List.filter (fun c -> not (List.mem c base)) rule_consts
+
+(** Critical instance for a rule set: schema inferred from the rules,
+    constant set per [constants_for] (unless overridden). *)
+let of_rules ?standard ?constants ?max_facts rules =
+  let constants =
+    match constants with
+    | Some cs -> cs
+    | None -> constants_for ?standard rules
+  in
+  instance ~constants ?max_facts (Schema.of_rules rules)

@@ -1,0 +1,42 @@
+(** The critical instance and its dual, the generic instance.
+
+    crit(S, C) contains every fact p(c̄) with p ∈ S and c̄ over the
+    constants C.  With C ⊇ consts(Σ) ∪ {✶} every database maps
+    homomorphically onto it, and since (semi-)oblivious chase steps are
+    preserved under homomorphisms, the ?-chase (? ∈ {o, so}) terminates on
+    every database iff it terminates on the critical instance (Marnette).
+    The paper's {e standard databases} add the constants 0 and 1.
+
+    The critical-instance reduction is {e not} sound for the restricted
+    chase, which is what {!generic_instance} is for. *)
+
+open Chase_logic
+
+val star : Term.t
+(** The distinguished constant ✶. *)
+
+val plain_constants : Term.t list
+val standard_constants : Term.t list
+
+exception Too_large of int
+
+val size : constants:Term.t list -> Schema.t -> int
+(** Number of facts crit(S, C) would contain. *)
+
+val instance :
+  ?standard:bool -> ?constants:Term.t list -> ?max_facts:int -> Schema.t -> Instance.t
+(** @raise Too_large above [max_facts] (default 1_000_000). *)
+
+val constants_for : ?standard:bool -> Tgd.t list -> Term.t list
+(** ✶, the constants the rules mention, and 0, 1 in standard mode. *)
+
+val of_rules :
+  ?standard:bool -> ?constants:Term.t list -> ?max_facts:int -> Tgd.t list -> Instance.t
+(** Critical instance of a rule set: schema inferred, constants per
+    {!constants_for} unless overridden. *)
+
+val generic_instance : Schema.t -> Instance.t
+(** One fact per predicate with pairwise-distinct fresh constants — the
+    hardest-to-block database shape for the restricted chase. *)
+
+val generic_of_rules : Tgd.t list -> Instance.t

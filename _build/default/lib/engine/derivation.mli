@@ -1,0 +1,21 @@
+(** Provenance of chase-produced facts: which rule fired, under which
+    homomorphism, from which parent facts, at which depth and step.  The
+    termination certificates of [Chase_termination] are found by walking
+    these records. *)
+
+type t = {
+  rule : Chase_logic.Tgd.t;
+  hom : Chase_logic.Subst.t;  (** the full body homomorphism *)
+  parents : Chase_logic.Atom.t list;  (** image of the body *)
+  guard_parent : Chase_logic.Atom.t option;
+      (** image of the guard atom, when the rule is guarded *)
+  depth : int;  (** 1 + max depth of parents; database facts have depth 0 *)
+  step : int;  (** sequence number of the trigger application *)
+  created_nulls : int list;  (** stamps of the nulls invented *)
+}
+
+val rule : t -> Chase_logic.Tgd.t
+val parents : t -> Chase_logic.Atom.t list
+val depth : t -> int
+val step : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** The chase with TGDs and EGDs — the full data-exchange setting.
+
+    Alternates restricted-chase rounds with EGD saturation (null merging)
+    until a joint fixpoint; fails when an EGD equates two distinct
+    constants.  Only the restricted variant is offered: EGD rewrites
+    invalidate incremental trigger state, and re-examining triggers is
+    only harmless when satisfied heads are skipped. *)
+
+open Chase_logic
+
+type status =
+  | Terminated  (** the result satisfies both the TGDs and the EGDs *)
+  | Failed of string  (** an EGD equated two distinct constants *)
+  | Budget_exhausted
+
+type result = {
+  instance : Instance.t;
+  status : status;
+  merges : int;  (** null-merging EGD applications *)
+  rounds : int;  (** TGD/EGD alternations *)
+  triggers_applied : int;
+}
+
+val default_config : Engine.config
+
+val run :
+  ?config:Engine.config -> tgds:Tgd.t list -> egds:Egd.t list -> Atom.t list -> result
+(** [config.variant] is ignored (always restricted). *)
+
+val satisfies_egds : Egd.t list -> Instance.t -> bool
+
+val pp_result : Format.formatter -> result -> unit

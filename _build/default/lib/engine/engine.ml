@@ -1,0 +1,223 @@
+(** The chase engine.
+
+    One fair (FIFO) worklist core drives all three variants; they differ
+    only in the trigger-deduplication key ([Variant]) and, for the
+    restricted chase, in an applicability test at fire time.
+
+    A {e trigger} is a pair (rule, homomorphism from the rule body into the
+    current instance).  The engine seeds the worklist with every trigger on
+    the input database, then, semi-naively, whenever a fact is added it
+    enqueues only the triggers whose body image uses that fact.  FIFO order
+    makes every run a fair chase sequence: a trigger enqueued at step [n]
+    is applied (or, for the restricted chase, found satisfied) after
+    finitely many steps. *)
+
+open Chase_logic
+
+type config = {
+  variant : Variant.t;
+  max_triggers : int;  (** stop after this many trigger applications *)
+  max_atoms : int;  (** stop once the instance reaches this many facts *)
+}
+
+let default_config =
+  { variant = Variant.Oblivious; max_triggers = 100_000; max_atoms = 200_000 }
+
+type status =
+  | Terminated  (** no unapplied trigger remains: the chase result is final *)
+  | Budget_exhausted  (** a resource budget was hit; the run is a prefix *)
+
+type result = {
+  instance : Instance.t;
+  status : status;
+  variant : Variant.t;
+  triggers_applied : int;
+  triggers_skipped : int;  (** restricted chase: triggers found satisfied *)
+  atoms_created : int;
+  nulls_created : int;
+  max_depth : int;
+  provenance : Derivation.t Atom.Tbl.t;
+      (** derivation record for every fact created by the chase (database
+          facts have no record) *)
+}
+
+let depth_of result a =
+  match Atom.Tbl.find_opt result.provenance a with
+  | Some d -> Derivation.depth d
+  | None -> 0
+
+(* A queued trigger: rule index plus the full body homomorphism. *)
+type trigger = {
+  t_rule : int;
+  t_sub : Subst.t;
+}
+
+let key_of_trigger rules variant tr =
+  let r = rules.(tr.t_rule) in
+  let sub =
+    match (variant : Variant.t) with
+    | Oblivious | Restricted -> tr.t_sub
+    | Semi_oblivious -> Subst.restrict tr.t_sub (Tgd.frontier r)
+  in
+  (tr.t_rule, Subst.to_list sub)
+
+(** [run ?config ?on_trigger rules db] chases the facts [db] with [rules].
+
+    The input list [db] is not mutated; the result instance is fresh.
+    Termination of the run is reported in [status]; when the configured
+    budgets are generous enough and the chase of the input terminates, the
+    result instance is the (finite) chase result, a universal model of the
+    database and the rules.
+
+    [on_trigger] is invoked after every trigger application with the step
+    number, the rule, the full body homomorphism, and the facts the
+    application actually added (possibly none, under set semantics) — the
+    hook behind {!Sequence}. *)
+let run ?(config = default_config) ?on_trigger rules db =
+  let rules = Array.of_list rules in
+  let instance = Instance.create () in
+  List.iter (fun a -> ignore (Instance.add instance a)) db;
+  let provenance = Atom.Tbl.create 1024 in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let null_counter = ref 0 in
+  let fresh_null () =
+    incr null_counter;
+    Term.Null !null_counter
+  in
+  let triggers_applied = ref 0 in
+  let triggers_skipped = ref 0 in
+  let atoms_created = ref 0 in
+  let max_depth = ref 0 in
+  let step_counter = ref 0 in
+  let enqueue tr =
+    let key = key_of_trigger rules config.variant tr in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.add tr queue
+    end
+  in
+  let enqueue_all_for_rule i =
+    Hom.iter instance (Tgd.body rules.(i)) (fun sub ->
+        enqueue { t_rule = i; t_sub = sub })
+  in
+  let enqueue_seeded_for_rule i seed =
+    Hom.iter_seeded instance (Tgd.body rules.(i)) ~seed (fun sub ->
+        enqueue { t_rule = i; t_sub = sub })
+  in
+  Array.iteri (fun i _ -> enqueue_all_for_rule i) rules;
+  let atom_depth a =
+    match Atom.Tbl.find_opt provenance a with
+    | Some d -> Derivation.depth d
+    | None -> 0
+  in
+  let head_satisfied r sub =
+    Hom.exists ~init:(Subst.restrict sub (Tgd.frontier r)) instance (Tgd.head r)
+  in
+  let apply tr =
+    let r = rules.(tr.t_rule) in
+    incr step_counter;
+    incr triggers_applied;
+    let created = ref [] in
+    let sub' =
+      Util.Sset.fold
+        (fun z acc ->
+          let n = fresh_null () in
+          (match n with Term.Null id -> created := id :: !created | _ -> ());
+          Subst.bind_exn acc z n)
+        (Tgd.existentials r) tr.t_sub
+    in
+    let parents = Subst.apply_atoms tr.t_sub (Tgd.body r) in
+    let guard_parent =
+      Option.map (Subst.apply_atom tr.t_sub) (Chase_classes.Classify.guard_of r)
+    in
+    let depth = 1 + List.fold_left (fun d a -> max d (atom_depth a)) 0 parents in
+    if depth > !max_depth then max_depth := depth;
+    let new_atoms = ref [] in
+    List.iter
+      (fun head_atom ->
+        let fact = Subst.apply_atom sub' head_atom in
+        if Instance.add instance fact then begin
+          incr atoms_created;
+          new_atoms := fact :: !new_atoms;
+          Atom.Tbl.replace provenance fact
+            {
+              Derivation.rule = r;
+              hom = tr.t_sub;
+              parents;
+              guard_parent;
+              depth;
+              step = !step_counter;
+              created_nulls = List.rev !created;
+            }
+        end)
+      (Tgd.head r);
+    (* Semi-naive trigger discovery: only homomorphisms using a new fact
+       can be new. *)
+    List.iter
+      (fun fact -> Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
+      (List.rev !new_atoms);
+    match on_trigger with
+    | Some f -> f ~step:!step_counter r tr.t_sub (List.rev !new_atoms)
+    | None -> ()
+  in
+  let budget_ok () =
+    !triggers_applied < config.max_triggers
+    && Instance.cardinal instance < config.max_atoms
+  in
+  let rec loop () =
+    if Queue.is_empty queue then Terminated
+    else if not (budget_ok ()) then Budget_exhausted
+    else begin
+      let tr = Queue.pop queue in
+      (match config.variant with
+      | Variant.Restricted when head_satisfied rules.(tr.t_rule) tr.t_sub ->
+        incr triggers_skipped
+      | Variant.Restricted | Variant.Oblivious | Variant.Semi_oblivious ->
+        apply tr);
+      loop ()
+    end
+  in
+  let status = loop () in
+  {
+    instance;
+    status;
+    variant = config.variant;
+    triggers_applied = !triggers_applied;
+    triggers_skipped = !triggers_skipped;
+    atoms_created = !atoms_created;
+    nulls_created = !null_counter;
+    max_depth = !max_depth;
+    provenance;
+  }
+
+(** [is_model rules ins]: every trigger on [ins] is satisfied — [ins]
+    contains an extension of every body match to a head match. *)
+let is_model rules ins =
+  List.for_all
+    (fun r ->
+      let ok = ref true in
+      Hom.iter ins (Tgd.body r) (fun sub ->
+          if
+            !ok
+            && not
+                 (Hom.exists
+                    ~init:(Subst.restrict sub (Tgd.frontier r))
+                    ins (Tgd.head r))
+          then ok := false);
+      !ok)
+    rules
+
+let pp_result fm r =
+  Fmt.pf fm
+    "@[<v>%a chase: %s@ facts: %d (created %d)@ triggers: %d applied%s@ nulls: \
+     %d@ max depth: %d@]"
+    Variant.pp r.variant
+    (match r.status with
+    | Terminated -> "terminated"
+    | Budget_exhausted -> "budget exhausted")
+    (Instance.cardinal r.instance)
+    r.atoms_created r.triggers_applied
+    (if r.triggers_skipped > 0 then Fmt.str ", %d skipped" r.triggers_skipped
+     else "")
+    r.nulls_created r.max_depth

@@ -1,0 +1,59 @@
+(** The chase engine: one fair (FIFO) worklist core driving all three
+    variants.
+
+    A {e trigger} is a pair (rule, homomorphism from the body into the
+    current instance).  The engine seeds the worklist with every trigger
+    on the input database and then, semi-naively, enqueues only triggers
+    whose body image uses a newly added fact.  FIFO order makes every run
+    a fair chase sequence.  Trigger deduplication follows the variant:
+    full homomorphism for the oblivious chase, frontier restriction for
+    the semi-oblivious; the restricted chase additionally skips triggers
+    whose head is satisfiable at fire time. *)
+
+open Chase_logic
+
+type config = {
+  variant : Variant.t;
+  max_triggers : int;  (** stop after this many trigger applications *)
+  max_atoms : int;  (** stop once the instance reaches this many facts *)
+}
+
+val default_config : config
+(** Oblivious, 100k triggers, 200k facts. *)
+
+type status =
+  | Terminated  (** no unapplied trigger remains: the result is final *)
+  | Budget_exhausted  (** a resource budget was hit; the run is a prefix *)
+
+type result = {
+  instance : Instance.t;
+  status : status;
+  variant : Variant.t;
+  triggers_applied : int;
+  triggers_skipped : int;  (** restricted chase: triggers found satisfied *)
+  atoms_created : int;
+  nulls_created : int;
+  max_depth : int;
+  provenance : Derivation.t Atom.Tbl.t;
+      (** derivation record for every fact created by the chase *)
+}
+
+val run :
+  ?config:config ->
+  ?on_trigger:(step:int -> Tgd.t -> Subst.t -> Atom.t list -> unit) ->
+  Tgd.t list ->
+  Atom.t list ->
+  result
+(** [run rules db] chases the facts [db]; the input list is not mutated.
+    When the run terminates, the result instance is a (finite) universal
+    model of the database and the rules.  [on_trigger] fires after every
+    trigger application with the step number, rule, full body
+    homomorphism, and the facts actually added (see {!Sequence}). *)
+
+val depth_of : result -> Atom.t -> int
+(** Chase depth of a fact; database facts have depth 0. *)
+
+val is_model : Tgd.t list -> Instance.t -> bool
+(** Every body match extends to a head match. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,45 @@
+(** First-class chase sequences — the I₀, I₁, …, Iₙ formalism of the
+    paper's §2, captured from engine runs and checkable against the
+    definition's clauses. *)
+
+open Chase_logic
+
+type step = {
+  index : int;  (** 1-based position in the sequence *)
+  rule : Tgd.t;
+  hom : Subst.t;  (** the full body homomorphism *)
+  added : Atom.t list;  (** facts new in I_{i+1} (possibly empty) *)
+}
+
+type t = {
+  initial : Atom.t list;  (** I₀ *)
+  steps : step list;  (** in application order *)
+  complete : bool;  (** the run drained the worklist *)
+  variant : Variant.t;
+}
+
+val record :
+  ?config:Engine.config ->
+  ?variant:Variant.t ->
+  Tgd.t list ->
+  Atom.t list ->
+  t * Engine.result
+(** Run the chase and capture the sequence of trigger applications. *)
+
+val length : t -> int
+
+val instances : t -> Atom.t list list
+(** I₀, I₁, … reconstructed (quadratic in space — use on small runs). *)
+
+val no_repeated_trigger : t -> bool
+(** Clause (ii): no trigger applied twice, modulo the variant's trigger
+    identity. *)
+
+val steps_are_valid : t -> bool
+(** Clause (i): every step's homomorphism maps its body into the current
+    instance. *)
+
+val exhaustive : t -> Tgd.t list -> bool
+(** Clause (iii) for terminating sequences. *)
+
+val pp : Format.formatter -> t -> unit

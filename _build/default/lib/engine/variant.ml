@@ -1,0 +1,34 @@
+(** The chase variants studied by the paper, plus the restricted chase
+    (§4 / future work).
+
+    The variants differ only in when two triggers are considered the same —
+    equivalently, in the key under which a trigger is deduplicated:
+
+    - {b oblivious}: the key is the full body homomorphism; every distinct
+      homomorphism fires exactly once, unconditionally;
+    - {b semi-oblivious}: the key is the homomorphism restricted to the
+      frontier; homomorphisms agreeing on the frontier are
+      indistinguishable (this is the Skolem chase of Marnette);
+    - {b restricted}: keyed like the oblivious chase, but a trigger only
+      fires if its head is not already satisfied by an extension of the
+      frontier assignment. *)
+
+type t =
+  | Oblivious
+  | Semi_oblivious
+  | Restricted
+
+let to_string = function
+  | Oblivious -> "oblivious"
+  | Semi_oblivious -> "semi-oblivious"
+  | Restricted -> "restricted"
+
+let pp fm v = Fmt.string fm (to_string v)
+
+let all = [ Oblivious; Semi_oblivious; Restricted ]
+
+let of_string = function
+  | "oblivious" | "o" -> Some Oblivious
+  | "semi-oblivious" | "so" | "semioblivious" | "skolem" -> Some Semi_oblivious
+  | "restricted" | "r" | "standard" -> Some Restricted
+  | _ -> None

@@ -1,0 +1,16 @@
+(** The chase variants studied by the paper, plus the restricted chase
+    (§4 / future work).  The variants differ only in when two triggers are
+    considered the same — see {!Engine}. *)
+
+type t =
+  | Oblivious  (** key = full body homomorphism *)
+  | Semi_oblivious  (** key = homomorphism restricted to the frontier *)
+  | Restricted  (** fires only when the head is not already satisfied *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list
+
+val of_string : string -> t option
+(** Accepts the full names and the abbreviations [o], [so], [skolem],
+    [r], [standard]. *)

@@ -1,0 +1,1 @@
+lib/generators/families.ml: Atom Chase_logic Fmt List Term Tgd

@@ -1,0 +1,1 @@
+lib/generators/families.mli: Chase_logic Tgd

@@ -1,0 +1,1 @@
+lib/generators/random_tgds.ml: Atom Chase_logic Fmt List Random Term Tgd

@@ -1,0 +1,1 @@
+lib/generators/random_tgds.mli: Chase_logic Tgd

@@ -1,0 +1,124 @@
+(** Seeded random rule-set generators.
+
+    Used by the property-based tests and the agreement experiments: the
+    exact decision procedures are compared against the chase-simulation
+    oracle on thousands of random sets.  All generators are deterministic
+    functions of the seed. *)
+
+open Chase_logic
+
+type profile = {
+  n_rules : int;
+  n_preds : int;
+  max_arity : int;
+  simple : bool;  (** forbid repeated body variables *)
+  existential_bias : float;  (** probability a head position is existential *)
+  max_body : int;  (** body atoms per rule (guarded generator only) *)
+  max_head : int;  (** head atoms per rule *)
+}
+
+let default_profile =
+  {
+    n_rules = 3;
+    n_preds = 3;
+    max_arity = 3;
+    simple = false;
+    existential_bias = 0.4;
+    max_body = 2;
+    max_head = 2;
+  }
+
+let pred_name i = Fmt.str "p%d" i
+
+(* Predicate arities are a deterministic function of the profile so that
+   all rules of a set agree. *)
+let arity_of profile i = 1 + ((i * 7) mod profile.max_arity)
+
+let var i = Term.Var (Fmt.str "V%d" i)
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(** A random linear rule: a single body atom, head atoms over the frontier
+    and fresh existentials. *)
+let linear_rule st profile idx =
+  let body_pred = Random.State.int st profile.n_preds in
+  let body_arity = arity_of profile body_pred in
+  (* body variables: distinct when simple, possibly repeated otherwise *)
+  let n_body_vars =
+    if profile.simple then body_arity
+    else 1 + Random.State.int st (max 1 body_arity)
+  in
+  let body_args =
+    if profile.simple then List.init body_arity var
+    else List.init body_arity (fun _ -> var (Random.State.int st n_body_vars))
+  in
+  let body_vars =
+    List.sort_uniq compare
+      (List.filter_map (function Term.Var v -> Some v | _ -> None) body_args)
+  in
+  let n_head = 1 + Random.State.int st profile.max_head in
+  let existential_counter = ref 0 in
+  let head_arg () =
+    if Random.State.float st 1.0 < profile.existential_bias then begin
+      incr existential_counter;
+      (* a small pool of existentials so they can be shared/repeated *)
+      Term.Var (Fmt.str "Z%d" (1 + Random.State.int st (max 1 !existential_counter)))
+    end
+    else Term.Var (pick st body_vars)
+  in
+  let head =
+    List.init n_head (fun _ ->
+        let p = Random.State.int st profile.n_preds in
+        Atom.of_list (pred_name p) (List.init (arity_of profile p) (fun _ -> head_arg ())))
+  in
+  Tgd.make_exn
+    ~name:(Fmt.str "r%d" idx)
+    ~body:[ Atom.of_list (pred_name body_pred) body_args ]
+    ~head ()
+
+(** A random guarded rule: a guard atom over distinct variables plus side
+    atoms over subsets of the guard variables. *)
+let guarded_rule st profile idx =
+  let guard_pred = Random.State.int st profile.n_preds in
+  let guard_arity = arity_of profile guard_pred in
+  let guard_args = List.init guard_arity var in
+  let guard_vars = List.init guard_arity (fun i -> Fmt.str "V%d" i) in
+  let n_side = Random.State.int st profile.max_body in
+  let side =
+    List.init n_side (fun _ ->
+        let p = Random.State.int st profile.n_preds in
+        Atom.of_list (pred_name p)
+          (List.init (arity_of profile p) (fun _ -> Term.Var (pick st guard_vars))))
+  in
+  let n_head = 1 + Random.State.int st profile.max_head in
+  let existential_counter = ref 0 in
+  let head_arg () =
+    if Random.State.float st 1.0 < profile.existential_bias then begin
+      incr existential_counter;
+      Term.Var (Fmt.str "Z%d" (1 + Random.State.int st (max 1 !existential_counter)))
+    end
+    else Term.Var (pick st guard_vars)
+  in
+  let head =
+    List.init n_head (fun _ ->
+        let p = Random.State.int st profile.n_preds in
+        Atom.of_list (pred_name p) (List.init (arity_of profile p) (fun _ -> head_arg ())))
+  in
+  Tgd.make_exn
+    ~name:(Fmt.str "r%d" idx)
+    ~body:(Atom.of_list (pred_name guard_pred) guard_args :: side)
+    ~head ()
+
+let rule_set rule_gen ~seed ?(profile = default_profile) () =
+  let st = Random.State.make [| seed |] in
+  List.init profile.n_rules (fun i -> rule_gen st profile i)
+
+(** Random simple linear set. *)
+let simple_linear ~seed ?(profile = default_profile) () =
+  rule_set linear_rule ~seed ~profile:{ profile with simple = true } ()
+
+(** Random linear set (repeated body variables allowed). *)
+let linear ~seed ?profile () = rule_set linear_rule ~seed ?profile ()
+
+(** Random guarded set. *)
+let guarded ~seed ?profile () = rule_set guarded_rule ~seed ?profile ()

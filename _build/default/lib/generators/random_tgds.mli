@@ -1,0 +1,21 @@
+(** Seeded random rule-set generators, deterministic in the seed; used by
+    the property-based tests and the agreement experiments. *)
+
+open Chase_logic
+
+type profile = {
+  n_rules : int;
+  n_preds : int;
+  max_arity : int;
+  simple : bool;  (** forbid repeated body variables *)
+  existential_bias : float;  (** probability a head position is existential *)
+  max_body : int;  (** extra body atoms (guarded generator) *)
+  max_head : int;  (** head atoms per rule *)
+}
+
+val default_profile : profile
+(** 3 rules, 3 predicates, arity ≤ 3, bias 0.4. *)
+
+val simple_linear : seed:int -> ?profile:profile -> unit -> Tgd.t list
+val linear : seed:int -> ?profile:profile -> unit -> Tgd.t list
+val guarded : seed:int -> ?profile:profile -> unit -> Tgd.t list

@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Array Fmt Hashtbl Map Set String Term Util

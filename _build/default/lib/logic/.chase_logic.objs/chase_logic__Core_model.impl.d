@@ -1,0 +1,1 @@
+lib/logic/core_model.ml: Atom Hom Instance List Option Subst Term

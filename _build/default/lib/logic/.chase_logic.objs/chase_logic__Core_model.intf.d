@@ -1,0 +1,1 @@
+lib/logic/core_model.mli: Instance

@@ -1,0 +1,1 @@
+lib/logic/egd.ml: Atom Fmt List Stdlib String Util

@@ -1,0 +1,1 @@
+lib/logic/egd.mli: Atom Format Util

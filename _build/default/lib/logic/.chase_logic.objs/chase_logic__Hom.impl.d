@@ -1,0 +1,1 @@
+lib/logic/hom.ml: Array Atom Instance List String Subst Term

@@ -1,0 +1,1 @@
+lib/logic/hom.mli: Atom Instance Subst Term

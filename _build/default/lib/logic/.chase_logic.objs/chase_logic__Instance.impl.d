@@ -1,0 +1,1 @@
+lib/logic/instance.ml: Array Atom Fmt Hashtbl List Term Util

@@ -1,0 +1,1 @@
+lib/logic/instance.mli: Atom Format Term

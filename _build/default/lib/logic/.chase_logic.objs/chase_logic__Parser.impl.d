@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Atom Egd Fmt List String Term Tgd

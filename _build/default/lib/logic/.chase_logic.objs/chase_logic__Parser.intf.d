@@ -1,0 +1,1 @@
+lib/logic/parser.mli: Atom Egd Tgd

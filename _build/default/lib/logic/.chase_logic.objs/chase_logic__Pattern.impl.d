@@ -1,0 +1,1 @@
+lib/logic/pattern.ml: Array Atom Fmt Fun Hashtbl Int List Map Set String Term Util

@@ -1,0 +1,1 @@
+lib/logic/pattern.mli: Atom Format Map Set Term

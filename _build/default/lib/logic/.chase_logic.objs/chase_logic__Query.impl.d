@@ -1,0 +1,1 @@
+lib/logic/query.ml: Atom Fmt Hom Instance List String Subst Term Util

@@ -1,0 +1,1 @@
+lib/logic/query.mli: Atom Format Instance Term Tgd Util

@@ -1,0 +1,1 @@
+lib/logic/schema.ml: Fmt Instance List Tgd Util

@@ -1,0 +1,1 @@
+lib/logic/schema.mli: Format Instance Tgd

@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Atom Fmt List Term Util

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Fmt Hashtbl Int Map Set String Util

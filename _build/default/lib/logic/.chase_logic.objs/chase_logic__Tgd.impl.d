@@ -1,0 +1,1 @@
+lib/logic/tgd.ml: Array Atom Fmt Hashtbl Int List String Term Util

@@ -1,0 +1,1 @@
+lib/logic/util.ml: Array Fmt Int Map Set String

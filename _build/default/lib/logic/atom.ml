@@ -1,0 +1,97 @@
+(** Atoms: a predicate symbol applied to a tuple of terms.
+
+    Atoms are immutable; the argument array must not be mutated after
+    construction ([make] copies its input when needed is the caller's
+    responsibility — use [of_list] for a safe constructor). *)
+
+type t = {
+  pred : string;
+  args : Term.t array;
+}
+
+let make pred args = { pred; args }
+let of_list pred args = { pred; args = Array.of_list args }
+let pred a = a.pred
+let args a = a.args
+let arity a = Array.length a.args
+let arg a i = a.args.(i)
+
+let compare a1 a2 =
+  let c = String.compare a1.pred a2.pred in
+  if c <> 0 then c else Util.array_compare Term.compare a1.args a2.args
+
+let equal a1 a2 =
+  String.equal a1.pred a2.pred && Util.array_for_all2 Term.equal a1.args a2.args
+
+let hash a =
+  Util.hash_fold_array Term.hash (Hashtbl.hash a.pred) a.args
+
+(** All terms of the atom, left to right, with duplicates. *)
+let term_list a = Array.to_list a.args
+
+(** The set of terms occurring in the atom. *)
+let term_set a = Array.fold_left (fun s t -> Term.Set.add t s) Term.Set.empty a.args
+
+(** The set of variable names occurring in the atom. *)
+let var_set a =
+  Array.fold_left
+    (fun s t -> match t with Term.Var v -> Util.Sset.add v s | Term.Const _ | Term.Null _ -> s)
+    Util.Sset.empty a.args
+
+(** [positions_of_term a t] is the list of argument indices holding [t]. *)
+let positions_of_term a t =
+  let acc = ref [] in
+  for i = Array.length a.args - 1 downto 0 do
+    if Term.equal a.args.(i) t then acc := i :: !acc
+  done;
+  !acc
+
+(** True when the atom contains no variables and no nulls. *)
+let is_ground a = Array.for_all Term.is_const a.args
+
+(** True when the atom contains no variables (nulls allowed). *)
+let is_fact a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+(** True when some argument is a null. *)
+let has_null a = Array.exists Term.is_null a.args
+
+(** [map_terms f a] applies [f] to every argument. *)
+let map_terms f a = { a with args = Array.map f a.args }
+
+(** True iff no variable occurs twice among the arguments (constants and
+    nulls may repeat).  Used by the simple-linearity check. *)
+let no_repeated_var a =
+  let seen = Hashtbl.create 8 in
+  let ok = ref true in
+  Array.iter
+    (fun t ->
+      match t with
+      | Term.Var v ->
+        if Hashtbl.mem seen v then ok := false else Hashtbl.add seen v ()
+      | Term.Const _ | Term.Null _ -> ())
+    a.args;
+  !ok
+
+let pp fm a =
+  if Array.length a.args = 0 then Fmt.pf fm "%s()" a.pred
+  else Fmt.pf fm "%s(%a)" a.pred (Util.pp_list ", " Term.pp) (Array.to_list a.args)
+
+let to_string a = Fmt.str "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,52 @@
+(** Atoms: a predicate symbol applied to a tuple of terms.
+
+    Atoms are immutable values; two atoms are equal iff they have the same
+    predicate and argument tuples.  A {e fact} is an atom without
+    variables (nulls allowed); a {e ground} atom has constants only. *)
+
+type t
+
+val make : string -> Term.t array -> t
+(** [make pred args] wraps the array without copying; the caller must not
+    mutate it afterwards.  Use {!of_list} for a safe constructor. *)
+
+val of_list : string -> Term.t list -> t
+
+val pred : t -> string
+val args : t -> Term.t array
+val arity : t -> int
+val arg : t -> int -> Term.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val term_list : t -> Term.t list
+(** All arguments left to right, with duplicates. *)
+
+val term_set : t -> Term.Set.t
+val var_set : t -> Util.Sset.t
+
+val positions_of_term : t -> Term.t -> int list
+(** Argument indices holding the given term, ascending. *)
+
+val is_ground : t -> bool
+(** No variables and no nulls. *)
+
+val is_fact : t -> bool
+(** No variables (nulls allowed). *)
+
+val has_null : t -> bool
+
+val map_terms : (Term.t -> Term.t) -> t -> t
+
+val no_repeated_var : t -> bool
+(** No variable occurs twice among the arguments — the simple-linearity
+    condition on rule bodies. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

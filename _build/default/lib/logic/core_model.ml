@@ -1,0 +1,85 @@
+(** Cores of finite instances.
+
+    The {e core} of an instance is its smallest retract: the unique (up to
+    isomorphism) minimal sub-instance it maps into homomorphically.  Chase
+    results are universal models but usually redundant — the oblivious
+    chase in particular re-invents nulls per trigger — and the core is the
+    canonical redundancy-free universal model (Fagin, Kolaitis, Popa:
+    "Data exchange: getting to the core").
+
+    The computation repeatedly looks for a {e folding} endomorphism: a
+    constant-fixing homomorphism of the instance into itself whose image
+    loses at least one fact.  For each null n and candidate target t we
+    enumerate homomorphisms pinned with n ↦ t and keep the first one that
+    shrinks the instance; if no pin admits a shrinking endomorphism the
+    instance is its own core (any non-surjective endomorphism moves some
+    null, so some pin would have exhibited one).  Worst-case exponential,
+    as core computation must be (it is coNP-hard in general); intended for
+    the moderate instances produced by chasing. *)
+
+let null_var n = "!null" ^ string_of_int n
+
+(* The instance as a conjunctive pattern: nulls become variables. *)
+let patterns_of ins =
+  List.map
+    (fun a ->
+      Atom.map_terms
+        (fun t -> match t with Term.Null n -> Term.Var (null_var n) | _ -> t)
+        a)
+    (Instance.to_list ins)
+
+let nulls_of ins = Term.Set.filter Term.is_null (Instance.term_set ins)
+
+(* Apply an endomorphism (as a substitution over null variables) to the
+   instance; returns the image as a new instance. *)
+let image sub ins =
+  let map_term t =
+    match t with
+    | Term.Null n -> (
+      match Subst.find_opt (null_var n) sub with Some t' -> t' | None -> t)
+    | Term.Const _ | Term.Var _ -> t
+  in
+  let img = Instance.create () in
+  Instance.iter (fun a -> ignore (Instance.add img (Atom.map_terms map_term a))) ins;
+  img
+
+exception Found of Instance.t
+
+(* One folding step: an endomorphism that strictly shrinks the instance,
+   if any. *)
+let fold_step ins =
+  let pats = patterns_of ins in
+  let nulls = nulls_of ins in
+  let targets = Term.Set.elements (Instance.term_set ins) in
+  try
+    Term.Set.iter
+      (fun n_term ->
+        let n = match n_term with Term.Null n -> n | _ -> assert false in
+        List.iter
+          (fun t ->
+            if not (Term.equal t n_term) then
+              match Subst.bind Subst.empty (null_var n) t with
+              | None -> ()
+              | Some init ->
+                Hom.iter ~init ins pats (fun sub ->
+                    let img = image sub ins in
+                    if Instance.cardinal img < Instance.cardinal ins then
+                      raise (Found img)))
+          targets)
+      nulls;
+    None
+  with Found img -> Some img
+
+(** The core of a finite instance.  The input is not mutated. *)
+let rec core ins =
+  match fold_step ins with
+  | None -> ins
+  | Some smaller -> core smaller
+
+(** [is_core ins]: no folding endomorphism exists. *)
+let is_core ins = Option.is_none (fold_step ins)
+
+(** [equivalent i1 i2]: homomorphically equivalent (same core up to
+    isomorphism). *)
+let equivalent i1 i2 =
+  Option.is_some (Hom.instance_hom i1 i2) && Option.is_some (Hom.instance_hom i2 i1)

@@ -1,0 +1,12 @@
+(** Cores of finite instances: the canonical redundancy-free universal
+    model (smallest retract).  Worst-case exponential, intended for the
+    moderate instances produced by chasing. *)
+
+val core : Instance.t -> Instance.t
+(** The core; the input is not mutated. *)
+
+val is_core : Instance.t -> bool
+(** No folding endomorphism exists. *)
+
+val equivalent : Instance.t -> Instance.t -> bool
+(** Homomorphic equivalence (same core up to isomorphism). *)

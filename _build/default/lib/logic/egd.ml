@@ -1,0 +1,67 @@
+(** Equality-generating dependencies (EGDs).
+
+    An EGD ∀X (φ(X) → x = y) asserts that whenever the body matches, the
+    images of x and y must be equal.  During the chase an EGD application
+    either merges a null with another term or {e fails} when it equates
+    two distinct constants.  EGDs are the other half of classical data
+    exchange constraints (functional dependencies, keys); the paper's
+    termination theory is about TGDs, but a usable chase toolkit needs
+    both — see {!Chase_engine.Egd_chase}. *)
+
+type t = {
+  name : string;
+  body : Atom.t list;
+  equalities : (string * string) list;  (** pairs of body variables *)
+}
+
+let name e = e.name
+let body e = e.body
+let equalities e = e.equalities
+
+let body_vars e =
+  List.fold_left (fun s a -> Util.Sset.union s (Atom.var_set a)) Util.Sset.empty e.body
+
+(** [make ?name ~body ~equalities ()] validates that the body is
+    non-empty and every equated variable occurs in the body. *)
+let make ?(name = "") ~body ~equalities () =
+  if body = [] then Error "EGD body must be non-empty"
+  else if equalities = [] then Error "EGD must equate at least one pair"
+  else if List.exists Atom.has_null body then Error "EGD must not contain nulls"
+  else begin
+    let bv =
+      List.fold_left
+        (fun s a -> Util.Sset.union s (Atom.var_set a))
+        Util.Sset.empty body
+    in
+    let unsafe =
+      List.concat_map
+        (fun (x, y) ->
+          List.filter (fun v -> not (Util.Sset.mem v bv)) [ x; y ])
+        equalities
+    in
+    match unsafe with
+    | [] -> Ok { name; body; equalities }
+    | v :: _ -> Error (Fmt.str "equated variable %s does not occur in the body" v)
+  end
+
+let make_exn ?name ~body ~equalities () =
+  match make ?name ~body ~equalities () with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Egd.make_exn: " ^ msg)
+
+let compare e1 e2 =
+  let c = Util.list_compare Atom.compare e1.body e2.body in
+  if c <> 0 then c else Stdlib.compare e1.equalities e2.equalities
+
+let equal e1 e2 = compare e1 e2 = 0
+
+let pp fm e =
+  let pp_eq fm (x, y) = Fmt.pf fm "%s = %s" x y in
+  if String.equal e.name "" then
+    Fmt.pf fm "@[%a -> %a@]" (Util.pp_list ", " Atom.pp) e.body
+      (Util.pp_list ", " pp_eq) e.equalities
+  else
+    Fmt.pf fm "@[%s: %a -> %a@]" e.name (Util.pp_list ", " Atom.pp) e.body
+      (Util.pp_list ", " pp_eq) e.equalities
+
+let to_string e = Fmt.str "%a" pp e

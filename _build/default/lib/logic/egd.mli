@@ -1,0 +1,29 @@
+(** Equality-generating dependencies: ∀X (φ(X) → x = y).  During the
+    chase an EGD application merges a null with another term, or fails
+    when it equates two distinct constants.  See
+    [Chase_engine.Egd_chase]. *)
+
+type t
+
+val make :
+  ?name:string ->
+  body:Atom.t list ->
+  equalities:(string * string) list ->
+  unit ->
+  (t, string) result
+(** Body non-empty, no nulls, every equated variable occurs in the
+    body. *)
+
+val make_exn :
+  ?name:string -> body:Atom.t list -> equalities:(string * string) list -> unit -> t
+
+val name : t -> string
+val body : t -> Atom.t list
+val equalities : t -> (string * string) list
+val body_vars : t -> Util.Sset.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

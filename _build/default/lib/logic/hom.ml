@@ -1,0 +1,149 @@
+(** Homomorphism search: matching conjunctions of atoms into instances.
+
+    The search is a straightforward backtracking join.  Body atoms are
+    processed left to right; for each atom we enumerate candidate facts,
+    using the (predicate, position, term) index when some argument is
+    already determined by the partial substitution.  For the workloads of
+    this library (rule bodies of a handful of atoms) this is entirely
+    adequate; no join reordering is attempted beyond preferring an atom
+    with a bound argument. *)
+
+(** [match_atom sub pat fact] extends [sub] so that [sub pat = fact];
+    [None] if impossible. *)
+let match_atom sub pat fact =
+  if
+    (not (String.equal (Atom.pred pat) (Atom.pred fact)))
+    || Atom.arity pat <> Atom.arity fact
+  then None
+  else
+    let n = Atom.arity pat in
+    let rec go i sub =
+      if i >= n then Some sub
+      else
+        match Atom.arg pat i with
+        | Term.Var v -> (
+          match Subst.bind sub v (Atom.arg fact i) with
+          | Some sub' -> go (i + 1) sub'
+          | None -> None)
+        | (Term.Const _ | Term.Null _) as t ->
+          if Term.equal t (Atom.arg fact i) then go (i + 1) sub else None
+    in
+    go 0 sub
+
+(** Candidate facts for [pat] under partial substitution [sub], using the
+    narrowest available index. *)
+let candidates ins sub pat =
+  let n = Atom.arity pat in
+  let rec find_bound i =
+    if i >= n then None
+    else
+      match Atom.arg pat i with
+      | Term.Var v -> (
+        match Subst.find_opt v sub with
+        | Some t -> Some (i, t)
+        | None -> find_bound (i + 1))
+      | (Term.Const _ | Term.Null _) as t -> Some (i, t)
+  in
+  match find_bound 0 with
+  | Some (i, t) -> Instance.atoms_matching ins (Atom.pred pat) i t
+  | None -> Instance.atoms_of_pred ins (Atom.pred pat)
+
+exception Stop
+
+(** [iter ?init ins pats f] calls [f] on every substitution [s] extending
+    [init] with [s pats ⊆ ins]. *)
+let iter ?(init = Subst.empty) ins pats f =
+  let rec go pats sub =
+    match pats with
+    | [] -> f sub
+    | pat :: rest ->
+      List.iter
+        (fun fact ->
+          match match_atom sub pat fact with
+          | Some sub' -> go rest sub'
+          | None -> ())
+        (candidates ins sub pat)
+  in
+  go pats init
+
+(** [iter_seeded ?init ins pats ~seed f] is like [iter] but only yields
+    substitutions in which at least one body atom is mapped to the fact
+    [seed].  This is the semi-naive primitive of the chase engine: when a
+    new fact arrives, only homomorphisms using it can be new. *)
+let iter_seeded ?(init = Subst.empty) ins pats ~seed f =
+  let n = List.length pats in
+  (* For each choice of the atom pinned to [seed], enumerate the rest, and
+     require pinned-position minimality to avoid emitting the same
+     substitution once per body atom it maps onto [seed]: the pinned atom
+     must be the first body atom mapped to [seed]. *)
+  let pats_arr = Array.of_list pats in
+  for pin = 0 to n - 1 do
+    match match_atom init pats_arr.(pin) seed with
+    | None -> ()
+    | Some sub0 ->
+      let rec go i sub =
+        if i >= n then f sub
+        else if i = pin then go (i + 1) sub
+        else
+          List.iter
+            (fun fact ->
+              if i < pin && Atom.equal fact seed then ()
+                (* an earlier atom matching [seed] is handled by a smaller
+                   [pin]; skip to avoid duplicates *)
+              else
+                match match_atom sub pats_arr.(i) fact with
+                | Some sub' -> go (i + 1) sub'
+                | None -> ())
+            (candidates ins sub pats_arr.(i))
+      in
+      go 0 sub0
+  done
+
+let all ?init ins pats =
+  let acc = ref [] in
+  iter ?init ins pats (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let exists ?init ins pats =
+  try
+    iter ?init ins pats (fun _ -> raise Stop);
+    false
+  with Stop -> true
+
+(** [find ?init ins pats] is the first substitution found, if any. *)
+let find ?init ins pats =
+  let res = ref None in
+  (try iter ?init ins pats (fun s -> res := Some s; raise Stop) with Stop -> ());
+  !res
+
+(** [instance_hom src dst] searches for a homomorphism from instance [src]
+    to instance [dst]: a map on terms that is the identity on constants,
+    maps nulls anywhere, and sends every fact of [src] to a fact of [dst].
+    Returns the witness as a term map.  This is the universality test used
+    by the model-theory test-suite; it is exponential in the worst case. *)
+let instance_hom src dst =
+  (* Recast nulls of [src] as variables and reuse the conjunctive matcher. *)
+  let var_of_null n = "!null" ^ string_of_int n in
+  let as_pattern a =
+    Atom.map_terms
+      (fun t -> match t with Term.Null n -> Term.Var (var_of_null n) | _ -> t)
+      a
+  in
+  let pats = List.map as_pattern (Instance.to_list src) in
+  match find dst pats with
+  | None -> None
+  | Some sub ->
+    let null_of_var v =
+      if String.length v > 5 && String.equal (String.sub v 0 5) "!null" then
+        int_of_string_opt (String.sub v 5 (String.length v - 5))
+      else None
+    in
+    let map =
+      List.fold_left
+        (fun acc (v, t) ->
+          match null_of_var v with
+          | Some n -> Term.Map.add (Term.Null n) t acc
+          | None -> acc)
+        Term.Map.empty (Subst.to_list sub)
+    in
+    Some map

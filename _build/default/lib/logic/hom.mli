@@ -1,0 +1,29 @@
+(** Homomorphism search: matching conjunctions of atoms into instances.
+
+    A backtracking join over the instance indexes; adequate for rule
+    bodies of a handful of atoms.  All searches extend an optional initial
+    substitution, which is how frontier-restricted matching (restricted
+    chase satisfaction, semi-oblivious keys) reuses the same machinery. *)
+
+val match_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
+(** [match_atom sub pattern fact] extends [sub] so that the pattern maps
+    onto the fact; [None] if impossible. *)
+
+val iter : ?init:Subst.t -> Instance.t -> Atom.t list -> (Subst.t -> unit) -> unit
+(** Call the continuation on every substitution mapping all atoms into
+    the instance. *)
+
+val iter_seeded :
+  ?init:Subst.t -> Instance.t -> Atom.t list -> seed:Atom.t -> (Subst.t -> unit) -> unit
+(** Like {!iter} but only substitutions mapping at least one atom onto
+    [seed] — the semi-naive primitive of the chase engine.  Each
+    qualifying substitution is produced exactly once. *)
+
+val all : ?init:Subst.t -> Instance.t -> Atom.t list -> Subst.t list
+val exists : ?init:Subst.t -> Instance.t -> Atom.t list -> bool
+val find : ?init:Subst.t -> Instance.t -> Atom.t list -> Subst.t option
+
+val instance_hom : Instance.t -> Instance.t -> Term.t Term.Map.t option
+(** A homomorphism between instances: identity on constants, nulls map
+    anywhere, every fact of the source maps to a fact of the target.
+    This is the universal-model test; exponential in the worst case. *)

@@ -1,0 +1,107 @@
+(** Instances: mutable, indexed sets of facts (variable-free atoms).
+
+    The chase engine spends essentially all of its time adding atoms and
+    enumerating candidate atoms for body matching, so the representation
+    keeps, besides the membership table, a per-predicate bucket and a
+    per-(predicate, position, term) index used to narrow matching when a
+    body atom already has a bound argument. *)
+
+type t = {
+  all : unit Atom.Tbl.t;  (** membership *)
+  by_pred : (string, Atom.t list ref) Hashtbl.t;
+  by_pred_pos_term : (string * int * Term.t, Atom.t list ref) Hashtbl.t;
+  by_term : (Term.t, Atom.t list ref) Hashtbl.t;
+  mutable size : int;
+}
+
+let create ?(initial_capacity = 256) () =
+  {
+    all = Atom.Tbl.create initial_capacity;
+    by_pred = Hashtbl.create 32;
+    by_pred_pos_term = Hashtbl.create initial_capacity;
+    by_term = Hashtbl.create initial_capacity;
+    size = 0;
+  }
+
+let mem ins a = Atom.Tbl.mem ins.all a
+let cardinal ins = ins.size
+
+let bucket tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add tbl key r;
+    r
+
+(** [add ins a] inserts [a]; returns [true] iff the atom is new.  Raises
+    [Invalid_argument] if [a] contains a variable. *)
+let add ins a =
+  if not (Atom.is_fact a) then invalid_arg "Instance.add: atom contains a variable";
+  if Atom.Tbl.mem ins.all a then false
+  else begin
+    Atom.Tbl.add ins.all a ();
+    ins.size <- ins.size + 1;
+    let b = bucket ins.by_pred (Atom.pred a) in
+    b := a :: !b;
+    Array.iteri
+      (fun i t ->
+        let b = bucket ins.by_pred_pos_term (Atom.pred a, i, t) in
+        b := a :: !b)
+      (Atom.args a);
+    Term.Set.iter
+      (fun t ->
+        let b = bucket ins.by_term t in
+        b := a :: !b)
+      (Atom.term_set a);
+    true
+  end
+
+let add_all ins atoms = List.iter (fun a -> ignore (add ins a)) atoms
+
+let of_list atoms =
+  let ins = create () in
+  add_all ins atoms;
+  ins
+
+let atoms_of_pred ins p =
+  match Hashtbl.find_opt ins.by_pred p with Some r -> !r | None -> []
+
+(** [atoms_matching ins p i t] are the atoms of predicate [p] whose [i]-th
+    argument is exactly the term [t]. *)
+let atoms_matching ins p i t =
+  match Hashtbl.find_opt ins.by_pred_pos_term (p, i, t) with
+  | Some r -> !r
+  | None -> []
+
+(** [atoms_containing ins t] are the atoms in which term [t] occurs. *)
+let atoms_containing ins t =
+  match Hashtbl.find_opt ins.by_term t with Some r -> !r | None -> []
+
+let iter f ins = Atom.Tbl.iter (fun a () -> f a) ins.all
+let fold f ins init = Atom.Tbl.fold (fun a () acc -> f a acc) ins.all init
+let to_list ins = fold (fun a acc -> a :: acc) ins []
+let to_sorted_list ins = List.sort Atom.compare (to_list ins)
+
+let copy ins = of_list (to_list ins)
+
+(** All predicates with at least one fact, with their arities. *)
+let predicates ins =
+  Hashtbl.fold
+    (fun p r acc ->
+      match !r with [] -> acc | a :: _ -> (p, Atom.arity a) :: acc)
+    ins.by_pred []
+
+(** The set of all terms occurring in the instance. *)
+let term_set ins =
+  fold (fun a acc -> Term.Set.union (Atom.term_set a) acc) ins Term.Set.empty
+
+(** Number of distinct nulls occurring in the instance. *)
+let null_count ins =
+  Term.Set.cardinal (Term.Set.filter Term.is_null (term_set ins))
+
+let pp fm ins =
+  Fmt.pf fm "@[<v>%a@]" (Util.pp_list "" (fun fm a -> Fmt.pf fm "%a.@ " Atom.pp a))
+    (to_sorted_list ins)
+
+let to_string ins = Fmt.str "%a" pp ins

@@ -1,0 +1,41 @@
+(** Instances: mutable, indexed sets of facts (variable-free atoms).
+
+    Besides the membership table the representation keeps a per-predicate
+    bucket, a per-(predicate, position, term) index used to narrow body
+    matching, and a per-term index used by the guarded cloud
+    computation. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val mem : t -> Atom.t -> bool
+val cardinal : t -> int
+
+val add : t -> Atom.t -> bool
+(** [add ins a] inserts [a]; [true] iff the fact is new.
+    @raise Invalid_argument if [a] contains a variable. *)
+
+val add_all : t -> Atom.t list -> unit
+val of_list : Atom.t list -> t
+
+val atoms_of_pred : t -> string -> Atom.t list
+val atoms_matching : t -> string -> int -> Term.t -> Atom.t list
+(** Facts of the predicate whose [i]-th argument is exactly the term. *)
+
+val atoms_containing : t -> Term.t -> Atom.t list
+
+val iter : (Atom.t -> unit) -> t -> unit
+val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Atom.t list
+val to_sorted_list : t -> Atom.t list
+val copy : t -> t
+
+val predicates : t -> (string * int) list
+(** Predicates with at least one fact, with arities. *)
+
+val term_set : t -> Term.Set.t
+val null_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

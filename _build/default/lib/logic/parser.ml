@@ -1,0 +1,277 @@
+(** A small concrete syntax for rules and databases.
+
+    Rules:     [name: p(X, Y), q(Y) -> r(Y, Z), s(Z).]
+    Facts:     [p(a, b).]
+    Comments:  from [%] or [#] to end of line.
+
+    Identifiers starting with an upper-case letter or ['_'] are variables;
+    identifiers starting with a lower-case letter or a digit are constants
+    (in predicate position, the predicate name).  Head variables that do not
+    occur in the body are existentially quantified, as usual in existential
+    rule syntax (DLGP-style).  The rule name with the colon is optional. *)
+
+type token =
+  | Tident of string
+  | Tlpar
+  | Trpar
+  | Tcomma
+  | Tarrow
+  | Tdot
+  | Tcolon
+  | Tequal
+  | Teof
+
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Fmt.str "line %d: %s" line msg))
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* The lexer produces a list of (token, line) pairs. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' || c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '(' then begin push Tlpar; incr i end
+    else if c = ')' then begin push Trpar; incr i end
+    else if c = ',' then begin push Tcomma; incr i end
+    else if c = '.' then begin push Tdot; incr i end
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* Datalog-style "head :- body" is not supported; give a clear error. *)
+      fail !line "':-' syntax is not supported; write 'body -> head.'"
+    end
+    else if c = ':' then begin push Tcolon; incr i end
+    else if c = '=' then begin push Tequal; incr i end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      push Tarrow;
+      i := !i + 2
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      push (Tident (String.sub src start (!i - start)))
+    end
+    else fail !line (Fmt.str "unexpected character %C" c)
+  done;
+  push Teof;
+  List.rev !toks
+
+let is_variable_name s =
+  String.length s > 0 && ((s.[0] >= 'A' && s.[0] <= 'Z') || s.[0] = '_')
+
+let term_of_ident s = if is_variable_name s then Term.Var s else Term.Const s
+
+(* A tiny stream over the token list. *)
+type stream = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (Teof, 0) | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> (Teof, 0)
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let expect st tok what =
+  let t, line = next st in
+  if t <> tok then fail line (Fmt.str "expected %s" what)
+
+let parse_term st =
+  match next st with
+  | Tident s, _ -> term_of_ident s
+  | _, line -> fail line "expected a term"
+
+let parse_atom st =
+  match next st with
+  | Tident p, line ->
+    if is_variable_name p then fail line "predicate names must start lower-case";
+    (match peek st with
+    | Tlpar, _ ->
+      ignore (next st);
+      (match peek st with
+      | Trpar, _ ->
+        ignore (next st);
+        Atom.of_list p []
+      | _ ->
+        let rec terms acc =
+          let t = parse_term st in
+          match next st with
+          | Tcomma, _ -> terms (t :: acc)
+          | Trpar, _ -> List.rev (t :: acc)
+          | _, line -> fail line "expected ',' or ')'"
+        in
+        Atom.of_list p (terms []))
+    | _ -> Atom.of_list p [] (* propositional atom without parentheses *))
+  | _, line -> fail line "expected an atom"
+
+let parse_atom_list st =
+  let rec go acc =
+    let a = parse_atom st in
+    match peek st with
+    | Tcomma, _ ->
+      ignore (next st);
+      go (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  go []
+
+(* Head items: atoms (TGD) or variable equalities (EGD). *)
+type head_item =
+  | Hatom of Atom.t
+  | Hequal of string * string
+
+let parse_head_item st =
+  match st.toks with
+  | (Tident x, line) :: (Tequal, _) :: rest ->
+    st.toks <- rest;
+    if not (is_variable_name x) then fail line "only variables can be equated";
+    (match next st with
+    | Tident y, line' ->
+      if not (is_variable_name y) then fail line' "only variables can be equated";
+      Hequal (x, y)
+    | _, line' -> fail line' "expected a variable after '='")
+  | _ -> Hatom (parse_atom st)
+
+let parse_head_items st =
+  let rec go acc =
+    let item = parse_head_item st in
+    match peek st with
+    | Tcomma, _ ->
+      ignore (next st);
+      go (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  go []
+
+(* One statement: a rule, an EGD or a fact, ended by '.' *)
+type statement =
+  | Srule of Tgd.t
+  | Segd of Egd.t
+  | Sfact of Atom.t
+
+let parse_statement st =
+  (* optional "name :" prefix: an ident followed directly by ':' *)
+  let name =
+    match st.toks with
+    | (Tident s, _) :: (Tcolon, _) :: rest ->
+      st.toks <- rest;
+      s
+    | _ -> ""
+  in
+  let _, start_line = peek st in
+  let first = parse_atom_list st in
+  match peek st with
+  | Tarrow, _ ->
+    ignore (next st);
+    let items = parse_head_items st in
+    expect st Tdot "'.' at end of rule";
+    let atoms = List.filter_map (function Hatom a -> Some a | Hequal _ -> None) items in
+    let eqs =
+      List.filter_map (function Hequal (x, y) -> Some (x, y) | Hatom _ -> None) items
+    in
+    (match atoms, eqs with
+    | _ :: _, [] -> (
+      match Tgd.make ~name ~body:first ~head:atoms () with
+      | Ok r -> Srule r
+      | Error msg -> fail start_line msg)
+    | [], _ :: _ -> (
+      match Egd.make ~name ~body:first ~equalities:eqs () with
+      | Ok e -> Segd e
+      | Error msg -> fail start_line msg)
+    | _ :: _, _ :: _ -> fail start_line "a head mixes atoms and equalities"
+    | [], [] -> fail start_line "empty head")
+  | Tdot, line ->
+    ignore (next st);
+    (match first with
+    | [ a ] ->
+      if not (Atom.is_ground a) then fail line "facts must be ground";
+      Sfact a
+    | _ -> fail line "a fact statement contains exactly one atom")
+  | _, line -> fail line "expected '->' or '.'"
+
+let parse_statements src =
+  let st = { toks = tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Teof, _ -> List.rev acc
+    | _ -> go (parse_statement st :: acc)
+  in
+  go []
+
+(** A fully parsed program: TGDs, EGDs and facts. *)
+type program = {
+  tgds : Tgd.t list;
+  egds : Egd.t list;
+  facts : Atom.t list;
+}
+
+(** Parse a program that may mix TGDs, EGDs and facts. *)
+let parse_program_full src =
+  try
+    let stmts = parse_statements src in
+    Ok
+      {
+        tgds = List.filter_map (function Srule r -> Some r | Segd _ | Sfact _ -> None) stmts;
+        egds = List.filter_map (function Segd e -> Some e | Srule _ | Sfact _ -> None) stmts;
+        facts = List.filter_map (function Sfact a -> Some a | Srule _ | Segd _ -> None) stmts;
+      }
+  with Parse_error msg -> Error msg
+
+(** Parse a program of rules and facts; fails if it contains an EGD. *)
+let parse_program src =
+  match parse_program_full src with
+  | Error _ as e -> e
+  | Ok { egds = _ :: _; _ } ->
+    Error "unexpected EGD: use parse_program_full for programs with EGDs"
+  | Ok { tgds; egds = []; facts } -> Ok (tgds, facts)
+
+(** Parse rules only; fails on facts. *)
+let parse_rules src =
+  match parse_program src with
+  | Error _ as e -> e
+  | Ok (rules, []) -> Ok rules
+  | Ok (_, _ :: _) -> Error "unexpected fact in a rule file"
+
+(** Parse a database (ground facts only). *)
+let parse_database src =
+  match parse_program src with
+  | Error _ as e -> e
+  | Ok ([], facts) -> Ok facts
+  | Ok (_ :: _, _) -> Error "unexpected rule in a database file"
+
+let parse_rules_exn src =
+  match parse_rules src with Ok r -> r | Error msg -> raise (Parse_error msg)
+
+let parse_database_exn src =
+  match parse_database src with Ok f -> f | Error msg -> raise (Parse_error msg)
+
+(** Parse a single rule from a string such as ["p(X) -> q(X, Y)."]; the
+    trailing dot is optional. *)
+let parse_rule_exn src =
+  let src = String.trim src in
+  let src = if String.length src > 0 && src.[String.length src - 1] = '.' then src else src ^ "." in
+  match parse_rules_exn src with
+  | [ r ] -> r
+  | _ -> raise (Parse_error "expected exactly one rule")
+
+(** Parse a single ground atom such as ["p(a, b)"]; trailing dot optional. *)
+let parse_fact_exn src =
+  let src = String.trim src in
+  let src = if String.length src > 0 && src.[String.length src - 1] = '.' then src else src ^ "." in
+  match parse_database_exn src with
+  | [ a ] -> a
+  | _ -> raise (Parse_error "expected exactly one fact")

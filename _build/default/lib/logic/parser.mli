@@ -1,0 +1,42 @@
+(** A small concrete syntax for rules and databases.
+
+    {v
+    % comment (also #)
+    name: p(X, Y), q(Y) -> r(Y, Z), s(Z).     rule (name optional)
+    p(a, b).                                   fact
+    v}
+
+    Identifiers starting with an upper-case letter or ['_'] are variables;
+    others are constants (or, in predicate position, the predicate name).
+    Head variables not occurring in the body are existentially quantified.
+    Propositional (0-ary) atoms may omit the parentheses. *)
+
+exception Parse_error of string
+
+(** A fully parsed program. *)
+type program = {
+  tgds : Tgd.t list;
+  egds : Egd.t list;
+  facts : Atom.t list;
+}
+
+val parse_program_full : string -> (program, string) result
+(** TGDs, EGDs ([body -> X = Y.]) and facts, in file order per kind. *)
+
+val parse_program : string -> (Tgd.t list * Atom.t list, string) result
+(** Rules and facts; fails if the source contains an EGD. *)
+
+val parse_rules : string -> (Tgd.t list, string) result
+(** Fails if the source contains a fact. *)
+
+val parse_database : string -> (Atom.t list, string) result
+(** Ground facts only. *)
+
+val parse_rules_exn : string -> Tgd.t list
+val parse_database_exn : string -> Atom.t list
+
+val parse_rule_exn : string -> Tgd.t
+(** One rule; the trailing dot is optional. *)
+
+val parse_fact_exn : string -> Atom.t
+(** One ground atom; the trailing dot is optional. *)

@@ -1,0 +1,126 @@
+(** Atom patterns: the shape of a fact up to renaming of nulls.
+
+    The pattern of a fact records its predicate, the partition of argument
+    positions induced by term equality, and for each equivalence class
+    whether it holds a (which) constant or a null.  Two facts have the same
+    pattern iff one can be obtained from the other by an injective renaming
+    of nulls that fixes constants.
+
+    For linear TGDs (single-atom bodies) trigger applicability on a fact
+    depends only on the fact's pattern, and the pattern of a child fact is a
+    function of (parent pattern, rule, head atom) — patterns are the state
+    space of the linear termination analysis. *)
+
+type label =
+  | Lconst of string  (** the class holds this constant *)
+  | Lnull  (** the class holds a null *)
+
+type t = {
+  pred : string;
+  classes : int array;
+      (** [classes.(i)] is the class of position [i]; classes are numbered
+          0, 1, … in order of first occurrence, making the representation
+          canonical. *)
+  labels : label array;  (** label of each class *)
+}
+
+let pred p = p.pred
+let arity p = Array.length p.classes
+let class_count p = Array.length p.labels
+let class_of p i = p.classes.(i)
+let label_of p c = p.labels.(c)
+
+let label_equal l1 l2 =
+  match l1, l2 with
+  | Lconst c1, Lconst c2 -> String.equal c1 c2
+  | Lnull, Lnull -> true
+  | Lconst _, Lnull | Lnull, Lconst _ -> false
+
+let label_compare l1 l2 =
+  match l1, l2 with
+  | Lconst c1, Lconst c2 -> String.compare c1 c2
+  | Lconst _, Lnull -> -1
+  | Lnull, Lconst _ -> 1
+  | Lnull, Lnull -> 0
+
+let compare p1 p2 =
+  let c = String.compare p1.pred p2.pred in
+  if c <> 0 then c
+  else
+    let c = Util.array_compare Int.compare p1.classes p2.classes in
+    if c <> 0 then c else Util.array_compare label_compare p1.labels p2.labels
+
+let equal p1 p2 = compare p1 p2 = 0
+
+let hash p =
+  let h = Hashtbl.hash p.pred in
+  let h = Util.hash_fold_array Hashtbl.hash h p.classes in
+  Util.hash_fold_array Hashtbl.hash h p.labels
+
+(** [of_terms pred ts] is the pattern of the tuple [ts]; terms must be
+    variable-free. *)
+let of_terms pred ts =
+  let n = Array.length ts in
+  let classes = Array.make n (-1) in
+  let labels = ref [] in
+  let next = ref 0 in
+  let seen = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let t = ts.(i) in
+    match Hashtbl.find_opt seen (Term.to_string t) with
+    | Some c -> classes.(i) <- c
+    | None ->
+      let c = !next in
+      incr next;
+      Hashtbl.add seen (Term.to_string t) c;
+      classes.(i) <- c;
+      let lbl =
+        match t with
+        | Term.Const s -> Lconst s
+        | Term.Null _ -> Lnull
+        | Term.Var _ -> invalid_arg "Pattern.of_terms: variable in fact"
+      in
+      labels := lbl :: !labels
+  done;
+  { pred; classes; labels = Array.of_list (List.rev !labels) }
+
+let of_atom a = of_terms (Atom.pred a) (Atom.args a)
+
+(** [instantiate ~fresh_null p] builds a concrete fact with this pattern:
+    constant classes get their constant, null classes get distinct fresh
+    nulls drawn from [fresh_null]. *)
+let instantiate ~fresh_null p =
+  let terms_of_class =
+    Array.map
+      (fun lbl ->
+        match lbl with Lconst s -> Term.Const s | Lnull -> fresh_null ())
+      p.labels
+  in
+  Atom.make p.pred (Array.map (fun c -> terms_of_class.(c)) p.classes)
+
+(** Class indices labelled [Lnull]. *)
+let null_classes p =
+  let acc = ref [] in
+  Array.iteri (fun c lbl -> if lbl = Lnull then acc := c :: !acc) p.labels;
+  List.rev !acc
+
+let pp fm p =
+  let pp_pos fm i =
+    match p.labels.(p.classes.(i)) with
+    | Lconst s -> Fmt.string fm s
+    | Lnull -> Fmt.pf fm "#%d" p.classes.(i)
+  in
+  Fmt.pf fm "%s(%a)" p.pred
+    (Util.pp_list ", " pp_pos)
+    (List.init (arity p) Fun.id)
+
+let to_string p = Fmt.str "%a" pp p
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

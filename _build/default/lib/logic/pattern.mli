@@ -1,0 +1,55 @@
+(** Atom patterns: the shape of a fact up to renaming of nulls.
+
+    The pattern of a fact records its predicate, the partition of argument
+    positions induced by term equality, and for each equivalence class
+    whether it holds a (which) constant or a null.  Two facts have the
+    same pattern iff one is obtained from the other by an injective
+    renaming of nulls that fixes constants.
+
+    For linear TGDs trigger applicability on a fact depends only on the
+    fact's pattern, and child patterns are a function of (parent pattern,
+    rule, head atom) — patterns are the state space of the linear
+    termination analysis ({!Chase_acyclicity.Critical_linear}), which
+    needs the representation and therefore gets a concrete type. *)
+
+type label =
+  | Lconst of string  (** the class holds this constant *)
+  | Lnull  (** the class holds a null *)
+
+type t = {
+  pred : string;
+  classes : int array;
+      (** [classes.(i)] is the class of position [i]; classes are numbered
+          0, 1, … in order of first occurrence (canonical). *)
+  labels : label array;  (** label of each class *)
+}
+
+val pred : t -> string
+val arity : t -> int
+val class_count : t -> int
+val class_of : t -> int -> int
+val label_of : t -> int -> label
+
+val label_equal : label -> label -> bool
+val label_compare : label -> label -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_terms : string -> Term.t array -> t
+(** @raise Invalid_argument if a term is a variable. *)
+
+val of_atom : Atom.t -> t
+
+val instantiate : fresh_null:(unit -> Term.t) -> t -> Atom.t
+(** A concrete fact with this pattern: constant classes get their
+    constant, null classes distinct fresh nulls. *)
+
+val null_classes : t -> int list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,121 @@
+(** Conjunctive queries, their evaluation, and containment via the chase.
+
+    Two of the classic applications motivating the chase are query
+    answering under constraints and query containment; this module
+    provides both on top of the substrate:
+
+    - a conjunctive query q(X̄) ← body is evaluated over an instance by
+      homomorphism search; over a {e chase result} the null-free answers
+      are exactly the certain answers to the query under the rules;
+    - containment q1 ⊆ q2 is decided by the canonical-database (freezing)
+      argument: freeze q1's body into an instance and evaluate q2 on it
+      looking for the frozen answer tuple. *)
+
+type t = {
+  name : string;
+  answer_vars : string list;  (** the free variables, in output order *)
+  body : Atom.t list;
+}
+
+let name q = q.name
+let answer_vars q = q.answer_vars
+let body q = q.body
+
+let body_vars q =
+  List.fold_left (fun s a -> Util.Sset.union s (Atom.var_set a)) Util.Sset.empty q.body
+
+(** [make ?name ~answer_vars body] checks that the query is safe: every
+    answer variable occurs in the body. *)
+let make ?(name = "q") ~answer_vars body =
+  if body = [] then Error "query body must be non-empty"
+  else
+    let bv =
+      List.fold_left
+        (fun s a -> Util.Sset.union s (Atom.var_set a))
+        Util.Sset.empty body
+    in
+    let unsafe = List.filter (fun v -> not (Util.Sset.mem v bv)) answer_vars in
+    if unsafe <> [] then
+      Error (Fmt.str "unsafe answer variables: %s" (String.concat ", " unsafe))
+    else Ok { name; answer_vars; body }
+
+let make_exn ?name ~answer_vars body =
+  match make ?name ~answer_vars body with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Query.make_exn: " ^ msg)
+
+(** A boolean query (no answer variables). *)
+let boolean ?name body = make_exn ?name ~answer_vars:[] body
+
+(** All answer tuples of [q] over [ins] (may contain nulls). *)
+let answers q ins =
+  let tuples = ref [] in
+  Hom.iter ins q.body (fun sub ->
+      let tuple =
+        List.map
+          (fun v ->
+            match Subst.find_opt v sub with
+            | Some t -> t
+            | None -> assert false (* safety: answer vars occur in body *))
+          q.answer_vars
+      in
+      tuples := tuple :: !tuples);
+  List.sort_uniq (Util.list_compare Term.compare) !tuples
+
+(** The {e certain} answers over a chase result: answers whose tuple is
+    null-free.  When [ins] is a universal model of (D, Σ) these are
+    exactly the tuples entailed by every model. *)
+let certain_answers q ins =
+  List.filter (fun tuple -> List.for_all Term.is_const tuple) (answers q ins)
+
+(** Does the (boolean) query hold? *)
+let holds q ins = Hom.exists ins q.body
+
+(** Freeze the query: body variables become fresh constants.  Returns the
+    frozen instance and the frozen answer tuple. *)
+let freeze q =
+  let frozen_name v = "!frozen_" ^ v in
+  let freeze_term t =
+    match t with
+    | Term.Var v -> Term.Const (frozen_name v)
+    | Term.Const _ | Term.Null _ -> t
+  in
+  let ins = Instance.of_list (List.map (Atom.map_terms freeze_term) q.body) in
+  let tuple = List.map (fun v -> Term.Const (frozen_name v)) q.answer_vars in
+  (ins, tuple)
+
+(** [contained_in q1 q2]: q1 ⊆ q2 over all instances (classical CQ
+    containment, NP-complete; decided by evaluating q2 on the frozen q1).
+    Requires the two queries to have the same number of answer
+    variables. *)
+let contained_in q1 q2 =
+  if List.length q1.answer_vars <> List.length q2.answer_vars then
+    invalid_arg "Query.contained_in: arity mismatch";
+  let frozen, tuple = freeze q1 in
+  List.exists
+    (fun t -> Util.list_compare Term.compare t tuple = 0)
+    (answers q2 frozen)
+
+(** [contained_in_under rules q1 q2]: containment under TGDs — evaluate q2
+    over the (budgeted) chase of the frozen q1.  Exact whenever the chase
+    terminates within the budget; [None] when the budget runs out. *)
+let contained_in_under ?(budget = 20_000) ~chase rules q1 q2 =
+  if List.length q1.answer_vars <> List.length q2.answer_vars then
+    invalid_arg "Query.contained_in_under: arity mismatch";
+  let frozen, tuple = freeze q1 in
+  match chase ~budget rules (Instance.to_list frozen) with
+  | None -> None
+  | Some chased ->
+    Some
+      (List.exists
+         (fun t -> Util.list_compare Term.compare t tuple = 0)
+         (answers q2 chased))
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+let pp fm q =
+  Fmt.pf fm "@[%s(%a) <- %a@]" q.name
+    (Util.pp_list ", " Fmt.string)
+    q.answer_vars
+    (Util.pp_list ", " Atom.pp)
+    q.body

@@ -1,0 +1,54 @@
+(** Conjunctive queries, their evaluation, and containment via the chase.
+
+    A query q(X̄) ← body is evaluated over an instance by homomorphism
+    search; over a chase result the null-free answers are the certain
+    answers under the rules.  Containment is decided by freezing. *)
+
+type t
+
+val make :
+  ?name:string -> answer_vars:string list -> Atom.t list -> (t, string) result
+(** Checks safety: every answer variable occurs in the body. *)
+
+val make_exn : ?name:string -> answer_vars:string list -> Atom.t list -> t
+
+val boolean : ?name:string -> Atom.t list -> t
+(** A query without answer variables. *)
+
+val name : t -> string
+val answer_vars : t -> string list
+val body : t -> Atom.t list
+val body_vars : t -> Util.Sset.t
+
+val answers : t -> Instance.t -> Term.t list list
+(** All answer tuples, sorted, deduplicated; may contain nulls. *)
+
+val certain_answers : t -> Instance.t -> Term.t list list
+(** Null-free answer tuples.  Over a universal model of (D, Σ) these are
+    exactly the certain answers of the query under Σ. *)
+
+val holds : t -> Instance.t -> bool
+
+val freeze : t -> Instance.t * Term.t list
+(** The canonical database of the query body (variables frozen to fresh
+    constants) and the frozen answer tuple. *)
+
+val contained_in : t -> t -> bool
+(** Classical CQ containment over all instances (NP-complete).
+    @raise Invalid_argument on answer-arity mismatch. *)
+
+val contained_in_under :
+  ?budget:int ->
+  chase:(budget:int -> Tgd.t list -> Atom.t list -> Instance.t option) ->
+  Tgd.t list ->
+  t ->
+  t ->
+  bool option
+(** Containment under TGDs: evaluate the right query over the chased
+    frozen left query.  The [chase] callback (typically wrapping
+    [Chase_engine.Engine.run]) returns [None] when its budget runs out,
+    which propagates as [None]. *)
+
+val equivalent : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

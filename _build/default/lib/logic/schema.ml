@@ -1,0 +1,57 @@
+(** Schemas: the predicate symbols (with arities) of a rule set or instance.
+
+    Positions — pairs (predicate, argument index) — are the vertices of the
+    dependency graphs used by the acyclicity tests, so the schema module
+    also enumerates them. *)
+
+module Smap = Util.Smap
+
+type t = int Smap.t  (** predicate ↦ arity *)
+
+let empty : t = Smap.empty
+let arity_opt (s : t) p = Smap.find_opt p s
+let mem (s : t) p = Smap.mem p s
+let cardinal : t -> int = Smap.cardinal
+let to_list (s : t) = Smap.bindings s
+
+let add (s : t) p n =
+  match Smap.find_opt p s with
+  | None -> Ok (Smap.add p n s)
+  | Some n' ->
+    if n = n' then Ok s
+    else Error (Fmt.str "predicate %s used with arities %d and %d" p n' n)
+
+let add_exn s p n =
+  match add s p n with Ok s' -> s' | Error msg -> invalid_arg ("Schema.add_exn: " ^ msg)
+
+(** Schema of a rule set.  Raises [Invalid_argument] on arity clashes across
+    rules (clashes inside one rule are caught by [Tgd.make]). *)
+let of_rules rules =
+  List.fold_left
+    (fun s r ->
+      List.fold_left (fun s (p, n) -> add_exn s p n) s (Tgd.predicates r))
+    empty rules
+
+let of_instance ins =
+  List.fold_left (fun s (p, n) -> add_exn s p n) empty (Instance.predicates ins)
+
+let union s1 s2 =
+  Smap.fold (fun p n acc -> add_exn acc p n) s2 s1
+
+(** All positions (p, i) of the schema, in lexicographic order. *)
+let positions (s : t) =
+  Smap.fold
+    (fun p n acc ->
+      let rec go i acc = if i < 0 then acc else go (i - 1) ((p, i) :: acc) in
+      go (n - 1) acc)
+    s []
+  |> List.rev
+
+(** Sum over predicates of arity — the number of positions. *)
+let position_count (s : t) = Smap.fold (fun _ n acc -> acc + n) s 0
+
+let max_arity (s : t) = Smap.fold (fun _ n acc -> max n acc) s 0
+
+let pp fm (s : t) =
+  let pp_one fm (p, n) = Fmt.pf fm "%s/%d" p n in
+  Fmt.pf fm "{%a}" (Util.pp_list ", " pp_one) (to_list s)

@@ -1,0 +1,30 @@
+(** Schemas: the predicate symbols (with arities) of a rule set or
+    instance, and their positions — the vertices of the dependency graphs
+    used by the acyclicity tests. *)
+
+type t
+
+val empty : t
+val arity_opt : t -> string -> int option
+val mem : t -> string -> bool
+val cardinal : t -> int
+val to_list : t -> (string * int) list
+
+val add : t -> string -> int -> (t, string) result
+(** Fails on an arity clash. *)
+
+val add_exn : t -> string -> int -> t
+
+val of_rules : Tgd.t list -> t
+(** @raise Invalid_argument on cross-rule arity clashes. *)
+
+val of_instance : Instance.t -> t
+val union : t -> t -> t
+
+val positions : t -> (string * int) list
+(** All positions (p, i), lexicographically. *)
+
+val position_count : t -> int
+val max_arity : t -> int
+
+val pp : Format.formatter -> t -> unit

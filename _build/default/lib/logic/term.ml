@@ -1,0 +1,49 @@
+(** Terms of the chase: constants, rule variables and labelled nulls.
+
+    Constants and variables are named by strings; by convention (enforced by
+    the parser, not by this module) variable names start with an upper-case
+    letter or ['_'], while constants start with a lower-case letter or a
+    digit.  Nulls are identified by an integer stamp; they are only ever
+    created by the chase engine, never written by the user. *)
+
+type t =
+  | Const of string  (** a database constant *)
+  | Var of string  (** a rule variable (never occurs in instances) *)
+  | Null of int  (** a labelled null invented by the chase *)
+
+let compare t1 t2 =
+  match t1, t2 with
+  | Const c1, Const c2 -> String.compare c1 c2
+  | Const _, (Var _ | Null _) -> -1
+  | Var _, Const _ -> 1
+  | Var v1, Var v2 -> String.compare v1 v2
+  | Var _, Null _ -> -1
+  | Null _, (Const _ | Var _) -> 1
+  | Null n1, Null n2 -> Int.compare n1 n2
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash = function
+  | Const c -> Util.hash_combine 3 (Hashtbl.hash c)
+  | Var v -> Util.hash_combine 5 (Hashtbl.hash v)
+  | Null n -> Util.hash_combine 7 n
+
+let is_const = function Const _ -> true | Var _ | Null _ -> false
+let is_var = function Var _ -> true | Const _ | Null _ -> false
+let is_null = function Null _ -> true | Const _ | Var _ -> false
+
+let pp fm = function
+  | Const c -> Fmt.string fm c
+  | Var v -> Fmt.string fm v
+  | Null n -> Fmt.pf fm "_:n%d" n
+
+let to_string t = Fmt.str "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

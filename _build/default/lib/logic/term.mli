@@ -1,0 +1,30 @@
+(** Terms of the chase: constants, rule variables and labelled nulls.
+
+    Constants and variables are named by strings; by convention (enforced
+    by the parser, not by this module) variable names start with an
+    upper-case letter or ['_'], while constants start with a lower-case
+    letter or a digit.  Nulls are identified by an integer stamp; they are
+    only ever created by the chase engine, never written by the user. *)
+
+type t =
+  | Const of string  (** a database constant *)
+  | Var of string  (** a rule variable (never occurs in instances) *)
+  | Null of int  (** a labelled null invented by the chase *)
+
+val compare : t -> t -> int
+(** Total order: constants < variables < nulls, each by their own key. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val is_const : t -> bool
+val is_var : t -> bool
+val is_null : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Nulls print as [_:nK]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,129 @@
+(** Tuple-generating dependencies (TGDs, a.k.a. existential rules).
+
+    A TGD ∀X∀Y (φ(X,Y) → ∃Z ψ(Y,Z)) is represented by its body φ and head ψ
+    as atom lists; quantification is implicit: every body variable is
+    universally quantified, every head variable not occurring in the body is
+    existentially quantified.  The {e frontier} is the set of universally
+    quantified variables shared between body and head. *)
+
+module Sset = Util.Sset
+
+type t = {
+  name : string;
+  body : Atom.t list;
+  head : Atom.t list;
+  body_vars : Sset.t;
+  head_vars : Sset.t;
+  frontier : Sset.t;
+  existentials : Sset.t;
+}
+
+let name r = r.name
+let body r = r.body
+let head r = r.head
+let body_vars r = r.body_vars
+let head_vars r = r.head_vars
+let frontier r = r.frontier
+let existentials r = r.existentials
+
+let vars_of_atoms atoms =
+  List.fold_left (fun s a -> Sset.union s (Atom.var_set a)) Sset.empty atoms
+
+let has_null atoms = List.exists Atom.has_null atoms
+
+(** [make ?name ~body ~head ()] builds a validated TGD.
+
+    Validation: body and head non-empty, no nulls anywhere (nulls belong to
+    instances), and consistent predicate arities within the rule. *)
+let make ?(name = "") ~body ~head () =
+  if body = [] then Error "TGD body must be non-empty"
+  else if head = [] then Error "TGD head must be non-empty"
+  else if has_null body || has_null head then Error "TGD must not contain nulls"
+  else begin
+    let arities = Hashtbl.create 8 in
+    let arity_clash =
+      List.exists
+        (fun a ->
+          match Hashtbl.find_opt arities (Atom.pred a) with
+          | Some n when n <> Atom.arity a -> true
+          | Some _ -> false
+          | None ->
+            Hashtbl.add arities (Atom.pred a) (Atom.arity a);
+            false)
+        (body @ head)
+    in
+    if arity_clash then Error "predicate used with two different arities"
+    else
+      let body_vars = vars_of_atoms body in
+      let head_vars = vars_of_atoms head in
+      Ok
+        {
+          name;
+          body;
+          head;
+          body_vars;
+          head_vars;
+          frontier = Sset.inter body_vars head_vars;
+          existentials = Sset.diff head_vars body_vars;
+        }
+  end
+
+let make_exn ?name ~body ~head () =
+  match make ?name ~body ~head () with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Tgd.make_exn: " ^ msg)
+
+(** Structural comparison ignoring the name. *)
+let compare r1 r2 =
+  let c = Util.list_compare Atom.compare r1.body r2.body in
+  if c <> 0 then c else Util.list_compare Atom.compare r1.head r2.head
+
+let equal r1 r2 = compare r1 r2 = 0
+
+(** [rename_apart ~suffix r] renames every variable of [r] by appending
+    [suffix]; used when rules must not share variables. *)
+let rename_apart ~suffix r =
+  let rn t =
+    match t with Term.Var v -> Term.Var (v ^ suffix) | Term.Const _ | Term.Null _ -> t
+  in
+  make_exn ~name:r.name
+    ~body:(List.map (Atom.map_terms rn) r.body)
+    ~head:(List.map (Atom.map_terms rn) r.head)
+    ()
+
+(** True when the head has no existential variable. *)
+let is_full r = Sset.is_empty r.existentials
+
+(** Constant symbols occurring in the rule. *)
+let constants r =
+  List.fold_left
+    (fun acc a ->
+      Array.fold_left
+        (fun acc t ->
+          match t with
+          | Term.Const c -> Sset.add c acc
+          | Term.Var _ | Term.Null _ -> acc)
+        acc (Atom.args a))
+    Sset.empty (r.body @ r.head)
+
+(** Constant symbols occurring in a rule set. *)
+let constants_of_rules rules =
+  List.fold_left (fun acc r -> Sset.union acc (constants r)) Sset.empty rules
+
+let compare_pred_arity (p1, n1) (p2, n2) =
+  let c = String.compare p1 p2 in
+  if c <> 0 then c else Int.compare n1 n2
+
+(** Predicates of the rule with arities, body and head. *)
+let predicates r =
+  List.fold_left
+    (fun acc a -> (Atom.pred a, Atom.arity a) :: acc)
+    [] (r.body @ r.head)
+  |> List.sort_uniq compare_pred_arity
+
+let pp fm r =
+  let pp_atoms = Util.pp_list ", " Atom.pp in
+  if String.equal r.name "" then Fmt.pf fm "@[%a -> %a@]" pp_atoms r.body pp_atoms r.head
+  else Fmt.pf fm "@[%s: %a -> %a@]" r.name pp_atoms r.body pp_atoms r.head
+
+let to_string r = Fmt.str "%a" pp r

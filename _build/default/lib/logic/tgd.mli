@@ -1,0 +1,44 @@
+(** Tuple-generating dependencies (TGDs, a.k.a. existential rules).
+
+    A TGD ∀X∀Y (φ(X,Y) → ∃Z ψ(Y,Z)) is represented by its body φ and head
+    ψ; quantification is implicit: every body variable is universally
+    quantified, every head variable not occurring in the body is
+    existentially quantified.  The {e frontier} is the set of universally
+    quantified variables shared between body and head. *)
+
+type t
+
+val make :
+  ?name:string -> body:Atom.t list -> head:Atom.t list -> unit -> (t, string) result
+(** Validated constructor: body and head non-empty, no nulls, consistent
+    arities within the rule. *)
+
+val make_exn : ?name:string -> body:Atom.t list -> head:Atom.t list -> unit -> t
+
+val name : t -> string
+val body : t -> Atom.t list
+val head : t -> Atom.t list
+val body_vars : t -> Util.Sset.t
+val head_vars : t -> Util.Sset.t
+val frontier : t -> Util.Sset.t
+val existentials : t -> Util.Sset.t
+
+val compare : t -> t -> int
+(** Structural, ignoring the name. *)
+
+val equal : t -> t -> bool
+
+val rename_apart : suffix:string -> t -> t
+(** Append [suffix] to every variable name. *)
+
+val is_full : t -> bool
+(** No existential variable (a Datalog rule). *)
+
+val constants : t -> Util.Sset.t
+val constants_of_rules : t list -> Util.Sset.t
+
+val predicates : t -> (string * int) list
+(** Predicates with arities, body and head, deduplicated. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** Shared small utilities for the logic substrate. *)
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+(** [list_compare cmp xs ys] is the lexicographic extension of [cmp]. *)
+let rec list_compare cmp xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = cmp x y in
+    if c <> 0 then c else list_compare cmp xs' ys'
+
+(** [array_compare cmp a b] compares arrays lexicographically (shorter first). *)
+let array_compare cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  let c = Int.compare la lb in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = cmp a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+(** [array_for_all2 p a b] checks [p a.(i) b.(i)] for all i; false on length
+    mismatch. *)
+let array_for_all2 p a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (p a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+(** Combine two hash values (FNV-style mixing). *)
+let hash_combine h1 h2 = (h1 * 16777619) lxor h2
+
+let hash_fold_array hash init arr =
+  Array.fold_left (fun acc x -> hash_combine acc (hash x)) init arr
+
+(** [pp_list sep pp] pretty-prints a list with separator string [sep]. *)
+let pp_list sep pp = Fmt.list ~sep:(fun fm () -> Fmt.string fm sep) pp

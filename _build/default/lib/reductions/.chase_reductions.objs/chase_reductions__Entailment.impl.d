@@ -1,0 +1,1 @@
+lib/reductions/entailment.ml: Atom Chase_engine Chase_logic Critical Engine Fmt Hom Instance Schema Variant

@@ -1,0 +1,1 @@
+lib/reductions/entailment.mli: Atom Chase_logic Tgd

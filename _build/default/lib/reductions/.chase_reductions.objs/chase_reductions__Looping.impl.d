@@ -1,0 +1,1 @@
+lib/reductions/looping.ml: Atom Chase_logic Fmt Schema String Term Tgd Util

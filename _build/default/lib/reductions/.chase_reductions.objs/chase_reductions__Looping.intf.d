@@ -1,0 +1,1 @@
+lib/reductions/looping.mli: Atom Chase_logic Tgd

@@ -1,0 +1,19 @@
+(** Atom entailment under TGDs, by chasing: D, Σ ⊨ ∃x̄ q iff the chase of
+    D contains a homomorphic image of q.  Exact for full (Datalog) rules;
+    in general a semi-decision with budget. *)
+
+open Chase_logic
+
+type answer =
+  [ `Entailed
+  | `Not_entailed
+  | `Unknown of string
+  ]
+
+val default_budget : int
+
+val check : ?budget:int -> Tgd.t list -> Atom.t list -> Atom.t -> answer
+val holds : ?budget:int -> Tgd.t list -> Atom.t list -> Atom.t -> bool
+
+val holds_critical : ?standard:bool -> ?budget:int -> Tgd.t list -> Atom.t -> bool
+(** Entailment from the critical database of the combined schema. *)

@@ -1,0 +1,87 @@
+(** The looping operator: reducing atom entailment to the complement of
+    chase termination.
+
+    The paper's lower bounds all factor through one generic device: given a
+    rule set Σ (over which entailment is hard) and a target atom α, build
+
+      loop(Σ, α)  =  Σ  ∪  { α → ∃Z₁∃Z₂ loop(Z₁, Z₂) }
+                        ∪  { loop(X, Y) → ∃Z loop(Y, Z) }
+
+    where [loop] is a predicate not in the schema of Σ.  The second rule is
+    Example 2 of the paper — the canonical infinite (semi-)oblivious chase
+    — but it only ever fires if some instance of α is present.  Hence, for
+    a database D without loop-atoms and Σ whose own chase terminates on D
+    (e.g. full/Datalog Σ):
+
+      the ?-chase of D under loop(Σ, α) terminates
+          ⟺  D, Σ ⊭ ∃x̄ α      (? ∈ {oblivious, semi-oblivious})
+
+    — a reduction from atom entailment to the complement of {e
+    single-database} chase termination, which is the core device of the
+    paper's lower bounds.  (The {e all-instance} reductions behind
+    Theorems 3–4 additionally need the hard direction to be robust against
+    adversarial databases that already contain α- or loop-atoms; the paper
+    achieves this with clocked-Turing-machine encodings over standard
+    databases, which we do not reproduce — see DESIGN.md §6.)
+
+    The operator preserves guardedness and linearity: both added rules are
+    linear (and simple linear when α has no repeated variable), which is
+    how the paper transports entailment hardness into the chase
+    termination problem for each class. *)
+
+open Chase_logic
+
+(** A predicate name based on [base] that avoids the schema of [rules] and
+    the target atom. *)
+let fresh_pred rules target base =
+  let schema = Schema.of_rules rules in
+  let taken p = Schema.mem schema p || String.equal p (Atom.pred target) in
+  if not (taken base) then base
+  else
+    let rec go i =
+      let cand = Fmt.str "%s_%d" base i in
+      if taken cand then go (i + 1) else cand
+    in
+    go 0
+
+type t = {
+  rules : Tgd.t list;  (** the rule set loop(Σ, α) *)
+  loop_pred : string;
+  trigger_rule : Tgd.t;
+  loop_rule : Tgd.t;
+}
+
+(** [apply rules ~target] builds loop(Σ, α).
+
+    @raise Invalid_argument if [target] contains nulls. *)
+let apply rules ~target =
+  if Atom.has_null target then invalid_arg "Looping.apply: target contains nulls";
+  let loop_pred = fresh_pred rules target "loop" in
+  let target_vars = Atom.var_set target in
+  let fresh_var base =
+    if not (Util.Sset.mem base target_vars) then base
+    else
+      let rec go i =
+        let cand = Fmt.str "%s_%d" base i in
+        if Util.Sset.mem cand target_vars then go (i + 1) else cand
+      in
+      go 0
+  in
+  let z1 = Term.Var (fresh_var "Zl1") and z2 = Term.Var (fresh_var "Zl2") in
+  let trigger_rule =
+    Tgd.make_exn ~name:"loop_trigger" ~body:[ target ]
+      ~head:[ Atom.of_list loop_pred [ z1; z2 ] ]
+      ()
+  in
+  let loop_rule =
+    Tgd.make_exn ~name:"loop_step"
+      ~body:[ Atom.of_list loop_pred [ Term.Var "X"; Term.Var "Y" ] ]
+      ~head:[ Atom.of_list loop_pred [ Term.Var "Y"; Term.Var "Z" ] ]
+      ()
+  in
+  {
+    rules = rules @ [ trigger_rule; loop_rule ];
+    loop_pred;
+    trigger_rule;
+    loop_rule;
+  }

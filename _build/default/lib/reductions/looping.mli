@@ -1,0 +1,24 @@
+(** The looping operator — the core device of the paper's lower bounds.
+
+    loop(Σ, α) = Σ ∪ {α → ∃Z₁Z₂ loop(Z₁,Z₂)} ∪ {loop(X,Y) → ∃Z loop(Y,Z)}.
+    For a database D without loop-atoms and Σ whose chase terminates on D
+    (e.g. Datalog), the ?-chase of D under loop(Σ, α) terminates iff
+    D, Σ ⊭ ∃x̄ α — a reduction from atom entailment to the complement of
+    single-database chase termination that preserves linearity and
+    guardedness.  (The all-instance lower bounds additionally need the
+    paper's clocked-TM encodings; see DESIGN.md §6.) *)
+
+open Chase_logic
+
+type t = {
+  rules : Tgd.t list;  (** the rule set loop(Σ, α) *)
+  loop_pred : string;
+  trigger_rule : Tgd.t;
+  loop_rule : Tgd.t;
+}
+
+val fresh_pred : Tgd.t list -> Atom.t -> string -> string
+(** A predicate name avoiding the schema and the target. *)
+
+val apply : Tgd.t list -> target:Atom.t -> t
+(** @raise Invalid_argument if the target contains nulls. *)

@@ -1,0 +1,1 @@
+lib/termination/decide.ml: Chase_acyclicity Chase_classes Chase_engine Classify Guarded Joint Linear Restricted Rich Simulation Sl Variant Verdict Weak

@@ -1,0 +1,1 @@
+lib/termination/decide.mli: Chase_engine Chase_logic Verdict

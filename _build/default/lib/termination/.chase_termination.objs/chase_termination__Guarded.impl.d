@@ -1,0 +1,1 @@
+lib/termination/guarded.ml: Array Atom Chase_classes Chase_engine Chase_logic Critical Derivation Engine Fmt Hashtbl Instance Int List Map Option Term Util Variant Verdict

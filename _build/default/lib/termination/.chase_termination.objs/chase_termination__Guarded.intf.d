@@ -1,0 +1,1 @@
+lib/termination/guarded.mli: Atom Chase_engine Chase_logic Engine Tgd Variant Verdict

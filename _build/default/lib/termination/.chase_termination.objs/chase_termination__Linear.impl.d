@@ -1,0 +1,1 @@
+lib/termination/linear.ml: Chase_acyclicity Chase_engine Critical_linear Fmt Variant Verdict

@@ -1,0 +1,1 @@
+lib/termination/linear.mli: Chase_engine Chase_logic Verdict

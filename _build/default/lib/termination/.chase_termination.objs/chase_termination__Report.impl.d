@@ -1,0 +1,1 @@
+lib/termination/report.ml: Chase_acyclicity Chase_classes Chase_engine Chase_logic Classify Critical Decide Engine Fmt Instance Joint List Mfa Rich Tgd Variant Verdict Weak

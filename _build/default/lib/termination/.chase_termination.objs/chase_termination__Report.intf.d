@@ -1,0 +1,1 @@
+lib/termination/report.mli: Chase_classes Chase_engine Chase_logic Classify Engine Format Tgd Verdict

@@ -1,0 +1,1 @@
+lib/termination/restricted.ml: Chase_acyclicity Chase_classes Chase_engine Chase_logic Critical Engine Fmt Instance Joint Variant Verdict Weak

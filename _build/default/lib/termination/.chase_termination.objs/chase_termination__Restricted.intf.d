@@ -1,0 +1,1 @@
+lib/termination/restricted.mli: Chase_engine Chase_logic Engine Verdict

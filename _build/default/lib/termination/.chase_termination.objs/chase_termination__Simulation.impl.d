@@ -1,0 +1,1 @@
+lib/termination/simulation.ml: Chase_engine Chase_logic Critical Engine Fmt Instance Variant Verdict

@@ -1,0 +1,1 @@
+lib/termination/simulation.mli: Chase_engine Chase_logic Engine Variant Verdict

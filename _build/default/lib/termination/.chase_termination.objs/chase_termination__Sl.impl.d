@@ -1,0 +1,1 @@
+lib/termination/sl.ml: Chase_acyclicity Chase_classes Chase_engine Chase_logic Dep_graph Fmt Rich Variant Verdict Weak

@@ -1,0 +1,1 @@
+lib/termination/sl.mli: Chase_engine Chase_logic Verdict

@@ -1,0 +1,1 @@
+lib/termination/verdict.mli: Format

@@ -1,0 +1,75 @@
+(** The termination front door: dispatch to the strongest applicable
+    procedure.
+
+    Given a rule set and a chase variant, [check] classifies the set and
+    uses, in order of preference:
+
+    + the exact acyclicity characterizations for simple linear sets
+      (Theorem 1 — NL);
+    + the exact critical-acyclicity procedure for linear sets (Theorem 2 —
+      PSPACE);
+    + the guarded type procedure for guarded sets (Theorem 4 — 2EXPTIME);
+    + for arbitrary sets (where the problem is undecidable): the sound
+      sufficient conditions — rich acyclicity for the oblivious chase, weak
+      acyclicity for the semi-oblivious chase — and otherwise the
+      chase-simulation semi-decision. *)
+
+open Chase_engine
+open Chase_acyclicity
+open Chase_classes
+
+let sufficient_acyclicity ~variant rules =
+  match (variant : Variant.t) with
+  | Oblivious ->
+    if Rich.is_richly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"rich-acyclicity (sufficient)"
+           ~evidence:
+             "richly acyclic: the oblivious chase terminates on every \
+              database (sound for arbitrary TGDs)")
+    else None
+  | Semi_oblivious ->
+    if Weak.is_weakly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"weak-acyclicity (sufficient)"
+           ~evidence:
+             "weakly acyclic: the semi-oblivious chase terminates on every \
+              database (sound for arbitrary TGDs)")
+    else if Joint.is_jointly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"joint-acyclicity (sufficient)"
+           ~evidence:
+             "jointly acyclic: the existential-variable dependency relation \
+              is acyclic, so the semi-oblivious chase terminates on every \
+              database")
+    else None
+  | Restricted ->
+    if Weak.is_weakly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"weak-acyclicity (sufficient)"
+           ~evidence:
+             "weakly acyclic: every chase variant below the oblivious chase \
+              terminates on every database")
+    else if Joint.is_jointly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"joint-acyclicity (sufficient)"
+           ~evidence:
+             "jointly acyclic: the semi-oblivious and hence the restricted \
+              chase terminate on every database")
+    else None
+
+let check ?standard ?budget ~variant rules =
+  match (variant : Variant.t) with
+  | Restricted ->
+    (* §4 territory: sufficient conditions, generic-instance refutation,
+       and the single-head linear probe. *)
+    Restricted.check ?budget rules
+  | Oblivious | Semi_oblivious -> (
+    match Classify.classify rules with
+    | Classify.Simple_linear -> Sl.check ~variant rules
+    | Classify.Linear -> Linear.check ?standard ~variant rules
+    | Classify.Guarded -> Guarded.check ?standard ?budget ~variant rules
+    | Classify.Unguarded -> (
+      match sufficient_acyclicity ~variant rules with
+      | Some v -> v
+      | None -> (Simulation.check ?standard ?budget ~variant rules).verdict))

@@ -1,0 +1,16 @@
+(** The termination front door: classify the rule set and dispatch to the
+    strongest applicable procedure.
+
+    (Semi-)oblivious variants: simple linear → Theorem 1 acyclicity;
+    linear → Theorem 2 critical procedure; guarded → Theorem 4 cloud
+    types; unguarded → sound sufficient conditions (rich acyclicity for
+    o; weak, then joint acyclicity for so) and otherwise the budgeted
+    chase simulation, where [Unknown] is a possible, honest answer.
+    Restricted variant: {!Restricted.check}. *)
+
+val check :
+  ?standard:bool ->
+  ?budget:int ->
+  variant:Chase_engine.Variant.t ->
+  Chase_logic.Tgd.t list ->
+  Verdict.t

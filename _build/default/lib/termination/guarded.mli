@@ -1,0 +1,27 @@
+(** Termination of the (semi-)oblivious chase for guarded TGDs —
+    Theorem 4, realized as a certificate search over the guarded chase
+    forest of the critical instance (see DESIGN.md §3.3):
+
+    - a closed chase of the critical instance proves termination on every
+      database (critical-instance theorem);
+    - a recurring cloud type along one guard chain with fresh nulls at
+      every link proves the branch self-similar, i.e. divergence;
+    - a budget-exhausted run without a pump answers [Unknown]. *)
+
+open Chase_logic
+open Chase_engine
+
+val default_budget : int
+
+type pump = {
+  occurrences : Atom.t list;  (** same-type facts along one guard chain *)
+  chain_length : int;
+}
+
+val find_pump : ?min_occurrences:int -> ?tips:int -> Engine.result -> pump option
+(** Search the derivation forest of a chase run for a recurring-type pump
+    along the guard chains of the deepest facts. *)
+
+val check :
+  ?standard:bool -> ?budget:int -> variant:Variant.t -> Tgd.t list -> Verdict.t
+(** @raise Invalid_argument if the set is not guarded. *)

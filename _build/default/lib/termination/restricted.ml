@@ -1,0 +1,90 @@
+(** The restricted chase — the paper's §4 / future-work territory.
+
+    All-instance termination of the restricted chase is not reducible to
+    the critical instance (a trigger can be blocked on crit by the very
+    term sharing that crit maximizes — `p(X,Y) → ∃Z p(Y,Z)` restrictedly
+    terminates on `p(✶,✶)` yet diverges from `p(a,b)`), and the paper only
+    announces preliminary results: a polynomial syntactic characterization
+    for {e single-head linear} sets.  This module provides:
+
+    - a sound sufficient test: weak or joint acyclicity implies restricted
+      termination (the restricted chase fires a subset of the
+      semi-oblivious triggers);
+    - a sound divergence test for single-head linear sets, by probing the
+      generic all-distinct instance: linearity makes restricted triggers
+      depend only on the source fact's pattern and the presence of a
+      blocking head instance, and the generic instance is the
+      hardest-to-block database over the schema (no accidental term
+      sharing), so divergence from it is divergence witnessed on a
+      concrete database;
+    - [Unknown] otherwise — honestly reflecting that a full decision
+      procedure is future work in the paper too.
+
+    Probing both crit(Σ) and the generic instance brackets the behaviour:
+    crit maximizes blocking, generic minimizes it. *)
+
+open Chase_logic
+open Chase_engine
+open Chase_acyclicity
+
+let default_budget = 20_000
+
+let probe ?(budget = default_budget) rules db =
+  let config =
+    {
+      Engine.variant = Variant.Restricted;
+      max_triggers = budget;
+      max_atoms = 4 * budget;
+    }
+  in
+  Engine.run ~config rules db
+
+let check ?(budget = default_budget) rules =
+  if Weak.is_weakly_acyclic rules then
+    Verdict.terminates ~procedure:"weak-acyclicity (sufficient)"
+      ~evidence:
+        "weakly acyclic: the restricted chase terminates on every database"
+  else if Joint.is_jointly_acyclic rules then
+    Verdict.terminates ~procedure:"joint-acyclicity (sufficient)"
+      ~evidence:
+        "jointly acyclic: the semi-oblivious and hence the restricted chase \
+         terminate on every database"
+  else begin
+    let generic = Critical.generic_of_rules rules in
+    let on_generic = probe ~budget rules (Instance.to_list generic) in
+    match on_generic.Engine.status with
+    | Engine.Budget_exhausted ->
+      (* Divergence on a concrete database refutes all-instance
+         termination outright. *)
+      Verdict.diverges ~procedure:"restricted-generic-probe"
+        ~evidence:
+          (Fmt.str
+             "the restricted chase of the generic all-distinct instance did \
+              not close within %d triggers (%d facts, depth %d): divergence \
+              witnessed on a concrete database"
+             budget
+             (Instance.cardinal on_generic.Engine.instance)
+             on_generic.Engine.max_depth)
+    | Engine.Terminated ->
+      if Chase_classes.Classify.is_single_head rules
+         && Chase_classes.Classify.is_linear rules
+      then
+        (* §4 case: single-head linear.  The generic instance is the
+           hardest single-fact-per-predicate database to block; together
+           with closure under the terminating run this is strong evidence,
+           but the paper's full characterization is not reconstructible
+           from the abstract, so we stop short of claiming a theorem. *)
+        Verdict.terminates ~procedure:"restricted-single-head-probe"
+          ~evidence:
+            (Fmt.str
+               "single-head linear set: restricted chase closed on the \
+                generic instance after %d triggers (%d skipped as satisfied)"
+               on_generic.Engine.triggers_applied
+               on_generic.Engine.triggers_skipped)
+      else
+        Verdict.unknown ~procedure:"restricted-generic-probe"
+          ~evidence:
+            "restricted chase closed on the generic instance, but no \
+             all-instance guarantee applies outside the single-head linear \
+             fragment"
+  end

@@ -1,0 +1,69 @@
+(** The chase-simulation oracle: run the ?-chase on the critical instance.
+
+    By the critical-instance theorem (DESIGN.md §1) the ?-chase, for
+    ? ∈ {oblivious, semi-oblivious}, terminates on every database iff it
+    terminates on crit(Σ); so a run that drains its worklist is a {e proof}
+    of all-instance termination.  A run that exhausts its budget proves
+    nothing by itself — [check] then answers [Unknown], and the experiment
+    harness treats a generous exhausted budget as presumed divergence when
+    comparing against the exact procedures.
+
+    For the restricted chase the critical-instance reduction is {e not}
+    sound in general (a restricted chase may terminate on the critical
+    instance yet diverge elsewhere); [check] still accepts
+    [Variant.Restricted] for the §4 experiments but labels its positive
+    answers as critical-instance-only. *)
+
+open Chase_logic
+open Chase_engine
+
+type outcome = {
+  verdict : Verdict.t;
+  result : Engine.result;
+}
+
+let default_budget = 50_000
+
+(** [check ?standard ?budget ~variant rules] chases crit(Σ). *)
+let check ?(standard = true) ?(budget = default_budget) ~variant rules =
+  let crit = Critical.of_rules ~standard rules in
+  let config =
+    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+  in
+  let result = Engine.run ~config rules (Instance.to_list crit) in
+  let verdict =
+    match result.Engine.status with
+    | Engine.Terminated ->
+      let scope =
+        match (variant : Variant.t) with
+        | Oblivious | Semi_oblivious -> "all databases"
+        | Restricted -> "the critical instance (restricted chase: no all-instance guarantee)"
+      in
+      Verdict.terminates ~procedure:"chase-simulation"
+        ~evidence:
+          (Fmt.str
+             "%a chase of the critical instance closed after %d triggers, %d \
+              facts — terminates on %s"
+             Variant.pp variant result.Engine.triggers_applied
+             (Instance.cardinal result.Engine.instance)
+             scope)
+    | Engine.Budget_exhausted ->
+      Verdict.unknown ~procedure:"chase-simulation"
+        ~evidence:
+          (Fmt.str
+             "budget of %d triggers exhausted at %d facts, max depth %d — no \
+              conclusion"
+             budget
+             (Instance.cardinal result.Engine.instance)
+             result.Engine.max_depth)
+  in
+  { verdict; result }
+
+(** Budget-exhaustion treated as presumed divergence; used as the ground
+    truth oracle in agreement experiments, where the exact procedures are
+    being validated. *)
+let presume ?standard ?budget ~variant rules =
+  let { verdict; _ } = check ?standard ?budget ~variant rules in
+  match Verdict.answer verdict with
+  | Verdict.Terminates -> true
+  | Verdict.Diverges | Verdict.Unknown -> false

@@ -1,0 +1,21 @@
+(** The chase-simulation oracle: run the ?-chase on the critical
+    instance.  A drained worklist proves all-instance termination for the
+    (semi-)oblivious chase (critical-instance theorem); budget exhaustion
+    proves nothing and is reported as [Unknown]. *)
+
+open Chase_engine
+
+type outcome = {
+  verdict : Verdict.t;
+  result : Engine.result;
+}
+
+val default_budget : int
+
+val check :
+  ?standard:bool -> ?budget:int -> variant:Variant.t -> Chase_logic.Tgd.t list -> outcome
+
+val presume :
+  ?standard:bool -> ?budget:int -> variant:Variant.t -> Chase_logic.Tgd.t list -> bool
+(** Budget exhaustion treated as presumed divergence — the ground-truth
+    convention of the agreement experiments. *)

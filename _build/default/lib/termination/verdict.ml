@@ -1,0 +1,39 @@
+(** Verdicts of the termination checkers.
+
+    A verdict records the answer, which procedure produced it, and a
+    human-readable account of the evidence (an acyclicity certificate, a
+    pumping cycle, a closed chase, …).  [Diverges] and [Terminates] are
+    only produced with evidence; a checker that runs out of budget or of
+    applicable theory answers [Unknown]. *)
+
+type answer =
+  | Terminates
+  | Diverges
+  | Unknown
+
+type t = {
+  answer : answer;
+  procedure : string;  (** e.g. "rich-acyclicity", "critical-linear" *)
+  evidence : string;
+}
+
+let make answer ~procedure ~evidence = { answer; procedure; evidence }
+let terminates = make Terminates
+let diverges = make Diverges
+let unknown = make Unknown
+
+let answer v = v.answer
+let is_terminating v = v.answer = Terminates
+let is_diverging v = v.answer = Diverges
+let is_unknown v = v.answer = Unknown
+
+let answer_to_string = function
+  | Terminates -> "terminates"
+  | Diverges -> "diverges"
+  | Unknown -> "unknown"
+
+let pp fm v =
+  Fmt.pf fm "@[<v>%s (by %s)@ %s@]" (answer_to_string v.answer) v.procedure
+    v.evidence
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,29 @@
+(** Verdicts of the termination checkers: the answer, the procedure that
+    produced it, and a human-readable account of the evidence.
+    [Diverges] and [Terminates] are only produced with evidence; a checker
+    that runs out of budget or applicable theory answers [Unknown]. *)
+
+type answer =
+  | Terminates
+  | Diverges
+  | Unknown
+
+type t = {
+  answer : answer;
+  procedure : string;  (** e.g. "rich-acyclicity", "critical-linear" *)
+  evidence : string;
+}
+
+val make : answer -> procedure:string -> evidence:string -> t
+val terminates : procedure:string -> evidence:string -> t
+val diverges : procedure:string -> evidence:string -> t
+val unknown : procedure:string -> evidence:string -> t
+
+val answer : t -> answer
+val is_terminating : t -> bool
+val is_diverging : t -> bool
+val is_unknown : t -> bool
+
+val answer_to_string : answer -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_acyclicity.ml: Alcotest Array Chase Digraph Families List QCheck Random_tgds Rich Test_util Variant Weak

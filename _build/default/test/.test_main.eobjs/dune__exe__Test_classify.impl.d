@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Atom Chase Classify Families Fmt List Random_tgds Test_util Tgd

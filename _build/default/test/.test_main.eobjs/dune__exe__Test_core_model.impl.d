@@ -1,0 +1,1 @@
+test/test_core_model.ml: Alcotest Atom Chase Core_model Engine Instance List QCheck Term Test_util Variant

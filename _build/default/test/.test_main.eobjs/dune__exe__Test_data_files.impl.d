@@ -1,0 +1,1 @@
+test/test_data_files.ml: Alcotest Atom Chase Classify Decide Engine Filename Fun List Parser Query Sys Term Test_util Tgd Variant Verdict Weak

@@ -1,0 +1,1 @@
+test/test_egd.ml: Alcotest Atom Chase Critical Egd Egd_chase Engine Fmt Instance List Parser QCheck Random_tgds Result Schema Term Test_util

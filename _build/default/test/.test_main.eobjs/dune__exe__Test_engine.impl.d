@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Atom Chase Critical Derivation Engine Families Fmt Instance List QCheck Term Test_util Variant

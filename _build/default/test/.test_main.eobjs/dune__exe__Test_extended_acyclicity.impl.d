@@ -1,0 +1,1 @@
+test/test_extended_acyclicity.ml: Alcotest Chase Classify Critical Decide Engine Families Instance Joint Linear Mfa QCheck Random_tgds Restricted Test_util Variant Verdict Weak

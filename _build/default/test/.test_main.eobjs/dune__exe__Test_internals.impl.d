@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Atom Chase Chase_logic Critical Critical_linear Engine Families Guarded Instance List Pattern Schema String Subst Term Test_util Variant Verdict

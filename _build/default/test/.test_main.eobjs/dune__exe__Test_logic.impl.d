@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Atom Chase Chase_logic Hom Instance List Option Pattern QCheck Result Schema Subst Term Test_util Tgd

@@ -1,0 +1,1 @@
+test/test_model_theory.ml: Alcotest Chase Critical Engine Hom Instance List Option QCheck Random_tgds Test_util Variant

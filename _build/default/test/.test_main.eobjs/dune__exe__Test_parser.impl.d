@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Atom Chase Fmt List Parser QCheck Result Term Test_util Tgd

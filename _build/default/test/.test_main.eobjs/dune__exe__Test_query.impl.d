@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Atom Chase Engine Families Fmt Instance List Parser QCheck Query Result Term Test_util Tgd Variant

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Atom Chase Classify Engine Entailment Families Fmt List Looping QCheck Random_tgds Schema Term Test_util Variant

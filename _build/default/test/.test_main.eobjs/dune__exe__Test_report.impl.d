@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Chase Engine Families Fmt QCheck Random_tgds Report String Test_util Verdict

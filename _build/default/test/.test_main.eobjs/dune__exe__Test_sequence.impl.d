@@ -1,0 +1,1 @@
+test/test_sequence.ml: Alcotest Chase Critical Engine Families Fmt Instance List QCheck Random_tgds Sequence Test_util Variant

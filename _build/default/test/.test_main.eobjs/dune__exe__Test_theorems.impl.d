@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Chase Decide Families Fmt Guarded Linear List QCheck Random_tgds Rich Sl Test_util Variant Verdict Weak

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Atom Chase Critical Engine Hom Instance Option Parser Pattern QCheck QCheck_alcotest Term Variant

@@ -1,0 +1,115 @@
+(** Tests for the acyclicity machinery: digraph/SCC, dependency graphs,
+    weak and rich acyclicity. *)
+
+open Chase
+open Test_util
+
+(* ------------- digraph ------------- *)
+
+let test_scc () =
+  let g = Digraph.create 5 in
+  let e u v = Digraph.add_edge g ~src:u ~dst:v ~special:false in
+  e 0 1; e 1 2; e 2 0; e 2 3; e 3 4;
+  let comp = Digraph.scc g in
+  Alcotest.(check bool) "0,1,2 together" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  Alcotest.(check bool) "3 apart" true (comp.(3) <> comp.(0));
+  Alcotest.(check bool) "4 apart" true (comp.(4) <> comp.(3))
+
+let test_dangerous_edge () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g ~src:0 ~dst:1 ~special:true;
+  Digraph.add_edge g ~src:1 ~dst:2 ~special:false;
+  Alcotest.(check bool) "special edge off-cycle is safe" false
+    (Digraph.has_dangerous_cycle g);
+  Digraph.add_edge g ~src:2 ~dst:0 ~special:false;
+  Alcotest.(check bool) "closing the loop is dangerous" true
+    (Digraph.has_dangerous_cycle g)
+
+let test_self_loop () =
+  let g = Digraph.create 1 in
+  Digraph.add_edge g ~src:0 ~dst:0 ~special:true;
+  Alcotest.(check bool) "special self-loop" true (Digraph.has_dangerous_cycle g);
+  match Digraph.dangerous_cycle g with
+  | Some [ e ] -> Alcotest.(check bool) "cycle is the loop" true e.Digraph.special
+  | _ -> Alcotest.fail "expected a one-edge cycle"
+
+let test_long_chain_no_overflow () =
+  (* deep recursion in Tarjan would overflow on a long chain *)
+  let n = 50_000 in
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    Digraph.add_edge g ~src:i ~dst:(i + 1) ~special:false
+  done;
+  let comp = Digraph.scc g in
+  Alcotest.(check bool) "all singleton" true (comp.(0) <> comp.(n - 1))
+
+(* ------------- dependency graphs ------------- *)
+
+let test_wa_classics () =
+  Alcotest.(check bool) "example2 not WA" false
+    (Weak.is_weakly_acyclic Families.example2);
+  Alcotest.(check bool) "separator is WA" true
+    (Weak.is_weakly_acyclic Families.separator);
+  Alcotest.(check bool) "chain is WA" true (Weak.is_weakly_acyclic (Families.sl_chain 5));
+  Alcotest.(check bool) "cycle not WA" false (Weak.is_weakly_acyclic (Families.sl_cycle 5))
+
+let test_ra_classics () =
+  Alcotest.(check bool) "example2 not RA" false
+    (Rich.is_richly_acyclic Families.example2);
+  Alcotest.(check bool) "separator not RA" false
+    (Rich.is_richly_acyclic Families.separator);
+  Alcotest.(check bool) "chain is RA" true (Rich.is_richly_acyclic (Families.sl_chain 5));
+  Alcotest.(check bool) "benign cycle WA but not RA" true
+    (Weak.is_weakly_acyclic (Families.sl_cycle_benign 4)
+    && not (Rich.is_richly_acyclic (Families.sl_cycle_benign 4)))
+
+let test_full_rules_trivially_acyclic () =
+  let datalog = parse "e(X, Y), e(Y, Z) -> e(X, Z). e(X, Y) -> e(Y, X)." in
+  Alcotest.(check bool) "WA" true (Weak.is_weakly_acyclic datalog);
+  Alcotest.(check bool) "RA" true (Rich.is_richly_acyclic datalog)
+
+let test_wa_certificate_positions () =
+  match Weak.check Families.example2 with
+  | None -> Alcotest.fail "expected a dangerous cycle"
+  | Some cycle ->
+    Alcotest.(check bool) "cycle over p positions" true
+      (List.for_all (fun (p, _) -> p = "p") cycle && cycle <> [])
+
+(* RA ⟹ WA as classes: the extended graph only adds edges *)
+let ra_implies_wa =
+  qcheck ~count:300 "richly acyclic ⟹ weakly acyclic"
+    (QCheck.make QCheck.Gen.(map (fun s -> s) small_nat))
+    (fun seed ->
+      let rules = Random_tgds.linear ~seed () in
+      (not (Rich.is_richly_acyclic rules)) || Weak.is_weakly_acyclic rules)
+
+(* WA is sound: weakly acyclic ⟹ so-chase of crit terminates *)
+let wa_sound_for_so =
+  qcheck ~count:150 "WA sound for the semi-oblivious chase"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.linear ~seed () in
+      (not (Weak.is_weakly_acyclic rules))
+      || crit_chase_terminates ~budget:20_000 Variant.Semi_oblivious rules)
+
+(* RA is sound: richly acyclic ⟹ o-chase of crit terminates *)
+let ra_sound_for_o =
+  qcheck ~count:150 "RA sound for the oblivious chase"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.linear ~seed () in
+      (not (Rich.is_richly_acyclic rules))
+      || crit_chase_terminates ~budget:20_000 Variant.Oblivious rules)
+
+let suite =
+  [
+    Alcotest.test_case "tarjan scc" `Quick test_scc;
+    Alcotest.test_case "dangerous edge detection" `Quick test_dangerous_edge;
+    Alcotest.test_case "special self-loop" `Quick test_self_loop;
+    Alcotest.test_case "tarjan on long chains" `Quick test_long_chain_no_overflow;
+    Alcotest.test_case "weak acyclicity classics" `Quick test_wa_classics;
+    Alcotest.test_case "rich acyclicity classics" `Quick test_ra_classics;
+    Alcotest.test_case "full rules acyclic" `Quick test_full_rules_trivially_acyclic;
+    Alcotest.test_case "WA certificate" `Quick test_wa_certificate_positions;
+    ra_implies_wa;
+    wa_sound_for_so;
+    ra_sound_for_o;
+  ]

@@ -1,0 +1,103 @@
+(** Tests for the TGD class recognizers. *)
+
+open Chase
+open Test_util
+
+let test_simple_linear () =
+  Alcotest.(check bool) "sl" true (Classify.is_simple_linear (parse "p(X, Y) -> q(Y, Z)."));
+  Alcotest.(check bool) "repeated var not sl" false
+    (Classify.is_simple_linear (parse "p(X, X) -> q(X)."));
+  Alcotest.(check bool) "two body atoms not sl" false
+    (Classify.is_simple_linear (parse "p(X), q(X) -> r(X)."))
+
+let test_linear () =
+  Alcotest.(check bool) "repeated var is linear" true
+    (Classify.is_linear (parse "p(X, X) -> q(X)."));
+  Alcotest.(check bool) "join not linear" false
+    (Classify.is_linear (parse "p(X), q(X) -> r(X)."))
+
+let test_guarded () =
+  Alcotest.(check bool) "guard atom" true
+    (Classify.is_guarded (parse "r(X, Y), p(Y) -> s(X)."));
+  Alcotest.(check bool) "cross product unguarded" false
+    (Classify.is_guarded (parse "p(X), q(Y) -> r(X, Y)."));
+  Alcotest.(check bool) "linear is guarded" true
+    (Classify.is_guarded (parse "p(X, X) -> q(X)."))
+
+let test_guard_of () =
+  let r = parse_rule "p(Y), r(X, Y) -> s(X)" in
+  match Classify.guard_of r with
+  | Some g -> Alcotest.(check string) "guard is r" "r" (Atom.pred g)
+  | None -> Alcotest.fail "expected a guard"
+
+let test_classify_join () =
+  Alcotest.(check string) "most specific: sl" "simple-linear"
+    (Classify.cls_to_string (Classify.classify (parse "p(X) -> q(X).")));
+  Alcotest.(check string) "mixed set is linear" "linear"
+    (Classify.cls_to_string
+       (Classify.classify (parse "p(X) -> q(X). p(X, X) -> q(X).")));
+  Alcotest.(check string) "join forces guarded" "guarded"
+    (Classify.cls_to_string
+       (Classify.classify (parse "p(X) -> q(X). r(X, Y), p(Y) -> s(X).")));
+  Alcotest.(check string) "cartesian body unguarded" "unguarded"
+    (Classify.cls_to_string (Classify.classify (parse "p(X), q(Y) -> r(X, Y).")))
+
+let test_full () =
+  Alcotest.(check bool) "datalog" true (Classify.is_full (parse "p(X, Y) -> q(Y, X)."));
+  Alcotest.(check bool) "existential not full" false
+    (Classify.is_full (parse "p(X) -> q(X, Z)."))
+
+let test_single_head () =
+  Alcotest.(check bool) "single head ok" true
+    (Classify.is_single_head (parse "p(X) -> q(X). q(X) -> r(X, Z)."));
+  Alcotest.(check bool) "shared head pred rejected" false
+    (Classify.is_single_head (parse "p(X) -> q(X). r(X) -> q(X)."));
+  Alcotest.(check bool) "two head atoms rejected" false
+    (Classify.is_single_head (parse "p(X) -> q(X), r(X)."))
+
+let test_generators_produce_their_class () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Fmt.str "simple_linear seed %d" seed)
+        true
+        (Classify.is_simple_linear (Random_tgds.simple_linear ~seed ()));
+      Alcotest.(check bool)
+        (Fmt.str "linear seed %d" seed)
+        true
+        (Classify.is_linear (Random_tgds.linear ~seed ()));
+      Alcotest.(check bool)
+        (Fmt.str "guarded seed %d" seed)
+        true
+        (Classify.is_guarded (Random_tgds.guarded ~seed ())))
+    [ 1; 2; 3; 42; 99 ]
+
+let test_generator_determinism () =
+  let r1 = Random_tgds.guarded ~seed:7 () and r2 = Random_tgds.guarded ~seed:7 () in
+  Alcotest.(check bool) "same seed same rules" true (List.equal Tgd.equal r1 r2)
+
+let test_families_classes () =
+  Alcotest.(check bool) "example2 is SL" true (Classify.is_simple_linear Families.example2);
+  Alcotest.(check bool) "thm2 counterexample is linear, not SL" true
+    (Classify.is_linear Families.thm2_counterexample
+    && not (Classify.is_simple_linear Families.thm2_counterexample));
+  Alcotest.(check bool) "guarded family is guarded, not linear" true
+    (Classify.is_guarded (Families.guarded_divergent ~arity:3)
+    && not (Classify.is_linear (Families.guarded_divergent ~arity:3)));
+  Alcotest.(check bool) "single-head chain" true
+    (Classify.is_single_head (Families.single_head_chain 4))
+
+let suite =
+  [
+    Alcotest.test_case "simple linear" `Quick test_simple_linear;
+    Alcotest.test_case "linear" `Quick test_linear;
+    Alcotest.test_case "guarded" `Quick test_guarded;
+    Alcotest.test_case "guard_of" `Quick test_guard_of;
+    Alcotest.test_case "classify join" `Quick test_classify_join;
+    Alcotest.test_case "full rules" `Quick test_full;
+    Alcotest.test_case "single head" `Quick test_single_head;
+    Alcotest.test_case "generators produce their class" `Quick
+      test_generators_produce_their_class;
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "families have advertised classes" `Quick test_families_classes;
+  ]

@@ -1,0 +1,114 @@
+(** Tests for core computation. *)
+
+open Chase
+open Test_util
+
+let inst atoms = Instance.of_list atoms
+let null n = Term.Null n
+let c s = Term.Const s
+
+let test_redundant_null_folds () =
+  (* {p(a, n1), p(a, n2)} folds to one fact *)
+  let i = inst [ Atom.of_list "p" [ c "a"; null 1 ]; Atom.of_list "p" [ c "a"; null 2 ] ] in
+  let k = Core_model.core i in
+  Alcotest.(check int) "one fact" 1 (Instance.cardinal k);
+  Alcotest.(check bool) "equivalent to original" true (Core_model.equivalent i k)
+
+let test_null_folds_onto_constant () =
+  (* {p(a, n1), p(a, b)}: n1 ↦ b *)
+  let i = inst [ Atom.of_list "p" [ c "a"; null 1 ]; Atom.of_list "p" [ c "a"; c "b" ] ] in
+  let k = Core_model.core i in
+  Alcotest.(check int) "one fact" 1 (Instance.cardinal k);
+  Alcotest.(check bool) "the ground fact survives" true
+    (Instance.mem k (Atom.of_list "p" [ c "a"; c "b" ]))
+
+let test_symmetric_pair_is_core () =
+  (* {q(n1, n2), q(n2, n1)} has only automorphisms: it is its own core *)
+  let i = inst [ Atom.of_list "q" [ null 1; null 2 ]; Atom.of_list "q" [ null 2; null 1 ] ] in
+  Alcotest.(check bool) "is core" true (Core_model.is_core i);
+  Alcotest.(check int) "unchanged" 2 (Instance.cardinal (Core_model.core i))
+
+let test_ground_instance_is_core () =
+  let i = inst (parse_facts "e(a, b). e(b, c). e(a, c).") in
+  Alcotest.(check bool) "ground instances are cores" true (Core_model.is_core i)
+
+let test_chain_folds () =
+  (* a null path a → n1 → n2 alongside an edge a → b … the path folds onto
+     shorter structure only if consistent; here n2 has no outgoing edge so
+     n1 ↦ a? No: e(a,n1) needs e(h n1 …) … just check idempotence and
+     equivalence. *)
+  let i =
+    inst
+      [
+        Atom.of_list "e" [ c "a"; null 1 ];
+        Atom.of_list "e" [ null 1; null 2 ];
+        Atom.of_list "e" [ c "a"; c "b" ];
+        Atom.of_list "e" [ c "b"; c "d" ];
+      ]
+  in
+  let k = Core_model.core i in
+  Alcotest.(check int) "folds onto the ground path" 2 (Instance.cardinal k);
+  Alcotest.(check bool) "core is a core" true (Core_model.is_core k);
+  Alcotest.(check bool) "equivalent" true (Core_model.equivalent i k)
+
+let test_oblivious_core_matches_restricted () =
+  (* the oblivious chase over-invents; its core is the (already lean)
+     restricted result, up to isomorphism *)
+  let rules = parse "emp(N, D) -> dept(D, M)." in
+  let db = parse_facts "emp(ada, cs). emp(grace, cs)." in
+  let ob = chase ~variant:Variant.Oblivious rules db in
+  let re = chase ~variant:Variant.Restricted rules db in
+  let ob_core = Core_model.core ob.Engine.instance in
+  Alcotest.(check int) "oblivious made 2 dept facts" 2
+    (List.length (Instance.atoms_of_pred ob.Engine.instance "dept"));
+  Alcotest.(check int) "core has 1 dept fact" 1
+    (List.length (Instance.atoms_of_pred ob_core "dept"));
+  Alcotest.(check bool) "core ≅ restricted result" true
+    (Core_model.equivalent ob_core re.Engine.instance)
+
+let test_core_idempotent () =
+  let i =
+    inst
+      [
+        Atom.of_list "p" [ c "a"; null 1 ];
+        Atom.of_list "p" [ c "a"; null 2 ];
+        Atom.of_list "q" [ null 2; null 3 ];
+      ]
+  in
+  let k = Core_model.core i in
+  Alcotest.(check int) "core stable" (Instance.cardinal k)
+    (Instance.cardinal (Core_model.core k));
+  Alcotest.(check bool) "core is core" true (Core_model.is_core k)
+
+(* randomized: the core is equivalent to the instance and not larger *)
+let core_props =
+  let gen =
+    QCheck.Gen.(
+      let term =
+        oneof
+          [ map (fun i -> Term.Null (1 + (i mod 4))) small_nat;
+            oneofl [ Term.Const "a"; Term.Const "b" ] ]
+      in
+      list_size (int_range 1 5)
+        (map2 (fun t1 t2 -> Atom.of_list "e" [ t1; t2 ]) term term))
+  in
+  qcheck ~count:100 "core: smaller, equivalent, idempotent" (QCheck.make gen)
+    (fun atoms ->
+      let i = inst atoms in
+      let k = Core_model.core i in
+      Instance.cardinal k <= Instance.cardinal i
+      && Core_model.equivalent i k
+      && Core_model.is_core k)
+
+let suite =
+  [
+    Alcotest.test_case "redundant null folds" `Quick test_redundant_null_folds;
+    Alcotest.test_case "null folds onto constant" `Quick test_null_folds_onto_constant;
+    Alcotest.test_case "symmetric pair is core" `Quick test_symmetric_pair_is_core;
+    Alcotest.test_case "ground instance is core" `Quick test_ground_instance_is_core;
+    Alcotest.test_case "null chain folds" `Quick test_chain_folds;
+    Alcotest.test_case "oblivious core matches restricted" `Quick
+      test_oblivious_core_matches_restricted;
+    Alcotest.test_case "core idempotent" `Quick test_core_idempotent;
+    core_props;
+  ]

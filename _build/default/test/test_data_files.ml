@@ -1,0 +1,94 @@
+(** End-to-end tests over the rule corpus in data/ — the files a CLI user
+    would feed to [chase] and [chase-termination]. *)
+
+open Chase
+open Test_util
+
+let read name =
+  (* cwd differs between `dune runtest` (test dir) and `dune exec` (root) *)
+  let candidates =
+    [ Filename.concat "../data" name; Filename.concat "data" name;
+      Filename.concat "../../data" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail ("data file not found: " ^ name)
+  | Some path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_university () =
+  let rules = Parser.parse_rules_exn (read "university.chase") in
+  Alcotest.(check int) "23 axioms" 23 (List.length rules);
+  Alcotest.(check string) "simple linear" "simple-linear"
+    (Classify.cls_to_string (Classify.classify rules));
+  List.iter
+    (fun variant ->
+      Alcotest.(check bool)
+        (Variant.to_string variant ^ " terminates")
+        true
+        (Verdict.is_terminating (Decide.check ~variant rules)))
+    [ Variant.Oblivious; Variant.Semi_oblivious ];
+  (* and the chase on a small ABox stays small and is a model *)
+  let abox = parse_facts "full_professor(knuth). phd_student(student1)." in
+  let result = chase ~variant:Variant.Restricted rules abox in
+  Alcotest.(check bool) "terminates on the ABox" true
+    (result.Engine.status = Engine.Terminated);
+  Alcotest.(check bool) "is a model" true
+    (Engine.is_model rules result.Engine.instance)
+
+let test_genealogy () =
+  let rules = Parser.parse_rules_exn (read "genealogy.chase") in
+  Alcotest.(check string) "unguarded (the ancestor join)" "unguarded"
+    (Classify.cls_to_string (Classify.classify rules));
+  (* the full set falls to the simulation, which honestly says unknown *)
+  let v = Decide.check ~budget:3_000 ~variant:Variant.Semi_oblivious rules in
+  Alcotest.(check string) "honest unknown" "unknown"
+    (Verdict.answer_to_string (Verdict.answer v));
+  (* the linear fragment is decided exactly: divergent *)
+  let linear_fragment = List.filter Classify.rule_is_linear rules in
+  Alcotest.(check bool) "linear fragment diverges" true
+    (Verdict.is_diverging
+       (Decide.check ~variant:Variant.Semi_oblivious linear_fragment))
+
+let test_company_mapping () =
+  match Parser.parse_program (read "company_mapping.chase") with
+  | Error msg -> Alcotest.fail msg
+  | Ok (rules, facts) ->
+    Alcotest.(check int) "six dependencies" 6 (List.length rules);
+    Alcotest.(check int) "six source facts" 6 (List.length facts);
+    Alcotest.(check bool) "weakly acyclic" true (Weak.is_weakly_acyclic rules);
+    let result = chase ~variant:Variant.Restricted rules facts in
+    Alcotest.(check bool) "universal solution computed" true
+      (result.Engine.status = Engine.Terminated);
+    (* the invented manager of colossus works on it *)
+    let q =
+      Query.make_exn ~answer_vars:[ "M" ]
+        [
+          Atom.of_list "managed_by" [ Term.Const "colossus"; Term.Var "M" ];
+          Atom.of_list "works_on" [ Term.Var "M"; Term.Const "colossus" ];
+        ]
+    in
+    Alcotest.(check int) "manager works on own project" 1
+      (List.length (Query.answers q result.Engine.instance))
+
+let test_divergent_zoo () =
+  let rules = Parser.parse_rules_exn (read "divergent_zoo.chase") in
+  let by_name n = List.filter (fun r -> Tgd.name r = n) rules in
+  Alcotest.(check bool) "z1 diverges (o and so)" true
+    (Verdict.is_diverging (Decide.check ~variant:Variant.Semi_oblivious (by_name "z1")));
+  Alcotest.(check bool) "z2 separates" true
+    (Verdict.is_diverging (Decide.check ~variant:Variant.Oblivious (by_name "z2"))
+    && Verdict.is_terminating
+         (Decide.check ~variant:Variant.Semi_oblivious (by_name "z2")));
+  Alcotest.(check bool) "z3 guarded diverges" true
+    (Verdict.is_diverging (Decide.check ~variant:Variant.Semi_oblivious (by_name "z3")))
+
+let suite =
+  [
+    Alcotest.test_case "university ontology" `Quick test_university;
+    Alcotest.test_case "genealogy" `Quick test_genealogy;
+    Alcotest.test_case "company mapping" `Quick test_company_mapping;
+    Alcotest.test_case "divergent zoo" `Quick test_divergent_zoo;
+  ]

@@ -1,0 +1,194 @@
+(** Tests for EGDs: parsing, validation, and the chase with EGDs. *)
+
+open Chase
+open Test_util
+
+let parse_full src =
+  match Parser.parse_program_full src with
+  | Ok p -> p
+  | Error msg -> Alcotest.fail msg
+
+let test_parse_egd () =
+  let p = parse_full "key: dept(D, M1), dept(D, M2) -> M1 = M2." in
+  Alcotest.(check int) "one egd" 1 (List.length p.Parser.egds);
+  let e = List.hd p.Parser.egds in
+  Alcotest.(check string) "name" "key" (Egd.name e);
+  Alcotest.(check int) "one equality" 1 (List.length (Egd.equalities e))
+
+let test_parse_mixed_program () =
+  let p =
+    parse_full
+      "p(X) -> q(X, Z). q(X, Y1), q(X, Y2) -> Y1 = Y2. p(a)."
+  in
+  Alcotest.(check int) "tgd" 1 (List.length p.Parser.tgds);
+  Alcotest.(check int) "egd" 1 (List.length p.Parser.egds);
+  Alcotest.(check int) "fact" 1 (List.length p.Parser.facts)
+
+let test_parse_errors () =
+  let is_err s = Result.is_error (Parser.parse_program_full s) in
+  Alcotest.(check bool) "mixed head rejected" true
+    (is_err "p(X, Y) -> q(X), X = Y.");
+  Alcotest.(check bool) "constant equality rejected" true
+    (is_err "p(X) -> X = a.");
+  Alcotest.(check bool) "unsafe equality rejected" true
+    (is_err "p(X) -> X = Y.");
+  Alcotest.(check bool) "old entry point rejects egds" true
+    (Result.is_error (Parser.parse_program "p(X, Y) -> X = Y."))
+
+let test_egd_validation () =
+  Alcotest.(check bool) "empty equalities rejected" true
+    (Result.is_error
+       (Egd.make ~body:[ Atom.of_list "p" [ Term.Var "X" ] ] ~equalities:[] ()))
+
+let run_egd_chase src =
+  let p = parse_full src in
+  Egd_chase.run ~tgds:p.Parser.tgds ~egds:p.Parser.egds p.Parser.facts
+
+let test_functional_dependency_merges_nulls () =
+  (* one trigger invents two managers for the same department (the
+     restricted chase cannot block within a single head); the key
+     constraint then collapses them *)
+  let r =
+    run_egd_chase
+      {|
+        pair(X, Y) -> dept(X, M1), dept(Y, M2).
+        dept(D, M1), dept(D, M2) -> M1 = M2.
+        pair(cs, cs). pair(maths, physics).
+      |}
+  in
+  Alcotest.(check bool) "terminated" true (r.Egd_chase.status = Egd_chase.Terminated);
+  (* cs's two invented managers merge into one fact *)
+  Alcotest.(check int) "three dept facts" 3
+    (List.length (Instance.atoms_of_pred r.Egd_chase.instance "dept"));
+  Alcotest.(check bool) "at least one merge happened" true (r.Egd_chase.merges >= 1)
+
+let test_restricted_chase_avoids_most_duplicates () =
+  (* the classic employee mapping needs no merging at all under the
+     restricted chase: the second trigger is already satisfied *)
+  let r =
+    run_egd_chase
+      {|
+        emp(N, D) -> dept(D, M).
+        dept(D, M1), dept(D, M2) -> M1 = M2.
+        emp(ada, cs). emp(grace, cs). emp(alan, maths).
+      |}
+  in
+  Alcotest.(check bool) "terminated" true (r.Egd_chase.status = Egd_chase.Terminated);
+  Alcotest.(check int) "two dept facts" 2
+    (List.length (Instance.atoms_of_pred r.Egd_chase.instance "dept"));
+  Alcotest.(check int) "no merge needed" 0 r.Egd_chase.merges
+
+let test_constant_conflict_fails () =
+  let r =
+    run_egd_chase
+      {|
+        mgr(D, M1), mgr(D, M2) -> M1 = M2.
+        mgr(cs, ada). mgr(cs, grace).
+      |}
+  in
+  match r.Egd_chase.status with
+  | Egd_chase.Failed _ -> ()
+  | Egd_chase.Terminated | Egd_chase.Budget_exhausted ->
+    Alcotest.fail "expected failure on ada = grace"
+
+let test_egd_triggers_tgd () =
+  (* the merge makes a TGD body match that did not exist before *)
+  let r =
+    run_egd_chase
+      {|
+        same(X, Y), p(X), q(Y) -> r(X).
+        s(X, U1), s(X, U2) -> U1 = U2.
+        p(a). q(b).
+      |}
+  in
+  (* no merge possible: r not derivable *)
+  Alcotest.(check int) "no r" 0
+    (List.length (Instance.atoms_of_pred r.Egd_chase.instance "r"));
+  let r2 =
+    run_egd_chase
+      {|
+        e(X, Y) -> h(X, M).
+        h(X, M1), h(X, M2) -> M1 = M2.
+        h(X, M) -> boss(M).
+        e(a, b). e(a, c).
+      |}
+  in
+  Alcotest.(check bool) "terminated" true (r2.Egd_chase.status = Egd_chase.Terminated);
+  (* one h-fact for a, hence exactly one boss *)
+  Alcotest.(check int) "one boss" 1
+    (List.length (Instance.atoms_of_pred r2.Egd_chase.instance "boss"))
+
+let test_result_satisfies_both () =
+  let p =
+    parse_full
+      {|
+        emp(N, D) -> dept(D, M).
+        dept(D, M) -> works(M, D).
+        dept(D, M1), dept(D, M2) -> M1 = M2.
+        emp(ada, cs). emp(grace, cs).
+      |}
+  in
+  let r = Egd_chase.run ~tgds:p.Parser.tgds ~egds:p.Parser.egds p.Parser.facts in
+  Alcotest.(check bool) "terminated" true (r.Egd_chase.status = Egd_chase.Terminated);
+  Alcotest.(check bool) "satisfies TGDs" true
+    (Engine.is_model p.Parser.tgds r.Egd_chase.instance);
+  Alcotest.(check bool) "satisfies EGDs" true
+    (Egd_chase.satisfies_egds p.Parser.egds r.Egd_chase.instance)
+
+let test_egds_only () =
+  let r = run_egd_chase "p(X, Y1), p(X, Y2) -> Y1 = Y2. p(a, b)." in
+  Alcotest.(check bool) "terminates with no TGDs" true
+    (r.Egd_chase.status = Egd_chase.Terminated);
+  Alcotest.(check int) "instance unchanged" 1 (Instance.cardinal r.Egd_chase.instance)
+
+let test_egd_roundtrip_print () =
+  let p = parse_full "k: p(X, Y1), p(X, Y2) -> Y1 = Y2." in
+  let printed = Fmt.str "%a." Egd.pp (List.hd p.Parser.egds) in
+  let p2 = parse_full printed in
+  Alcotest.(check bool) "roundtrip" true
+    (Egd.equal (List.hd p.Parser.egds) (List.hd p2.Parser.egds))
+
+(* randomized: the chase-with-EGDs result, when it terminates, satisfies
+   every dependency *)
+let egd_chase_sound =
+  qcheck ~count:60 "terminating EGD chase satisfies all dependencies"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let tgds = Random_tgds.guarded ~seed () in
+      (* a key EGD on the first binary-or-wider predicate, if any *)
+      let egds =
+        match
+          List.find_opt (fun (_, n) -> n >= 2) (Schema.to_list (Schema.of_rules tgds))
+        with
+        | None -> []
+        | Some (p, n) ->
+          let vars tag = List.init n (fun i -> Term.Var (Fmt.str "%s%d" tag i)) in
+          let a1 = Atom.of_list p (Term.Var "K" :: List.tl (vars "A")) in
+          let a2 = Atom.of_list p (Term.Var "K" :: List.tl (vars "B")) in
+          [ Egd.make_exn ~body:[ a1; a2 ] ~equalities:[ ("A1", "B1") ] () ]
+      in
+      let db = Instance.to_list (Critical.generic_of_rules tgds) in
+      let config = { Egd_chase.default_config with Engine.max_triggers = 4_000 } in
+      let r = Egd_chase.run ~config ~tgds ~egds db in
+      match r.Egd_chase.status with
+      | Egd_chase.Terminated ->
+        Engine.is_model tgds r.Egd_chase.instance
+        && Egd_chase.satisfies_egds egds r.Egd_chase.instance
+      | Egd_chase.Failed _ | Egd_chase.Budget_exhausted -> true)
+
+let suite =
+  [
+    Alcotest.test_case "parse egd" `Quick test_parse_egd;
+    Alcotest.test_case "parse mixed program" `Quick test_parse_mixed_program;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "egd validation" `Quick test_egd_validation;
+    Alcotest.test_case "functional dependency merges nulls" `Quick
+      test_functional_dependency_merges_nulls;
+    Alcotest.test_case "restricted chase avoids most duplicates" `Quick
+      test_restricted_chase_avoids_most_duplicates;
+    Alcotest.test_case "constant conflict fails" `Quick test_constant_conflict_fails;
+    Alcotest.test_case "egd interacts with tgds" `Quick test_egd_triggers_tgd;
+    Alcotest.test_case "result satisfies both" `Quick test_result_satisfies_both;
+    Alcotest.test_case "egds only" `Quick test_egds_only;
+    Alcotest.test_case "egd print/parse roundtrip" `Quick test_egd_roundtrip_print;
+    egd_chase_sound;
+  ]

@@ -1,0 +1,195 @@
+(** Tests for the chase engine: variant semantics, model property,
+    provenance, budgets, the critical instance. *)
+
+open Chase
+open Test_util
+
+(* ------------- basic chase behaviour ------------- *)
+
+let test_example1_shape () =
+  (* person(bob) under Example 1, bounded: an initial segment of the
+     infinite chase — hasFather/person alternating *)
+  let result =
+    chase ~budget:10 Families.example1 (parse_facts "person(bob).")
+  in
+  Alcotest.(check bool) "budget hit" true (result.Engine.status = Engine.Budget_exhausted);
+  let facts = sorted_facts result in
+  Alcotest.(check bool) "has father fact" true
+    (List.exists (fun a -> Atom.pred a = "hasFather") facts);
+  Alcotest.(check int) "10 triggers → 21 facts" 21 (List.length facts)
+
+let test_terminating_chase_is_model () =
+  let rules =
+    parse "emp(X) -> dept(X, Z), mgr(Z). mgr(X) -> emp2(X)."
+  in
+  let result = chase rules (parse_facts "emp(alice). emp(bob).") in
+  Alcotest.(check bool) "terminated" true (result.Engine.status = Engine.Terminated);
+  Alcotest.(check bool) "result is a model" true
+    (Engine.is_model rules result.Engine.instance)
+
+let test_oblivious_vs_semioblivious_counts () =
+  (* p(a,b), p(a,c) under p(X,Y) → ∃Z q(X,Z): oblivious fires twice
+     (two homs), semi-oblivious once (same frontier X=a). *)
+  let rules = parse "p(X, Y) -> q(X, Z)." in
+  let db = parse_facts "p(a, b). p(a, c)." in
+  let ob = chase ~variant:Variant.Oblivious rules db in
+  let so = chase ~variant:Variant.Semi_oblivious rules db in
+  Alcotest.(check int) "oblivious fires per hom" 2 ob.Engine.triggers_applied;
+  Alcotest.(check int) "semi-oblivious fires per frontier" 1 so.Engine.triggers_applied;
+  Alcotest.(check int) "oblivious two nulls" 2 ob.Engine.nulls_created;
+  Alcotest.(check int) "semi-oblivious one null" 1 so.Engine.nulls_created
+
+let test_restricted_blocks_satisfied () =
+  (* q(a,b) already satisfies the head for X=a: restricted chase does
+     nothing, oblivious still fires. *)
+  let rules = parse "p(X) -> q(X, Z)." in
+  let db = parse_facts "p(a). q(a, b)." in
+  let ob = chase ~variant:Variant.Oblivious rules db in
+  let re = chase ~variant:Variant.Restricted rules db in
+  Alcotest.(check int) "oblivious fires" 1 ob.Engine.triggers_applied;
+  Alcotest.(check int) "restricted skips" 0 re.Engine.triggers_applied;
+  Alcotest.(check int) "restricted recorded the skip" 1 re.Engine.triggers_skipped
+
+let test_restricted_terminates_on_separator () =
+  (* e(X,Y) → ∃Z e(Y,X)… the symmetric closure rule: restricted chase
+     terminates (head satisfied by the produced flip), o/so diverge. *)
+  let rules = Families.restricted_separator in
+  let db = parse_facts "e(a, b)." in
+  Alcotest.(check bool) "restricted terminates" true
+    ((chase ~variant:Variant.Restricted rules db).Engine.status = Engine.Terminated);
+  Alcotest.(check bool) "oblivious diverges" true
+    ((chase ~variant:Variant.Oblivious ~budget:300 rules db).Engine.status
+    = Engine.Budget_exhausted)
+
+let test_fairness_breadth () =
+  (* Two independent generators: FIFO must advance both, not starve one. *)
+  let rules = parse "a(X) -> a(Z). b(X) -> b(Z)." in
+  let result = chase ~budget:100 rules (parse_facts "a(s). b(s).") in
+  let count p =
+    List.length (Instance.atoms_of_pred result.Engine.instance p)
+  in
+  Alcotest.(check bool) "both families grow" true (count "a" > 10 && count "b" > 10)
+
+let test_multi_head_shares_null () =
+  let rules = parse "p(X) -> q(X, Z), r(Z)." in
+  let result = chase rules (parse_facts "p(a).") in
+  let q = List.hd (Instance.atoms_of_pred result.Engine.instance "q") in
+  let r = List.hd (Instance.atoms_of_pred result.Engine.instance "r") in
+  check_term "head atoms share the null" (Atom.arg q 1) (Atom.arg r 0)
+
+let test_set_semantics_dedup () =
+  (* the full rule derives an already-present fact: no growth *)
+  let rules = parse "p(X, Y) -> p(Y, X)." in
+  let result = chase rules (parse_facts "p(a, a).") in
+  Alcotest.(check int) "no new facts" 0 result.Engine.atoms_created;
+  Alcotest.(check bool) "terminated" true (result.Engine.status = Engine.Terminated)
+
+(* ------------- provenance ------------- *)
+
+let test_provenance_depths () =
+  let rules = parse "p(X) -> q(X). q(X) -> r(X)." in
+  let result = chase rules (parse_facts "p(a).") in
+  Alcotest.(check int) "q at depth 1" 1 (Engine.depth_of result (fact "q(a)"));
+  Alcotest.(check int) "r at depth 2" 2 (Engine.depth_of result (fact "r(a)"));
+  Alcotest.(check int) "db fact at depth 0" 0 (Engine.depth_of result (fact "p(a)"));
+  Alcotest.(check int) "max depth" 2 result.Engine.max_depth
+
+let test_provenance_parents_and_guard () =
+  let rules = parse "r(X, Y), m(Y) -> s(Y, Z)." in
+  let result = chase rules (parse_facts "r(a, b). m(b).") in
+  let s_fact = List.hd (Instance.atoms_of_pred result.Engine.instance "s") in
+  match Atom.Tbl.find_opt result.Engine.provenance s_fact with
+  | None -> Alcotest.fail "no provenance record"
+  | Some d ->
+    Alcotest.(check int) "two parents" 2 (List.length (Derivation.parents d));
+    (match d.Derivation.guard_parent with
+    | Some g -> Alcotest.(check string) "guard image is r" "r" (Atom.pred g)
+    | None -> Alcotest.fail "expected guard image");
+    Alcotest.(check int) "one null created" 1 (List.length d.Derivation.created_nulls)
+
+(* ------------- budgets ------------- *)
+
+let test_budget_is_respected () =
+  let result = chase ~budget:50 Families.example2 (parse_facts "p(a, b).") in
+  Alcotest.(check bool) "status budget" true (result.Engine.status = Engine.Budget_exhausted);
+  Alcotest.(check bool) "trigger cap honoured" true (result.Engine.triggers_applied <= 50)
+
+(* ------------- critical instance ------------- *)
+
+let test_critical_plain () =
+  let rules = parse "p(X, Y) -> q(Y)." in
+  let crit = Critical.of_rules rules in
+  (* p/2 over {*}: 1 fact; q/1: 1 fact *)
+  Alcotest.(check int) "two facts" 2 (Instance.cardinal crit)
+
+let test_critical_standard () =
+  let rules = parse "p(X, Y) -> q(Y)." in
+  let crit = Critical.of_rules ~standard:true rules in
+  (* p/2 over {*,0,1}: 9; q/1: 3 *)
+  Alcotest.(check int) "twelve facts" 12 (Instance.cardinal crit)
+
+let test_critical_includes_rule_constants () =
+  let rules = parse "p(X, c) -> q(X)." in
+  let crit = Critical.of_rules rules in
+  (* constants {*, c}: p/2 → 4, q/1 → 2 *)
+  Alcotest.(check int) "six facts" 6 (Instance.cardinal crit);
+  Alcotest.(check bool) "p(✶, c) present" true
+    (Instance.mem crit (Atom.of_list "p" [ Critical.star; Term.Const "c" ]))
+
+let test_critical_size_guard () =
+  let rules = parse "p(A, B, C, D, E, F, G, H, I, J) -> q(A)." in
+  (* 3^10 + 3 facts exceed an explicit cap *)
+  Alcotest.(check bool) "refuses oversized instance" true
+    (try
+       ignore (Critical.of_rules ~standard:true ~max_facts:10_000 rules);
+       false
+     with Critical.Too_large _ -> true);
+  (* and the default cap refuses a truly huge schema *)
+  let big = parse "r(A, B, C, D, E, F, G, H, I, J, K, L, M) -> q(A)." in
+  Alcotest.(check bool) "default cap engages" true
+    (try ignore (Critical.of_rules ~standard:true big); false
+     with Critical.Too_large _ -> true)
+
+(* every database maps homomorphically onto the critical instance *)
+let critical_absorbs_databases =
+  let gen =
+    QCheck.Gen.(
+      let const = map (fun i -> Term.Const (Fmt.str "c%d" (i mod 4))) small_nat in
+      let atom p ar = map (fun ts -> Atom.of_list p ts) (list_repeat ar const) in
+      list_size (int_range 1 6) (oneof [ atom "p" 2; atom "q" 1 ]))
+  in
+  qcheck ~count:100 "critical instance absorbs every database" (QCheck.make gen)
+    (fun db ->
+      let rules = parse "p(X, Y) -> q(Y)." in
+      let crit = Critical.of_rules rules in
+      (* map all constants to ✶ *)
+      let mapped =
+        List.map (Atom.map_terms (fun _ -> Critical.star)) db
+      in
+      List.for_all (fun a -> Instance.mem crit a) mapped)
+
+let suite =
+  [
+    Alcotest.test_case "example 1 prefix shape" `Quick test_example1_shape;
+    Alcotest.test_case "terminating chase is a model" `Quick
+      test_terminating_chase_is_model;
+    Alcotest.test_case "oblivious vs semi-oblivious triggers" `Quick
+      test_oblivious_vs_semioblivious_counts;
+    Alcotest.test_case "restricted blocks satisfied triggers" `Quick
+      test_restricted_blocks_satisfied;
+    Alcotest.test_case "restricted terminates on separator" `Quick
+      test_restricted_terminates_on_separator;
+    Alcotest.test_case "FIFO fairness" `Quick test_fairness_breadth;
+    Alcotest.test_case "multi-head atoms share nulls" `Quick test_multi_head_shares_null;
+    Alcotest.test_case "set semantics dedup" `Quick test_set_semantics_dedup;
+    Alcotest.test_case "provenance depths" `Quick test_provenance_depths;
+    Alcotest.test_case "provenance parents and guard" `Quick
+      test_provenance_parents_and_guard;
+    Alcotest.test_case "budgets respected" `Quick test_budget_is_respected;
+    Alcotest.test_case "critical instance (plain)" `Quick test_critical_plain;
+    Alcotest.test_case "critical instance (standard)" `Quick test_critical_standard;
+    Alcotest.test_case "critical instance includes rule constants" `Quick
+      test_critical_includes_rule_constants;
+    Alcotest.test_case "critical instance size guard" `Quick test_critical_size_guard;
+    critical_absorbs_databases;
+  ]

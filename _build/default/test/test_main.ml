@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "chase"
+    [
+      ("logic", Test_logic.suite);
+      ("parser", Test_parser.suite);
+      ("query", Test_query.suite);
+      ("egd", Test_egd.suite);
+      ("core-model", Test_core_model.suite);
+      ("internals", Test_internals.suite);
+      ("data-files", Test_data_files.suite);
+      ("sequence", Test_sequence.suite);
+      ("report", Test_report.suite);
+      ("classify", Test_classify.suite);
+      ("engine", Test_engine.suite);
+      ("acyclicity", Test_acyclicity.suite);
+      ("extended-acyclicity", Test_extended_acyclicity.suite);
+      ("theorems", Test_theorems.suite);
+      ("reductions", Test_reductions.suite);
+      ("model-theory", Test_model_theory.suite);
+    ]

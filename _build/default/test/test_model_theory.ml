@@ -1,0 +1,88 @@
+(** Model-theoretic properties of the chase result: it is a model, and it
+    is universal (embeds into every model) — the two defining properties
+    from the paper's introduction. *)
+
+open Chase
+open Test_util
+
+let test_chase_is_model_and_universal () =
+  (* dept(X) → ∃M works(X, M) ∧ emp(M): a data-exchange-style rule *)
+  let rules = parse "dept(X) -> works(X, M), emp(M)." in
+  let db = parse_facts "dept(d1). dept(d2)." in
+  let result = chase rules db in
+  Alcotest.(check bool) "model" true (Engine.is_model rules result.Engine.instance);
+  (* a hand-built model: both departments share one manager *)
+  let other_model =
+    Instance.of_list
+      (parse_facts
+         "dept(d1). dept(d2). works(d1, boss). works(d2, boss). emp(boss).")
+  in
+  Alcotest.(check bool) "other model is a model" true
+    (Engine.is_model rules other_model);
+  Alcotest.(check bool) "chase embeds into the other model" true
+    (Option.is_some (Hom.instance_hom result.Engine.instance other_model));
+  (* the other model is NOT universal: it does not embed into the chase *)
+  Alcotest.(check bool) "collapsed model is not universal" false
+    (Option.is_some (Hom.instance_hom other_model result.Engine.instance))
+
+let test_variants_agree_up_to_homomorphism () =
+  (* on a terminating set, o/so/restricted results are hom-equivalent *)
+  let rules = parse "p(X) -> q(X, Z). q(X, Y) -> r(Y)." in
+  let db = parse_facts "p(a). p(b). q(a, c)." in
+  let o = chase ~variant:Variant.Oblivious rules db in
+  let so = chase ~variant:Variant.Semi_oblivious rules db in
+  let re = chase ~variant:Variant.Restricted rules db in
+  Alcotest.(check bool) "all terminated" true
+    (List.for_all (fun r -> r.Engine.status = Engine.Terminated) [ o; so; re ]);
+  Alcotest.(check bool) "o ≅ so" true
+    (hom_equivalent o.Engine.instance so.Engine.instance);
+  Alcotest.(check bool) "so ≅ restricted" true
+    (hom_equivalent so.Engine.instance re.Engine.instance)
+
+let test_restricted_smaller () =
+  let rules = parse "p(X) -> q(X, Z)." in
+  let db = parse_facts "p(a). q(a, b)." in
+  let o = chase ~variant:Variant.Oblivious rules db in
+  let re = chase ~variant:Variant.Restricted rules db in
+  Alcotest.(check bool) "restricted result no larger" true
+    (Instance.cardinal re.Engine.instance <= Instance.cardinal o.Engine.instance)
+
+(* randomized: on random terminating runs, the result satisfies the rules *)
+let chase_model_prop =
+  qcheck ~count:100 "terminating chase result is always a model"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.guarded ~seed () in
+      let crit = Critical.of_rules rules in
+      let result =
+        chase ~variant:Variant.Semi_oblivious ~budget:5_000 rules
+          (Instance.to_list crit)
+      in
+      result.Engine.status <> Engine.Terminated
+      || Engine.is_model rules result.Engine.instance)
+
+(* rule order must not matter: terminating runs under any permutation of
+   the rule set are homomorphically equivalent *)
+let order_invariance =
+  qcheck ~count:60 "chase result invariant under rule reordering"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.guarded ~seed () in
+      let db = Instance.to_list (Critical.generic_of_rules rules) in
+      let run rules =
+        chase ~variant:Variant.Semi_oblivious ~budget:4_000 rules db
+      in
+      let r1 = run rules and r2 = run (List.rev rules) in
+      match r1.Engine.status, r2.Engine.status with
+      | Engine.Terminated, Engine.Terminated ->
+        hom_equivalent r1.Engine.instance r2.Engine.instance
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "chase is a universal model" `Quick
+      test_chase_is_model_and_universal;
+    order_invariance;
+    Alcotest.test_case "variants agree up to homomorphism" `Quick
+      test_variants_agree_up_to_homomorphism;
+    Alcotest.test_case "restricted result is no larger" `Quick test_restricted_smaller;
+    chase_model_prop;
+  ]

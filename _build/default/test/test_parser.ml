@@ -1,0 +1,118 @@
+(** Tests for the concrete syntax. *)
+
+open Chase
+open Test_util
+
+let test_basic_rule () =
+  let r = parse_rule "p(X, Y) -> q(Y, Z)" in
+  Alcotest.(check int) "one body atom" 1 (List.length (Tgd.body r));
+  Alcotest.(check int) "one head atom" 1 (List.length (Tgd.head r))
+
+let test_named_rule () =
+  let rules = Parser.parse_rules_exn "mine: p(X) -> q(X)." in
+  Alcotest.(check string) "name kept" "mine" (Tgd.name (List.hd rules))
+
+let test_multi_atom () =
+  let r = parse_rule "p(X, Y), q(Y) -> r(Y, Z), s(Z)" in
+  Alcotest.(check int) "two body atoms" 2 (List.length (Tgd.body r));
+  Alcotest.(check int) "two head atoms" 2 (List.length (Tgd.head r))
+
+let test_comments_and_whitespace () =
+  let src = "% a comment\n  p(X) -> q(X). # another\n\n q(X) -> r(X)." in
+  Alcotest.(check int) "two rules" 2 (List.length (Parser.parse_rules_exn src))
+
+let test_propositional () =
+  let r = parse_rule "start -> step" in
+  Alcotest.(check int) "nullary body" 0 (Atom.arity (List.hd (Tgd.body r)))
+
+let test_facts () =
+  let facts = Parser.parse_database_exn "p(a, b). q(c)." in
+  Alcotest.(check int) "two facts" 2 (List.length facts)
+
+let test_case_convention () =
+  let r = parse_rule "p(x, Y) -> q(x, Y)" in
+  check_term "lowercase is constant" (Term.Const "x") (Atom.arg (List.hd (Tgd.body r)) 0);
+  check_term "uppercase is variable" (Term.Var "Y") (Atom.arg (List.hd (Tgd.body r)) 1)
+
+let test_underscore_variable () =
+  let r = parse_rule "p(_x) -> q(_x, Z)" in
+  check_term "underscore is variable" (Term.Var "_x") (Atom.arg (List.hd (Tgd.body r)) 0)
+
+let test_errors () =
+  let is_err s = Result.is_error (Parser.parse_rules s) in
+  Alcotest.(check bool) "missing dot" true (is_err "p(X) -> q(X)");
+  Alcotest.(check bool) "unbalanced paren" true (is_err "p(X -> q(X).");
+  Alcotest.(check bool) "datalog syntax rejected" true (is_err "q(X) :- p(X).");
+  Alcotest.(check bool) "nonground fact" true (Result.is_error (Parser.parse_database "p(X)."));
+  Alcotest.(check bool) "fact in rule file" true (Result.is_error (Parser.parse_rules "p(a)."))
+
+let test_mixed_program () =
+  match Parser.parse_program "p(a). p(X) -> q(X)." with
+  | Ok (rules, facts) ->
+    Alcotest.(check int) "one rule" 1 (List.length rules);
+    Alcotest.(check int) "one fact" 1 (List.length facts)
+  | Error e -> Alcotest.fail e
+
+let test_print_parse_roundtrip () =
+  let rules =
+    parse "p(X, Y), q(Y) -> r(Y, Z), s(Z). t(A, A) -> t(A, B). u(c) -> v(c, Z)."
+  in
+  List.iter
+    (fun r ->
+      let printed = Fmt.str "%a." Tgd.pp r in
+      let reparsed = parse_rule printed in
+      Alcotest.(check bool)
+        (Fmt.str "roundtrip %s" printed)
+        true (Tgd.equal r reparsed))
+    rules
+
+(* fuzz: generated rules survive print → parse → print *)
+let print_parse_fuzz =
+  let gen_term =
+    QCheck.Gen.(
+      oneof
+        [ map (fun i -> Term.Var (Fmt.str "V%d" (i mod 4))) small_nat;
+          map (fun i -> Term.Const (Fmt.str "k%d" (i mod 3))) small_nat ])
+  in
+  let gen_atom =
+    (* arity is a function of the predicate so rules are well-formed *)
+    QCheck.Gen.(
+      map (fun p -> p mod 3) small_nat >>= (fun p ->
+          map
+            (fun ts -> Atom.of_list (Fmt.str "p%d" p) ts)
+            (list_repeat (p + 1) gen_term)))
+  in
+  let gen_rule =
+    QCheck.Gen.(
+      map2
+        (fun body head ->
+          (* heads over body variables plus a possible existential *)
+          Tgd.make ~body ~head ())
+        (list_size (int_range 1 3) gen_atom)
+        (list_size (int_range 1 2) gen_atom))
+  in
+  Test_util.qcheck ~count:300 "print/parse round-trip (fuzz)"
+    (QCheck.make gen_rule) (fun rule_result ->
+      match rule_result with
+      | Error _ -> true (* invalid random combination: nothing to check *)
+      | Ok r ->
+        let printed = Fmt.str "%a." Tgd.pp r in
+        (match Parser.parse_rules printed with
+        | Ok [ r' ] -> Tgd.equal r r'
+        | Ok _ | Error _ -> false))
+
+let suite =
+  [
+    print_parse_fuzz;
+    Alcotest.test_case "basic rule" `Quick test_basic_rule;
+    Alcotest.test_case "named rule" `Quick test_named_rule;
+    Alcotest.test_case "multiple atoms" `Quick test_multi_atom;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "propositional atoms" `Quick test_propositional;
+    Alcotest.test_case "fact files" `Quick test_facts;
+    Alcotest.test_case "case convention" `Quick test_case_convention;
+    Alcotest.test_case "underscore variables" `Quick test_underscore_variable;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "mixed program" `Quick test_mixed_program;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+  ]

@@ -1,0 +1,115 @@
+(** Tests for entailment and the looping operator (E7 in test size). *)
+
+open Chase
+open Test_util
+
+(* ---------------- entailment ---------------- *)
+
+let test_datalog_entailment () =
+  let rules = parse "e(X, Y), e(Y, Z) -> e(X, Z)." in
+  let db = parse_facts "e(a, b). e(b, c). e(c, d)." in
+  Alcotest.(check bool) "transitive edge" true
+    (Entailment.holds rules db (fact "e(a, d)"));
+  Alcotest.(check bool) "no reverse edge" false
+    (Entailment.holds rules db (fact "e(d, a)"))
+
+let test_entailment_with_variables () =
+  let rules = parse "p(X) -> q(X, Z)." in
+  let db = parse_facts "p(a)." in
+  let q = Atom.of_list "q" [ Term.Const "a"; Term.Var "W" ] in
+  Alcotest.(check bool) "existential query" true (Entailment.holds rules db q)
+
+let test_entailment_unknown_on_budget () =
+  let rules = Families.example2 in
+  let db = parse_facts "p(a, b)." in
+  match Entailment.check ~budget:50 rules db (fact "q(a)") with
+  | `Unknown _ -> ()
+  | `Entailed | `Not_entailed -> Alcotest.fail "expected Unknown on budget"
+
+(* ---------------- looping operator ---------------- *)
+
+(* the chase of D under loop(Σ, α) diverges iff D, Σ ⊨ α *)
+let looping_correct target_entailed =
+  let name =
+    if target_entailed then "looping: entailed target → chase diverges"
+    else "looping: non-entailed target → chase terminates"
+  in
+  Alcotest.test_case name `Quick (fun () ->
+      (* Σ: a full guarded program; the goal is reachable iff the chain
+         from the database closes. *)
+      let sigma = parse "r(X, Y), m(Y) -> s(Y). s(X) -> goal(X)." in
+      let db =
+        if target_entailed then parse_facts "r(a, b). m(b)."
+        else parse_facts "r(a, b). m(a)."
+      in
+      let target = Atom.of_list "goal" [ Term.Var "G" ] in
+      Alcotest.(check bool) "entailment as expected" target_entailed
+        (Entailment.holds sigma db target);
+      let looped = (Looping.apply sigma ~target).Looping.rules in
+      let result = chase ~variant:Variant.Semi_oblivious ~budget:20_000 looped db in
+      Alcotest.(check bool) "termination is the complement" (not target_entailed)
+        (result.Engine.status = Engine.Terminated))
+
+let test_looping_preserves_class () =
+  let sigma = parse "p(X, Y) -> q(Y, X)." in
+  let target = Atom.of_list "q" [ Term.Var "A"; Term.Var "B" ] in
+  let looped = (Looping.apply sigma ~target).Looping.rules in
+  Alcotest.(check bool) "stays simple linear" true (Classify.is_simple_linear looped);
+  let sigma_g = parse "r(X, Y), m(Y) -> s(Y)." in
+  let looped_g = (Looping.apply sigma_g ~target:(fact "s(a)")).Looping.rules in
+  Alcotest.(check bool) "stays guarded" true (Classify.is_guarded looped_g)
+
+let test_looping_fresh_predicate () =
+  let sigma = parse "loop(X) -> loop_0(X)." in
+  let target = fact "loop_0(a)" in
+  let l = Looping.apply sigma ~target in
+  Alcotest.(check bool) "avoids collisions" true
+    (l.Looping.loop_pred <> "loop" && l.Looping.loop_pred <> "loop_0")
+
+(* randomized: looping operator correct on random full guarded programs
+   and random small databases *)
+let looping_random =
+  let gen =
+    QCheck.Gen.(pair small_nat (list_size (int_range 0 4) (int_range 0 2)))
+  in
+  qcheck ~count:80 "looping operator ⟺ entailment (random Datalog)"
+    (QCheck.make gen) (fun (seed, db_spec) ->
+      let profile =
+        { Random_tgds.default_profile with existential_bias = 0.0; n_rules = 3 }
+      in
+      let sigma = Random_tgds.guarded ~seed ~profile () in
+      (* a small database over the first schema predicate *)
+      let schema = Schema.of_rules sigma in
+      match Schema.to_list schema with
+      | [] -> true
+      | (p, n) :: rest ->
+        let db =
+          List.map
+            (fun k ->
+              Atom.of_list p (List.init n (fun i -> Term.Const (Fmt.str "c%d" ((k + i) mod 3)))))
+            db_spec
+        in
+        let target_pred, target_arity =
+          match rest with [] -> (p, n) | (q, m) :: _ -> (q, m)
+        in
+        let target =
+          Atom.of_list target_pred
+            (List.init target_arity (fun i -> Term.Var (Fmt.str "T%d" i)))
+        in
+        let entailed = Entailment.holds sigma db target in
+        let looped = (Looping.apply sigma ~target).Looping.rules in
+        let result = chase ~variant:Variant.Semi_oblivious ~budget:20_000 looped db in
+        (result.Engine.status = Engine.Terminated) = not entailed)
+
+let suite =
+  [
+    Alcotest.test_case "datalog entailment" `Quick test_datalog_entailment;
+    Alcotest.test_case "entailment with variables" `Quick test_entailment_with_variables;
+    Alcotest.test_case "entailment unknown on budget" `Quick
+      test_entailment_unknown_on_budget;
+    looping_correct true;
+    looping_correct false;
+    Alcotest.test_case "looping preserves class" `Quick test_looping_preserves_class;
+    Alcotest.test_case "looping fresh predicate" `Quick test_looping_fresh_predicate;
+    looping_random;
+  ]

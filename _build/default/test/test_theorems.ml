@@ -1,0 +1,150 @@
+(** Empirical validation of the paper's theorems (the content of
+    EXPERIMENTS.md E1–E2–E4, as fast test-sized versions).
+
+    The chase-simulation oracle decides termination on the critical
+    instance with a budget; on the tiny rule sets generated here the
+    budgets are far beyond any terminating chase, so oracle disagreement
+    with the exact procedures would expose real bugs. *)
+
+open Chase
+open Test_util
+
+let oracle ?(budget = 20_000) variant rules =
+  crit_chase_terminates ~budget variant rules
+
+(* ---------------- Theorem 1: SL ---------------- *)
+
+let thm1_oblivious =
+  qcheck ~count:200 "Thm 1 (o): RA = CT^o on random SL sets"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.simple_linear ~seed () in
+      Rich.is_richly_acyclic rules = oracle Variant.Oblivious rules)
+
+let thm1_semi_oblivious =
+  qcheck ~count:200 "Thm 1 (so): WA = CT^so on random SL sets"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.simple_linear ~seed () in
+      Weak.is_weakly_acyclic rules = oracle Variant.Semi_oblivious rules)
+
+let thm1_named_cases () =
+  let expect name rules o so =
+    Alcotest.(check bool) (name ^ " o") o (Verdict.is_terminating (Sl.check ~variant:Variant.Oblivious rules));
+    Alcotest.(check bool) (name ^ " so") so
+      (Verdict.is_terminating (Sl.check ~variant:Variant.Semi_oblivious rules))
+  in
+  expect "example2" Families.example2 false false;
+  expect "separator" Families.separator false true;
+  expect "chain" (Families.sl_chain 4) true true;
+  expect "cycle" (Families.sl_cycle 4) false false;
+  expect "benign cycle" (Families.sl_cycle_benign 4) false true
+
+(* ---------------- Theorem 2: L ---------------- *)
+
+let thm2_plain_acyclicity_incomplete () =
+  (* the counterexample: dangerous cycle, yet terminating *)
+  let rules = Families.thm2_counterexample in
+  Alcotest.(check bool) "not WA" false (Weak.is_weakly_acyclic rules);
+  Alcotest.(check bool) "o-chase terminates anyway" true (oracle Variant.Oblivious rules);
+  Alcotest.(check bool) "critical procedure is exact" true
+    (Verdict.is_terminating (Linear.check ~variant:Variant.Oblivious rules))
+
+let thm2_oblivious =
+  qcheck ~count:150 "Thm 2 (o): critical-RA = CT^o on random linear sets"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.linear ~seed () in
+      Verdict.is_terminating (Linear.check ~standard:false ~variant:Variant.Oblivious rules)
+      = oracle Variant.Oblivious rules)
+
+let thm2_semi_oblivious =
+  qcheck ~count:150 "Thm 2 (so): critical-WA = CT^so on random linear sets"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.linear ~seed () in
+      Verdict.is_terminating
+        (Linear.check ~standard:false ~variant:Variant.Semi_oblivious rules)
+      = oracle Variant.Semi_oblivious rules)
+
+let thm2_arity_family () =
+  List.iter
+    (fun arity ->
+      Alcotest.(check bool)
+        (Fmt.str "rotating arity %d diverges" arity)
+        false
+        (Verdict.is_terminating
+           (Linear.check ~variant:Variant.Oblivious (Families.linear_rotating ~arity)));
+      Alcotest.(check bool)
+        (Fmt.str "blocked arity %d terminates" arity)
+        true
+        (Verdict.is_terminating
+           (Linear.check ~variant:Variant.Oblivious (Families.linear_blocked ~arity))))
+    [ 2; 3; 4 ]
+
+(* ---------------- Grahne–Onet: CT^o ⊆ CT^so ---------------- *)
+
+let cto_subset_ctso =
+  qcheck ~count:200 "CT^o ⊆ CT^so (linear sets)"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.linear ~seed () in
+      (not (oracle Variant.Oblivious rules)) || oracle Variant.Semi_oblivious rules)
+
+(* ---------------- Theorem 4: guarded ---------------- *)
+
+let thm4_named_cases () =
+  let check_t name rules expected =
+    let v = Guarded.check ~variant:Variant.Semi_oblivious rules in
+    Alcotest.(check string) name expected (Verdict.answer_to_string (Verdict.answer v))
+  in
+  check_t "guarded divergent" (Families.guarded_divergent ~arity:3) "diverges";
+  check_t "guarded terminating" (Families.guarded_terminating ~arity:3) "terminates";
+  check_t "guarded tower" (Families.guarded_tower ~levels:3) "terminates"
+
+let thm4_agreement =
+  qcheck ~count:60 "Thm 4: guarded checker agrees with the chase oracle"
+    (QCheck.make QCheck.Gen.small_nat) (fun seed ->
+      let rules = Random_tgds.guarded ~seed () in
+      let oracle_terminates = oracle ~budget:8_000 Variant.Semi_oblivious rules in
+      match
+        Verdict.answer (Guarded.check ~budget:8_000 ~variant:Variant.Semi_oblivious rules)
+      with
+      | Verdict.Terminates -> oracle_terminates
+      | Verdict.Diverges -> not oracle_terminates
+      | Verdict.Unknown -> not oracle_terminates (* budget cases must at least not be terminating *))
+
+(* ---------------- the Decide dispatcher ---------------- *)
+
+let decide_catalogue () =
+  (* every catalogue family gets a definite, correct answer *)
+  List.iter
+    (fun (name, rules) ->
+      let expected = oracle Variant.Semi_oblivious rules in
+      let v = Decide.check ~variant:Variant.Semi_oblivious rules in
+      match Verdict.answer v with
+      | Verdict.Terminates ->
+        Alcotest.(check bool) (name ^ ": terminates correct") true expected
+      | Verdict.Diverges ->
+        Alcotest.(check bool) (name ^ ": diverges correct") false expected
+      | Verdict.Unknown -> Alcotest.fail (name ^ ": expected a definite answer"))
+    (List.filter (fun (n, _) -> n <> "restricted-separator") Families.catalogue)
+
+let decide_uses_fast_path () =
+  let v = Decide.check ~variant:Variant.Oblivious Families.example2 in
+  Alcotest.(check string) "SL handled by acyclicity" "rich-acyclicity" v.Verdict.procedure;
+  let v2 = Decide.check ~variant:Variant.Oblivious Families.thm2_counterexample in
+  Alcotest.(check string) "L handled by critical procedure"
+    "critical-rich-acyclicity" v2.Verdict.procedure
+
+let suite =
+  [
+    thm1_oblivious;
+    thm1_semi_oblivious;
+    Alcotest.test_case "Thm 1 named cases" `Quick thm1_named_cases;
+    Alcotest.test_case "Thm 2: plain acyclicity incomplete on L" `Quick
+      thm2_plain_acyclicity_incomplete;
+    thm2_oblivious;
+    thm2_semi_oblivious;
+    Alcotest.test_case "Thm 2 arity families" `Quick thm2_arity_family;
+    cto_subset_ctso;
+    Alcotest.test_case "Thm 4 named cases" `Quick thm4_named_cases;
+    thm4_agreement;
+    Alcotest.test_case "Decide on the catalogue" `Quick decide_catalogue;
+    Alcotest.test_case "Decide picks the right procedure" `Quick decide_uses_fast_path;
+  ]

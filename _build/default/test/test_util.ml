@@ -1,0 +1,42 @@
+(** Shared helpers for the test suite. *)
+
+open Chase
+
+let parse = Parser.parse_rules_exn
+let parse_rule = Parser.parse_rule_exn
+let parse_facts = Parser.parse_database_exn
+let fact = Parser.parse_fact_exn
+
+let atom_testable = Alcotest.testable Atom.pp Atom.equal
+let term_testable = Alcotest.testable Term.pp Term.equal
+let pattern_testable = Alcotest.testable Pattern.pp Pattern.equal
+
+let check_atom = Alcotest.check atom_testable
+let check_term = Alcotest.check term_testable
+
+(** Chase the critical instance with a budget; true iff it terminated. *)
+let crit_chase_terminates ?(standard = false) ?(budget = 10_000) variant rules =
+  let crit = Critical.of_rules ~standard rules in
+  let config =
+    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+  in
+  let result = Engine.run ~config rules (Instance.to_list crit) in
+  result.Engine.status = Engine.Terminated
+
+(** Run the chase on an explicit database. *)
+let chase ?(variant = Variant.Oblivious) ?(budget = 10_000) rules db =
+  let config =
+    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+  in
+  Engine.run ~config rules db
+
+let sorted_facts result = Instance.to_sorted_list result.Engine.instance
+
+(** Compare instance contents up to null renaming: both embed in each
+    other via constant-fixing homomorphisms. *)
+let hom_equivalent i1 i2 =
+  Option.is_some (Hom.instance_hom i1 i2)
+  && Option.is_some (Hom.instance_hom i2 i1)
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
