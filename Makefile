@@ -1,0 +1,35 @@
+# Developer entry points; CI runs `make check`.
+
+.PHONY: all build test smoke fmt fmt-ml check clean
+
+all: build
+
+build:
+	dune build
+
+# full suite: unit + property tests and the cram CLI suite
+test:
+	dune runtest
+
+# quick confidence: the CLI cram suite only (builds both binaries,
+# exercises parsing, the chase, limits/timeout degradation and reports)
+smoke:
+	dune runtest cram
+
+# formatting gate: dune files are always checked; .ml formatting only
+# when ocamlformat is available (it is not baked into every image)
+fmt:
+	dune build @fmt
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(MAKE) fmt-ml; \
+	else \
+	  echo "ocamlformat not installed: skipping .ml formatting check"; \
+	fi
+
+fmt-ml:
+	ocamlformat --check $$(git ls-files '*.ml' '*.mli')
+
+check: build fmt test
+
+clean:
+	dune clean

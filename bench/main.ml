@@ -40,7 +40,7 @@ let pp_time fm s =
 let oracle ?(budget = 20_000) variant rules =
   let crit = Critical.of_rules ~standard:false rules in
   let config =
-    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+    { Engine.variant; limits = Limits.of_budget budget }
   in
   (Engine.run ~config rules (Instance.to_list crit)).Engine.status
   = Engine.Terminated
@@ -299,8 +299,7 @@ let e6 seeds =
         let config =
           {
             Engine.variant = Variant.Semi_oblivious;
-            max_triggers = 50_000;
-            max_atoms = 200_000;
+            limits = Limits.make ~max_triggers:50_000 ~max_atoms:200_000 ();
           }
         in
         let r = Engine.run ~config rules db in
@@ -345,8 +344,7 @@ let e7 seeds =
       let config =
         {
           Engine.variant = Variant.Semi_oblivious;
-          max_triggers = 20_000;
-          max_atoms = 80_000;
+          limits = Limits.make ~max_triggers:20_000 ~max_atoms:80_000 ();
         }
       in
       let r = Engine.run ~config looped db in
@@ -367,11 +365,11 @@ let e8 () =
   let cell rules variant =
     let generic = Critical.generic_of_rules rules in
     let config =
-      { Engine.variant; max_triggers = 20_000; max_atoms = 80_000 }
+      { Engine.variant; limits = Limits.make ~max_triggers:20_000 ~max_atoms:80_000 () }
     in
     match (Engine.run ~config rules (Instance.to_list generic)).Engine.status with
     | Engine.Terminated -> "term"
-    | Engine.Budget_exhausted -> "DIV"
+    | Engine.Exhausted _ -> "DIV"
   in
   List.iter
     (fun (name, rules) ->
@@ -422,8 +420,7 @@ let e9 seeds =
     let db = Instance.to_list (Critical.generic_of_rules tgds) in
     let config =
       { Egd_chase.default_config with
-        Engine.max_triggers = 2_000;
-        max_atoms = 6_000
+        Engine.limits = Limits.make ~max_triggers:2_000 ~max_atoms:6_000 ()
       }
     in
     let r = Egd_chase.run ~config ~tgds ~egds db in
@@ -441,7 +438,7 @@ let e9 seeds =
           incr shrunk
       end
     | Egd_chase.Failed _ -> incr failed
-    | Egd_chase.Budget_exhausted -> incr budget)
+    | Egd_chase.Exhausted _ -> incr budget)
   done;
   Fmt.pr "random guarded mappings with a key EGD: %d@." seeds;
   Fmt.pr
@@ -479,8 +476,7 @@ let microbenches () =
                ~config:
                  {
                    Engine.variant = Variant.Semi_oblivious;
-                   max_triggers = 10_000;
-                   max_atoms = 40_000;
+                   limits = Limits.make ~max_triggers:10_000 ~max_atoms:40_000 ();
                  }
                tower tower_db));
       Test.make ~name:"acyclicity/wa-chain-256"

@@ -3,7 +3,15 @@
     The input file mixes rules and facts (see {!Chase.Parser}); the tool
     runs the selected chase variant and prints the resulting instance and
     run statistics.  With [--critical] the input database is replaced by
-    the critical instance of the rules. *)
+    the critical instance of the rules.
+
+    The run is resource-governed: [--budget] caps trigger applications,
+    [--max-atoms] caps the instance size (independently of the budget),
+    and [--timeout] sets a wall-clock deadline.  A breached limit exits
+    with code 2 after printing the partial instance and a structured
+    exhaustion reason (which limit, the dominant rule, the recent
+    null-growth rate) on stderr; [--progress] streams periodic watchdog
+    snapshots on stderr while the chase runs. *)
 
 open Cmdliner
 open Chase
@@ -22,7 +30,7 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-let run file variant budget critical standard quiet =
+let run file variant budget max_atoms timeout progress critical standard quiet =
   match Parser.parse_program (read_file file) with
   | Error msg ->
     Fmt.epr "parse error: %s@." msg;
@@ -37,16 +45,28 @@ let run file variant budget critical standard quiet =
       1
     end
     else begin
-      let config =
-        { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+      let limits =
+        Limits.make ~max_triggers:budget ~max_atoms ?timeout ()
       in
-      let result = Engine.run ~config rules db in
+      let config = { Engine.variant; limits } in
+      let watchdog =
+        if progress then
+          Some
+            (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
+                 Fmt.epr "%a@." Watchdog.pp_snapshot s))
+        else None
+      in
+      let result = Engine.run ~config ?watchdog rules db in
       if not quiet then
         List.iter
           (fun a -> Fmt.pr "%a.@." Atom.pp a)
           (Instance.to_sorted_list result.Engine.instance);
       Fmt.pr "%a@." Engine.pp_result result;
-      match result.Engine.status with Engine.Terminated -> 0 | _ -> 2
+      match result.Engine.status with
+      | Engine.Terminated -> 0
+      | Engine.Exhausted reason ->
+        Fmt.epr "%a@." Limits.Exhaustion.pp reason;
+        2
     end
 
 let file_arg =
@@ -62,6 +82,24 @@ let budget_arg =
   Arg.(value & opt int 100_000
        & info [ "b"; "budget" ] ~docv:"N"
            ~doc:"Maximum number of trigger applications.")
+
+let max_atoms_arg =
+  Arg.(value & opt int 400_000
+       & info [ "max-atoms" ] ~docv:"N"
+           ~doc:"Maximum number of facts in the instance (independent of \
+                 the trigger budget).")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline for the run; on expiry the partial \
+                 instance is printed and the exit code is 2.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Stream periodic watchdog snapshots (throughput, instance \
+                 size, queue length, null-growth rate) on stderr.")
 
 let critical_arg =
   Arg.(value & flag
@@ -83,7 +121,7 @@ let cmd =
   Cmd.v
     (Cmd.info "chase" ~doc)
     Cmdliner.Term.(
-      const run $ file_arg $ variant_arg $ budget_arg $ critical_arg
-      $ standard_arg $ quiet_arg)
+      const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
+      $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,7 +3,14 @@
     Reads a rule file, classifies the set (simple linear / linear /
     guarded / unguarded) and dispatches to the strongest procedure of the
     library ({!Chase.Decide}).  Exit status: 0 terminates, 2 diverges,
-    3 unknown. *)
+    3 unknown.
+
+    [--timeout] bounds the budgeted procedures (guarded search, generic
+    probe, chase simulation) by wall clock as well; when a limit is
+    breached the [unknown] verdict carries the structured exhaustion
+    diagnostics, distinguishing "slow but possibly converging" from
+    "diverging so far" by the recent null-growth rate.  [--progress]
+    streams watchdog snapshots of the simulation fallback on stderr. *)
 
 open Cmdliner
 open Chase
@@ -22,7 +29,7 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-let run file variant budget standard report =
+let run file variant budget standard timeout progress report =
   match Parser.parse_rules (read_file file) with
   | Error msg ->
     Fmt.epr "parse error: %s@." msg;
@@ -34,7 +41,22 @@ let run file variant budget standard report =
     end
     else begin
       Fmt.pr "class: %a@." Classify.pp_cls (Classify.classify rules);
-      let v = Decide.check ~standard ~budget ~variant rules in
+      let limits =
+        match timeout with
+        | None -> None
+        | Some t ->
+          Some
+            (Limits.make ~max_triggers:budget ~max_atoms:(4 * budget)
+               ~timeout:t ())
+      in
+      let watchdog =
+        if progress then
+          Some
+            (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
+                 Fmt.epr "%a@." Watchdog.pp_snapshot s))
+        else None
+      in
+      let v = Decide.check ~standard ~budget ?limits ?watchdog ~variant rules in
       Fmt.pr "%a@." Verdict.pp v;
       match Verdict.answer v with
       | Verdict.Terminates -> 0
@@ -62,6 +84,19 @@ let standard_arg =
            ~doc:"Decide over standard databases (constants 0 and 1 \
                  available).")
 
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock deadline for the budgeted procedures; a \
+                 breached deadline yields an unknown verdict with \
+                 structured diagnostics.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Stream periodic watchdog snapshots of the chase \
+                 simulation on stderr.")
+
 let report_arg =
   Arg.(value & flag
        & info [ "report" ]
@@ -74,6 +109,6 @@ let cmd =
     (Cmd.info "chase-termination" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
-      $ report_arg)
+      $ timeout_arg $ progress_arg $ report_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -45,12 +45,45 @@ The bundled university ontology is terminating simple linear.
   terminates (by weak-acyclicity)
 
 Chasing the critical instance of a divergent set stops at the budget
-(exit code 2).
+(exit code 2) and leaves a structured exhaustion reason on stderr.
 
-  $ ../bin/chase_cli.exe ex2.chase --critical -b 10 -q > out.txt; echo "exit $?"
+  $ ../bin/chase_cli.exe ex2.chase --critical -b 10 -q > out.txt 2> err.txt; echo "exit $?"
   exit 2
   $ grep -c "budget exhausted" out.txt
   1
+  $ grep "exhausted:" err.txt
+  exhausted: trigger budget of 10 applications
+  $ grep "dominant rule:" err.txt
+  dominant rule: rule#1 (10/10 firings)
+  $ grep "null growth:" err.txt
+  null growth: 1.00 per trigger (window 10)
+
+A wall-clock deadline interrupts a divergent run gracefully: the partial
+instance is kept, the exit code is 2 and the reason names the dominant
+rule and the null-growth diagnosis.
+
+  $ cat > div.chase <<'EOF'
+  > z1: p(X, Y) -> p(Y, Z).
+  > p(a, b).
+  > EOF
+  $ ../bin/chase_cli.exe div.chase --timeout 0.2 -b 100000000 --max-atoms 100000000 -q > /dev/null 2> err2.txt; echo "exit $?"
+  exit 2
+  $ grep -c "wall-clock deadline" err2.txt
+  1
+  $ grep -c "dominant rule: z1" err2.txt
+  1
+  $ grep -c "diverging so far" err2.txt
+  1
+
+Parse errors carry line numbers, including statements of the wrong kind.
+
+  $ cat > mixed.chase <<'EOF'
+  > p(X) -> q(X).
+  > q(X) -> X = X.
+  > EOF
+  $ ../bin/termination_cli.exe mixed.chase
+  parse error: line 2: unexpected EGD: use parse_program_full for programs with EGDs
+  [1]
 
 The --report mode prints the whole analysis portfolio.
 

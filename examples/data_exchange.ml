@@ -44,8 +44,7 @@ let () =
   let config =
     {
       Engine.variant = Variant.Restricted;
-      max_triggers = 10_000;
-      max_atoms = 10_000;
+      limits = Limits.make ~max_triggers:10_000 ~max_atoms:10_000 ();
     }
   in
   let result = Engine.run ~config mapping source in
@@ -120,8 +119,7 @@ let () =
       ~config:
         {
           Engine.variant = Variant.Oblivious;
-          max_triggers = 10_000;
-          max_atoms = 10_000;
+          limits = Limits.make ~max_triggers:10_000 ~max_atoms:10_000 ();
         }
       mapping source
   in

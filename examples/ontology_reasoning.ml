@@ -73,8 +73,7 @@ let () =
       ~config:
         {
           Engine.variant = Variant.Restricted;
-          max_triggers = 10_000;
-          max_atoms = 10_000;
+          limits = Limits.make ~max_triggers:10_000 ~max_atoms:10_000 ();
         }
       repaired abox
   in

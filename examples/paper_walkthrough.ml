@@ -19,7 +19,9 @@ let section_1 () =
   let db = Parser.parse_database_exn "person(bob)." in
   let seq, result =
     Sequence.record
-      ~config:{ Engine.variant = Variant.Oblivious; max_triggers = 3; max_atoms = 50 }
+      ~config:
+        { Engine.variant = Variant.Oblivious;
+          limits = Limits.make ~max_triggers:3 ~max_atoms:50 () }
       ~variant:Variant.Oblivious rules db
   in
   Fmt.pr "%a@." Sequence.pp seq;
@@ -34,7 +36,9 @@ let section_2 () =
   let db = Parser.parse_database_exn "p(a, b)." in
   let seq, _ =
     Sequence.record
-      ~config:{ Engine.variant = Variant.Oblivious; max_triggers = 4; max_atoms = 50 }
+      ~config:
+        { Engine.variant = Variant.Oblivious;
+          limits = Limits.make ~max_triggers:4 ~max_atoms:50 () }
       ~variant:Variant.Oblivious rules db
   in
   Fmt.pr "Example 2 from p(a,b) — the sequence I0, I1, …:@.";
@@ -96,14 +100,15 @@ let section_3_lower_bounds () =
   let result =
     Engine.run
       ~config:
-        { Engine.variant = Variant.Semi_oblivious; max_triggers = 200; max_atoms = 1000 }
+        { Engine.variant = Variant.Semi_oblivious;
+          limits = Limits.make ~max_triggers:200 ~max_atoms:1000 () }
       looped db
   in
   Fmt.pr "chase of D under loop(Σ, goal): %s — termination flipped into \
           divergence@."
     (match result.Engine.status with
     | Engine.Terminated -> "terminated"
-    | Engine.Budget_exhausted -> "diverges")
+    | Engine.Exhausted _ -> "diverges")
 
 let section_4 () =
   heading "§4  Future work: the restricted chase";
@@ -113,23 +118,25 @@ let section_4 () =
   let restricted =
     Engine.run
       ~config:
-        { Engine.variant = Variant.Restricted; max_triggers = 1000; max_atoms = 4000 }
+        { Engine.variant = Variant.Restricted;
+          limits = Limits.make ~max_triggers:1000 ~max_atoms:4000 () }
       rules db
   in
   let oblivious =
     Engine.run
       ~config:
-        { Engine.variant = Variant.Oblivious; max_triggers = 1000; max_atoms = 4000 }
+        { Engine.variant = Variant.Oblivious;
+          limits = Limits.make ~max_triggers:1000 ~max_atoms:4000 () }
       rules db
   in
   Fmt.pr "@.from e(a,b): restricted %s (%d facts), oblivious %s@."
     (match restricted.Engine.status with
     | Engine.Terminated -> "terminates"
-    | Engine.Budget_exhausted -> "diverges")
+    | Engine.Exhausted _ -> "diverges")
     (Instance.cardinal restricted.Engine.instance)
     (match oblivious.Engine.status with
     | Engine.Terminated -> "terminates"
-    | Engine.Budget_exhausted -> "diverges");
+    | Engine.Exhausted _ -> "diverges");
   Fmt.pr "…the separation the paper's §4 sets out to characterize.@."
 
 let () =

@@ -23,13 +23,12 @@ let restricted_cell rules =
   let config =
     {
       Engine.variant = Variant.Restricted;
-      max_triggers = 20_000;
-      max_atoms = 80_000;
+      limits = Limits.make ~max_triggers:20_000 ~max_atoms:80_000 ();
     }
   in
   match (Engine.run ~config rules (Instance.to_list generic)).Engine.status with
   | Engine.Terminated -> "term*"
-  | Engine.Budget_exhausted -> "DIV*"
+  | Engine.Exhausted _ -> "DIV*"
 
 let acyclicity_cell rules =
   (* the strongest condition in the chain RA ⊆ WA ⊆ JA ⊆ MFA that holds *)

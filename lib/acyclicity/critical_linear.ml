@@ -562,8 +562,7 @@ let sanity_terminates ~variant ~constants ~budget rules =
   let config =
     {
       Chase_engine.Engine.variant;
-      max_triggers = budget;
-      max_atoms = 4 * budget;
+      limits = Chase_engine.Limits.of_budget budget;
     }
   in
   let r =

@@ -4,7 +4,8 @@
 
     - logic substrate: {!Term}, {!Atom}, {!Subst}, {!Instance}, {!Hom},
       {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
-    - chase engine: {!Variant}, {!Engine}, {!Critical}, {!Derivation};
+    - chase engine: {!Variant}, {!Engine}, {!Limits}, {!Watchdog},
+      {!Faults}, {!Critical}, {!Derivation};
     - classes: {!Classify};
     - acyclicity: {!Digraph}, {!Dep_graph}, {!Weak}, {!Rich},
       {!Critical_linear};
@@ -38,6 +39,9 @@ module Core_model = Chase_logic.Core_model
 (* Chase engine *)
 module Variant = Chase_engine.Variant
 module Engine = Chase_engine.Engine
+module Limits = Chase_engine.Limits
+module Watchdog = Chase_engine.Watchdog
+module Faults = Chase_engine.Faults
 module Critical = Chase_engine.Critical
 module Derivation = Chase_engine.Derivation
 module Egd_chase = Chase_engine.Egd_chase

@@ -13,18 +13,23 @@
         preferring constants as representatives), rewrite the instance;
         fail when two distinct constants are equated;
       run the restricted TGD chase on the rewritten instance;
-    until neither phase changed anything (or a budget is hit)
+    until neither phase changed anything (or a limit is breached)
     v}
 
-    The result, on success, is a finite instance satisfying both the TGDs
-    and the EGDs. *)
+    One overall {!Limits.t} governs the alternation: the trigger budget
+    and the wall-clock deadline are threaded through the inner TGD runs
+    via {!Limits.remaining}, and the limits are re-checked at every round
+    boundary (so a deadline passing during EGD saturation is honoured at
+    the next boundary).  The result, on success, is a finite instance
+    satisfying both the TGDs and the EGDs. *)
 
 open Chase_logic
 
 type status =
   | Terminated  (** fixpoint reached: the result satisfies TGDs and EGDs *)
   | Failed of string  (** an EGD equated two distinct constants *)
-  | Budget_exhausted
+  | Exhausted of Limits.Exhaustion.reason
+      (** a limit was breached; the run is a prefix *)
 
 type result = {
   instance : Instance.t;
@@ -84,8 +89,7 @@ let saturate_egds egds instance =
 let default_config =
   {
     Engine.variant = Variant.Restricted;
-    max_triggers = 50_000;
-    max_atoms = 200_000;
+    limits = Limits.make ~max_triggers:50_000 ~max_atoms:200_000 ();
   }
 
 (** [run ~tgds ~egds db] alternates restricted-chase rounds and EGD
@@ -94,51 +98,70 @@ let default_config =
     re-examination (see the module comment). *)
 let run ?(config = default_config) ~tgds ~egds db =
   let config = { config with Engine.variant = Variant.Restricted } in
+  let base = config.Engine.limits in
+  let monitor = Limits.Monitor.start base in
   let total_triggers = ref 0 in
   let total_merges = ref 0 in
   let rounds = ref 0 in
+  let finish instance status =
+    {
+      instance;
+      status;
+      merges = !total_merges;
+      rounds = !rounds;
+      triggers_applied = !total_triggers;
+    }
+  in
   let rec loop instance =
     incr rounds;
     match saturate_egds egds instance with
-    | Error msg ->
-      { instance; status = Failed msg; merges = !total_merges; rounds = !rounds;
-        triggers_applied = !total_triggers }
-    | Ok (instance, merges) ->
+    | Error msg -> finish instance (Failed msg)
+    | Ok (instance, merges) -> (
       total_merges := !total_merges + merges;
-      let remaining = config.Engine.max_triggers - !total_triggers in
-      if remaining <= 0 then
-        { instance; status = Budget_exhausted; merges = !total_merges;
-          rounds = !rounds; triggers_applied = !total_triggers }
-      else begin
+      match
+        Limits.Monitor.check ~force:true monitor ~steps:!total_triggers
+          ~facts:(Instance.cardinal instance)
+          ~nulls:(Instance.null_count instance)
+          ~depth:0
+      with
+      | Some breach ->
+        finish instance
+          (Exhausted
+             (Limits.Exhaustion.make ~breach ~steps:!total_triggers
+                ~elapsed:(Limits.Monitor.elapsed monitor)
+                ()))
+      | None -> (
+        let round_limits =
+          Limits.remaining base ~steps:!total_triggers
+            ~elapsed:(Limits.Monitor.elapsed monitor)
+        in
         let r =
           Engine.run
-            ~config:{ config with Engine.max_triggers = remaining }
+            ~config:{ config with Engine.limits = round_limits }
             tgds (Instance.to_list instance)
         in
         total_triggers := !total_triggers + r.Engine.triggers_applied;
         match r.Engine.status with
-        | Engine.Budget_exhausted ->
-          { instance = r.Engine.instance; status = Budget_exhausted;
-            merges = !total_merges; rounds = !rounds;
-            triggers_applied = !total_triggers }
+        | Engine.Exhausted reason ->
+          (* restate the breach against the overall accounting *)
+          finish r.Engine.instance
+            (Exhausted
+               {
+                 reason with
+                 Limits.Exhaustion.steps = !total_triggers;
+                 elapsed = Limits.Monitor.elapsed monitor;
+               })
         | Engine.Terminated ->
           if r.Engine.atoms_created = 0 && merges = 0 && !rounds > 1 then
-            { instance = r.Engine.instance; status = Terminated;
-              merges = !total_merges; rounds = !rounds;
-              triggers_applied = !total_triggers }
+            finish r.Engine.instance Terminated
           else if r.Engine.atoms_created = 0 && merges = 0 then
             (* first round: check the EGDs once more on the TGD result *)
             check_fixpoint r.Engine.instance
-          else loop r.Engine.instance
-      end
+          else loop r.Engine.instance))
   and check_fixpoint instance =
     match saturate_egds egds instance with
-    | Error msg ->
-      { instance; status = Failed msg; merges = !total_merges; rounds = !rounds;
-        triggers_applied = !total_triggers }
-    | Ok (instance, 0) ->
-      { instance; status = Terminated; merges = !total_merges; rounds = !rounds;
-        triggers_applied = !total_triggers }
+    | Error msg -> finish instance (Failed msg)
+    | Ok (instance, 0) -> finish instance Terminated
     | Ok (instance, merges) ->
       total_merges := !total_merges + merges;
       loop instance
@@ -167,6 +190,7 @@ let pp_result fm r =
     (match r.status with
     | Terminated -> "terminated"
     | Failed msg -> "failed (" ^ msg ^ ")"
-    | Budget_exhausted -> "budget exhausted")
+    | Exhausted e ->
+      Fmt.str "budget exhausted: %a" Limits.pp_breach e.Limits.Exhaustion.breach)
     (Instance.cardinal r.instance)
     r.merges r.rounds r.triggers_applied

@@ -4,14 +4,17 @@
     until a joint fixpoint; fails when an EGD equates two distinct
     constants.  Only the restricted variant is offered: EGD rewrites
     invalidate incremental trigger state, and re-examining triggers is
-    only harmless when satisfied heads are skipped. *)
+    only harmless when satisfied heads are skipped.  One overall
+    {!Limits.t} (trigger budget, deadline, cancellation) is threaded
+    through the rounds and re-checked at every round boundary. *)
 
 open Chase_logic
 
 type status =
   | Terminated  (** the result satisfies both the TGDs and the EGDs *)
   | Failed of string  (** an EGD equated two distinct constants *)
-  | Budget_exhausted
+  | Exhausted of Limits.Exhaustion.reason
+      (** a limit was breached; the run is a prefix *)
 
 type result = {
   instance : Instance.t;

@@ -10,22 +10,30 @@
     enqueues only the triggers whose body image uses that fact.  FIFO order
     makes every run a fair chase sequence: a trigger enqueued at step [n]
     is applied (or, for the restricted chase, found satisfied) after
-    finitely many steps. *)
+    finitely many steps.
+
+    Every run is governed by a {!Limits.t}: counter budgets, a wall-clock
+    deadline and a cooperative cancellation token.  A breached limit never
+    loses work — the run degrades gracefully to the partial instance (a
+    sound prefix of the chase, every fact provenance-backed) plus a
+    structured {!Limits.Exhaustion.reason}. *)
 
 open Chase_logic
 
 type config = {
   variant : Variant.t;
-  max_triggers : int;  (** stop after this many trigger applications *)
-  max_atoms : int;  (** stop once the instance reaches this many facts *)
+  limits : Limits.t;  (** resource governance for the run *)
 }
 
-let default_config =
-  { variant = Variant.Oblivious; max_triggers = 100_000; max_atoms = 200_000 }
+let default_config = { variant = Variant.Oblivious; limits = Limits.default }
+
+let config_of_budget ?(variant = Variant.Oblivious) budget =
+  { variant; limits = Limits.of_budget budget }
 
 type status =
   | Terminated  (** no unapplied trigger remains: the chase result is final *)
-  | Budget_exhausted  (** a resource budget was hit; the run is a prefix *)
+  | Exhausted of Limits.Exhaustion.reason
+      (** a limit was breached; the run is a sound prefix *)
 
 type result = {
   instance : Instance.t;
@@ -36,10 +44,19 @@ type result = {
   atoms_created : int;
   nulls_created : int;
   max_depth : int;
+  elapsed : float;  (** wall-clock seconds, per the limits' clock *)
+  rule_firings : (string * int) list;
+      (** per-rule trigger applications, descending *)
+  queue_residual : int;  (** triggers left unprocessed at stop *)
   provenance : Derivation.t Atom.Tbl.t;
       (** derivation record for every fact created by the chase (database
           facts have no record) *)
 }
+
+let exhausted r = match r.status with Exhausted _ -> true | Terminated -> false
+
+let exhaustion r =
+  match r.status with Exhausted e -> Some e | Terminated -> None
 
 let depth_of result a =
   match Atom.Tbl.find_opt result.provenance a with
@@ -61,25 +78,30 @@ let key_of_trigger rules variant tr =
   in
   (tr.t_rule, Subst.to_list sub)
 
-(** [run ?config ?on_trigger rules db] chases the facts [db] with [rules].
+(** [run ?config ?on_trigger ?watchdog rules db] chases the facts [db]
+    with [rules].
 
     The input list [db] is not mutated; the result instance is fresh.
     Termination of the run is reported in [status]; when the configured
-    budgets are generous enough and the chase of the input terminates, the
+    limits are generous enough and the chase of the input terminates, the
     result instance is the (finite) chase result, a universal model of the
     database and the rules.
 
     [on_trigger] is invoked after every trigger application with the step
     number, the rule, the full body homomorphism, and the facts the
     application actually added (possibly none, under set semantics) — the
-    hook behind {!Sequence}. *)
-let run ?(config = default_config) ?on_trigger rules db =
+    hook behind {!Sequence}.  [watchdog] receives periodic progress
+    snapshots (see {!Watchdog}). *)
+let run ?(config = default_config) ?on_trigger ?watchdog rules db =
   let rules = Array.of_list rules in
   let instance = Instance.create () in
   List.iter (fun a -> ignore (Instance.add instance a)) db;
   let provenance = Atom.Tbl.create 1024 in
   let seen = Hashtbl.create 1024 in
   let queue = Queue.create () in
+  let monitor = Limits.Monitor.start config.limits in
+  let firings = Array.make (Array.length rules) 0 in
+  let null_window = Watchdog.Window.create () in
   let null_counter = ref 0 in
   let fresh_null () =
     incr null_counter;
@@ -118,6 +140,7 @@ let run ?(config = default_config) ?on_trigger rules db =
     let r = rules.(tr.t_rule) in
     incr step_counter;
     incr triggers_applied;
+    firings.(tr.t_rule) <- firings.(tr.t_rule) + 1;
     let created = ref [] in
     let sub' =
       Util.Sset.fold
@@ -157,26 +180,52 @@ let run ?(config = default_config) ?on_trigger rules db =
     List.iter
       (fun fact -> Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
       (List.rev !new_atoms);
+    Watchdog.Window.observe null_window ~step:!triggers_applied !null_counter;
+    (match watchdog with
+    | Some w ->
+      Watchdog.observe w ~step:!triggers_applied
+        ~elapsed:(fun () -> Limits.Monitor.elapsed monitor)
+        ~facts:(Instance.cardinal instance)
+        ~queue:(Queue.length queue) ~nulls:!null_counter ~depth:!max_depth
+        ~null_rate:(fun () -> Watchdog.Window.rate null_window)
+    | None -> ());
     match on_trigger with
     | Some f -> f ~step:!step_counter r tr.t_sub (List.rev !new_atoms)
     | None -> ()
   in
-  let budget_ok () =
-    !triggers_applied < config.max_triggers
-    && Instance.cardinal instance < config.max_atoms
+  let rule_display i =
+    let n = Tgd.name rules.(i) in
+    if n = "" then Fmt.str "rule#%d" (i + 1) else n
+  in
+  let firing_table () =
+    Array.to_list (Array.mapi (fun i c -> (rule_display i, c)) firings)
+    |> List.stable_sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  let exhaust breach =
+    Limits.Exhaustion.make ~breach ~steps:!triggers_applied
+      ~elapsed:(Limits.Monitor.elapsed monitor)
+      ~rule_firings:(firing_table ())
+      ~null_rate:(Watchdog.Window.rate null_window)
+      ~window:(Watchdog.Window.span null_window)
+      ~deepest_chain:!max_depth ()
   in
   let rec loop () =
     if Queue.is_empty queue then Terminated
-    else if not (budget_ok ()) then Budget_exhausted
-    else begin
-      let tr = Queue.pop queue in
-      (match config.variant with
-      | Variant.Restricted when head_satisfied rules.(tr.t_rule) tr.t_sub ->
-        incr triggers_skipped
-      | Variant.Restricted | Variant.Oblivious | Variant.Semi_oblivious ->
-        apply tr);
-      loop ()
-    end
+    else
+      match
+        Limits.Monitor.check monitor ~steps:!triggers_applied
+          ~facts:(Instance.cardinal instance)
+          ~nulls:!null_counter ~depth:!max_depth
+      with
+      | Some breach -> Exhausted (exhaust breach)
+      | None ->
+        let tr = Queue.pop queue in
+        (match config.variant with
+        | Variant.Restricted when head_satisfied rules.(tr.t_rule) tr.t_sub ->
+          incr triggers_skipped
+        | Variant.Restricted | Variant.Oblivious | Variant.Semi_oblivious ->
+          apply tr);
+        loop ()
   in
   let status = loop () in
   {
@@ -188,6 +237,9 @@ let run ?(config = default_config) ?on_trigger rules db =
     atoms_created = !atoms_created;
     nulls_created = !null_counter;
     max_depth = !max_depth;
+    elapsed = Limits.Monitor.elapsed monitor;
+    rule_firings = firing_table ();
+    queue_residual = Queue.length queue;
     provenance;
   }
 
@@ -208,6 +260,59 @@ let is_model rules ins =
       !ok)
     rules
 
+(** [check_provenance result ~db]: every fact of the partial instance is
+    either a database fact or carries a derivation record that replays —
+    its parents are the recorded rule's body image under the recorded
+    homomorphism, all present in the instance and themselves derivable,
+    and the fact itself is reproduced by applying the rule head under the
+    homomorphism extended with the recorded fresh nulls.  This is the
+    soundness certificate of a degraded (limit-breached) run. *)
+let check_provenance result ~db =
+  let dbt = Atom.Tbl.create 64 in
+  List.iter (fun a -> Atom.Tbl.replace dbt a ()) db;
+  let problem = ref None in
+  let fail fmt = Fmt.kstr (fun s -> if !problem = None then problem := Some s) fmt in
+  Instance.iter
+    (fun a ->
+      if (not (Atom.Tbl.mem dbt a)) && !problem = None then
+        match Atom.Tbl.find_opt result.provenance a with
+        | None ->
+          fail "fact %a is neither a database fact nor derived" Atom.pp a
+        | Some d ->
+          List.iter
+            (fun p ->
+              if not (Instance.mem result.instance p) then
+                fail "parent %a of %a is missing from the instance" Atom.pp p
+                  Atom.pp a
+              else if
+                (not (Atom.Tbl.mem dbt p)) && not (Atom.Tbl.mem result.provenance p)
+              then fail "parent %a of %a is underived" Atom.pp p Atom.pp a)
+            d.Derivation.parents;
+          let body_image =
+            Subst.apply_atoms d.Derivation.hom (Tgd.body d.Derivation.rule)
+          in
+          if
+            List.length body_image <> List.length d.Derivation.parents
+            || not (List.for_all2 Atom.equal body_image d.Derivation.parents)
+          then fail "recorded parents of %a are not the body image" Atom.pp a;
+          let existentials =
+            Util.Sset.elements (Tgd.existentials d.Derivation.rule)
+          in
+          if List.length existentials <> List.length d.Derivation.created_nulls
+          then fail "null count mismatch in the derivation of %a" Atom.pp a
+          else begin
+            let sub' =
+              List.fold_left2
+                (fun acc z id -> Subst.bind_exn acc z (Term.Null id))
+                d.Derivation.hom existentials d.Derivation.created_nulls
+            in
+            let heads = Subst.apply_atoms sub' (Tgd.head d.Derivation.rule) in
+            if not (List.exists (Atom.equal a) heads) then
+              fail "fact %a is not produced by its recorded trigger" Atom.pp a
+          end)
+    result.instance;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
 let pp_result fm r =
   Fmt.pf fm
     "@[<v>%a chase: %s@ facts: %d (created %d)@ triggers: %d applied%s@ nulls: \
@@ -215,7 +320,8 @@ let pp_result fm r =
     Variant.pp r.variant
     (match r.status with
     | Terminated -> "terminated"
-    | Budget_exhausted -> "budget exhausted")
+    | Exhausted e ->
+      Fmt.str "budget exhausted: %a" Limits.pp_breach e.Limits.Exhaustion.breach)
     (Instance.cardinal r.instance)
     r.atoms_created r.triggers_applied
     (if r.triggers_skipped > 0 then Fmt.str ", %d skipped" r.triggers_skipped

@@ -8,22 +8,29 @@
     a fair chase sequence.  Trigger deduplication follows the variant:
     full homomorphism for the oblivious chase, frontier restriction for
     the semi-oblivious; the restricted chase additionally skips triggers
-    whose head is satisfiable at fire time. *)
+    whose head is satisfiable at fire time.
+
+    Every run is governed by a {!Limits.t}; a breached limit degrades
+    gracefully to the partial instance plus a structured
+    {!Limits.Exhaustion.reason}. *)
 
 open Chase_logic
 
 type config = {
   variant : Variant.t;
-  max_triggers : int;  (** stop after this many trigger applications *)
-  max_atoms : int;  (** stop once the instance reaches this many facts *)
+  limits : Limits.t;  (** resource governance for the run *)
 }
 
 val default_config : config
-(** Oblivious, 100k triggers, 200k facts. *)
+(** Oblivious, with {!Limits.default} (100k triggers, 200k facts). *)
+
+val config_of_budget : ?variant:Variant.t -> int -> config
+(** The historical coupling: budget triggers, [4 ×] budget atoms. *)
 
 type status =
   | Terminated  (** no unapplied trigger remains: the result is final *)
-  | Budget_exhausted  (** a resource budget was hit; the run is a prefix *)
+  | Exhausted of Limits.Exhaustion.reason
+      (** a limit was breached; the run is a sound prefix *)
 
 type result = {
   instance : Instance.t;
@@ -34,13 +41,21 @@ type result = {
   atoms_created : int;
   nulls_created : int;
   max_depth : int;
+  elapsed : float;  (** wall-clock seconds, per the limits' clock *)
+  rule_firings : (string * int) list;
+      (** per-rule trigger applications, descending *)
+  queue_residual : int;  (** triggers left unprocessed at stop *)
   provenance : Derivation.t Atom.Tbl.t;
       (** derivation record for every fact created by the chase *)
 }
 
+val exhausted : result -> bool
+val exhaustion : result -> Limits.Exhaustion.reason option
+
 val run :
   ?config:config ->
   ?on_trigger:(step:int -> Tgd.t -> Subst.t -> Atom.t list -> unit) ->
+  ?watchdog:Watchdog.t ->
   Tgd.t list ->
   Atom.t list ->
   result
@@ -48,12 +63,20 @@ val run :
     When the run terminates, the result instance is a (finite) universal
     model of the database and the rules.  [on_trigger] fires after every
     trigger application with the step number, rule, full body
-    homomorphism, and the facts actually added (see {!Sequence}). *)
+    homomorphism, and the facts actually added (see {!Sequence});
+    [watchdog] receives periodic progress snapshots (see {!Watchdog}). *)
 
 val depth_of : result -> Atom.t -> int
 (** Chase depth of a fact; database facts have depth 0. *)
 
 val is_model : Tgd.t list -> Instance.t -> bool
 (** Every body match extends to a head match. *)
+
+val check_provenance : result -> db:Atom.t list -> (unit, string) Stdlib.result
+(** Soundness certificate of a (possibly degraded) run: every fact is a
+    database fact or carries a derivation record that replays — parents
+    are the body image under the recorded homomorphism, present and
+    themselves derivable, and the fact is reproduced by the rule head
+    under the homomorphism extended with the recorded fresh nulls. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,98 @@
+(** Fault injection for the resource-governed chase runtime.
+
+    A fault plan schedules injections at chosen steps — deadline expiry,
+    cancellation, cap trips — and {!arm} compiles it into a {!Limits.t}
+    whose injectable parts (clock, token, mutable caps) trip on schedule.
+    Crucially the injections act on the engine's {e inputs}: the clock is
+    skewed past the deadline, the token is cancelled, a cap is lowered to
+    the current meter reading — and the engine's real limit-checking and
+    degradation paths then fire exactly as they would in production.
+    Nothing in the engine knows it is being tested.
+
+    The property tests built on this harness assert that every degraded
+    path still yields a well-formed partial result whose facts are all
+    derivable ({!Engine.check_provenance}). *)
+
+type injection =
+  | Expire_deadline  (** skew the clock past the configured deadline *)
+  | Cancel of string  (** cancel the run's token, with a reason *)
+  | Trip_trigger_cap  (** collapse the trigger budget to the current count *)
+  | Trip_atom_cap  (** collapse the atom budget to the current cardinality *)
+  | Trip_null_cap  (** collapse the null budget to the current count *)
+  | Trip_depth_cap  (** collapse the depth budget below the current depth *)
+
+let pp_injection fm = function
+  | Expire_deadline -> Fmt.string fm "expire-deadline"
+  | Cancel why -> Fmt.pf fm "cancel(%s)" why
+  | Trip_trigger_cap -> Fmt.string fm "trip-trigger-cap"
+  | Trip_atom_cap -> Fmt.string fm "trip-atom-cap"
+  | Trip_null_cap -> Fmt.string fm "trip-null-cap"
+  | Trip_depth_cap -> Fmt.string fm "trip-depth-cap"
+
+type event = {
+  at_step : int;
+  injection : injection;
+  mutable tripped : bool;
+}
+
+type t = {
+  events : event list;
+  skew : float ref;  (** seconds added to the armed limits' clock *)
+  mutable log : (int * injection) list;  (** injections fired, reversed *)
+}
+
+let create plan =
+  {
+    events =
+      List.map
+        (fun (at_step, injection) -> { at_step; injection; tripped = false })
+        plan;
+    skew = ref 0.;
+    log = [];
+  }
+
+let fired t = List.rev t.log
+
+let inject t (l : Limits.t) (g : Limits.gauge) ev =
+  ev.tripped <- true;
+  t.log <- (g.Limits.g_steps, ev.injection) :: t.log;
+  match ev.injection with
+  | Expire_deadline ->
+    let d = match l.Limits.timeout with Some d -> d | None -> 0. in
+    t.skew := !(t.skew) +. d +. 1.
+  | Cancel why -> (
+    match l.Limits.cancel with
+    | Some c -> Limits.Cancel.cancel ~reason:why c
+    | None -> ())
+  | Trip_trigger_cap -> l.Limits.max_triggers <- Some g.Limits.g_steps
+  | Trip_atom_cap -> l.Limits.max_atoms <- Some g.Limits.g_facts
+  | Trip_null_cap -> l.Limits.max_nulls <- Some g.Limits.g_nulls
+  | Trip_depth_cap -> l.Limits.max_depth <- Some (g.Limits.g_depth - 1)
+
+(** [arm t base] is a copy of [base] wired to the plan: the copy's clock
+    adds the plan's skew, its token is shared with (or created for) the
+    plan, and its [on_gauge] probe fires each scheduled injection the
+    first time the step counter reaches its step.  [check_every] is
+    forced to 1 so injections land deterministically. *)
+let arm t (base : Limits.t) =
+  let cancel =
+    match base.Limits.cancel with
+    | Some c -> c
+    | None -> Limits.Cancel.create ()
+  in
+  let base_clock = base.Limits.clock in
+  let clock () = base_clock () +. !(t.skew) in
+  let on_gauge l g =
+    List.iter
+      (fun ev ->
+        if (not ev.tripped) && g.Limits.g_steps >= ev.at_step then
+          inject t l g ev)
+      t.events
+  in
+  {
+    (Limits.copy base) with
+    Limits.cancel = Some cancel;
+    clock;
+    on_gauge = Some on_gauge;
+    check_every = 1;
+  }

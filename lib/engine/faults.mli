@@ -1,0 +1,29 @@
+(** Fault injection for the resource-governed chase runtime: schedule
+    deadline expiry, cancellation or cap trips at chosen steps, and let
+    the engine's {e real} limit-checking and degradation paths fire.  The
+    injections act on the limits' injectable parts (clock skew, token,
+    mutable caps); the engine never knows it is being tested. *)
+
+type injection =
+  | Expire_deadline  (** skew the clock past the configured deadline *)
+  | Cancel of string  (** cancel the run's token, with a reason *)
+  | Trip_trigger_cap  (** collapse the trigger budget to the current count *)
+  | Trip_atom_cap  (** collapse the atom budget to the current cardinality *)
+  | Trip_null_cap  (** collapse the null budget to the current count *)
+  | Trip_depth_cap  (** collapse the depth budget below the current depth *)
+
+val pp_injection : Format.formatter -> injection -> unit
+
+type t
+
+val create : (int * injection) list -> t
+(** [(step, injection)] pairs; each fires once, the first time the
+    engine's step counter reaches its step. *)
+
+val arm : t -> Limits.t -> Limits.t
+(** A copy of the given limits wired to the plan, with [check_every]
+    forced to 1 so injections land deterministically. *)
+
+val fired : t -> (int * injection) list
+(** Injections that actually fired, in firing order, with the step at
+    which each landed. *)

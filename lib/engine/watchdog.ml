@@ -1,0 +1,121 @@
+(** Periodic progress snapshots of a running chase.
+
+    A watchdog is a callback plus a cadence: every [every] trigger
+    applications (and at most once per [min_interval] seconds) the engine
+    hands it a {!snapshot} — throughput, instance size, worklist length,
+    null-growth rate.  [chase_cli --progress] streams these to stderr, and
+    the termination tooling uses the same numbers to tell a slow but
+    converging run from one that is provably diverging so far.
+
+    The cost when a snapshot is not due is one integer comparison per
+    step; the clock is only read at cadence boundaries. *)
+
+(** A sliding-window rate tracker: [rate] is Δvalue/Δstep measured over
+    the last one-to-two windows of steps — recent enough to reflect the
+    run's current regime, wide enough to smooth FIFO burstiness. *)
+module Window = struct
+  type t = {
+    size : int;
+    mutable anchor_step : int;  (* start of the previous window *)
+    mutable anchor_value : int;
+    mutable mid_step : int;  (* start of the current window *)
+    mutable mid_value : int;
+    mutable last_step : int;
+    mutable last_value : int;
+  }
+
+  let create ?(size = 512) () =
+    {
+      size = max 1 size;
+      anchor_step = 0;
+      anchor_value = 0;
+      mid_step = 0;
+      mid_value = 0;
+      last_step = 0;
+      last_value = 0;
+    }
+
+  let observe w ~step value =
+    if step - w.mid_step >= w.size then begin
+      w.anchor_step <- w.mid_step;
+      w.anchor_value <- w.mid_value;
+      w.mid_step <- step;
+      w.mid_value <- value
+    end;
+    w.last_step <- step;
+    w.last_value <- value
+
+  let span w = w.last_step - w.anchor_step
+
+  let rate w =
+    let ds = span w in
+    if ds <= 0 then 0.
+    else float_of_int (w.last_value - w.anchor_value) /. float_of_int ds
+end
+
+type snapshot = {
+  step : int;  (** trigger applications so far *)
+  elapsed : float;  (** wall-clock seconds since the run started *)
+  steps_per_sec : float;  (** throughput since the previous snapshot *)
+  facts : int;  (** current instance cardinality *)
+  queue_length : int;  (** unprocessed triggers in the worklist *)
+  nulls : int;  (** fresh nulls invented so far *)
+  max_depth : int;  (** deepest derivation chain so far *)
+  null_rate : float;  (** fresh nulls per trigger over the last window *)
+}
+
+type t = {
+  every : int;
+  min_interval : float;
+  emit : snapshot -> unit;
+  mutable next_step : int;
+  mutable last_emit_step : int;
+  mutable last_emit_time : float;
+  mutable emitted : int;
+}
+
+let create ?(every = 1024) ?(min_interval = 0.) emit =
+  {
+    every = max 1 every;
+    min_interval;
+    emit;
+    next_step = max 1 every;
+    last_emit_step = 0;
+    last_emit_time = 0.;
+    emitted = 0;
+  }
+
+let emitted w = w.emitted
+
+let observe w ~step ~elapsed ~facts ~queue ~nulls ~depth ~null_rate =
+  if step >= w.next_step then begin
+    w.next_step <- step + w.every;
+    let t = elapsed () in
+    if t -. w.last_emit_time >= w.min_interval then begin
+      let dt = t -. w.last_emit_time in
+      let steps_per_sec =
+        if dt > 0. then float_of_int (step - w.last_emit_step) /. dt else 0.
+      in
+      w.emit
+        {
+          step;
+          elapsed = t;
+          steps_per_sec;
+          facts;
+          queue_length = queue;
+          nulls;
+          max_depth = depth;
+          null_rate = null_rate ();
+        };
+      w.last_emit_step <- step;
+      w.last_emit_time <- t;
+      w.emitted <- w.emitted + 1
+    end
+  end
+
+let pp_snapshot fm s =
+  Fmt.pf fm
+    "[watchdog] step %d (%.0f/s) | facts %d | queue %d | nulls %d \
+     (%.2f/trigger) | depth %d | %.1fs"
+    s.step s.steps_per_sec s.facts s.queue_length s.nulls s.null_rate
+    s.max_depth s.elapsed

@@ -1,0 +1,55 @@
+(** Periodic progress snapshots of a running chase: a callback plus a
+    cadence (every [every] steps, at most once per [min_interval]
+    seconds).  Costs one integer comparison per step when not due. *)
+
+(** Sliding-window rate tracker: Δvalue/Δstep over the last one-to-two
+    windows of steps. *)
+module Window : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  (** [size] is the window length in steps; default 512. *)
+
+  val observe : t -> step:int -> int -> unit
+  (** Record the monotone counter's value at [step]. *)
+
+  val rate : t -> float
+  val span : t -> int
+  (** Steps currently covered by the rate measurement. *)
+end
+
+type snapshot = {
+  step : int;  (** trigger applications so far *)
+  elapsed : float;  (** wall-clock seconds since the run started *)
+  steps_per_sec : float;  (** throughput since the previous snapshot *)
+  facts : int;  (** current instance cardinality *)
+  queue_length : int;  (** unprocessed triggers in the worklist *)
+  nulls : int;  (** fresh nulls invented so far *)
+  max_depth : int;  (** deepest derivation chain so far *)
+  null_rate : float;  (** fresh nulls per trigger over the last window *)
+}
+
+type t
+
+val create : ?every:int -> ?min_interval:float -> (snapshot -> unit) -> t
+(** [every] in steps (default 1024); [min_interval] in seconds
+    (default 0: no time gating). *)
+
+val observe :
+  t ->
+  step:int ->
+  elapsed:(unit -> float) ->
+  facts:int ->
+  queue:int ->
+  nulls:int ->
+  depth:int ->
+  null_rate:(unit -> float) ->
+  unit
+(** Called by the engine after every trigger application; emits a
+    snapshot when one is due.  [elapsed] and [null_rate] are thunks so
+    they are only evaluated at cadence boundaries. *)
+
+val emitted : t -> int
+(** Snapshots emitted so far. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

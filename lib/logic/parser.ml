@@ -163,16 +163,20 @@ type statement =
   | Segd of Egd.t
   | Sfact of Atom.t
 
+(* Returns the statement together with its starting line, so callers
+   rejecting a statement kind (a fact in a rule file, an EGD in a plain
+   program) can still report where the offending statement is. *)
 let parse_statement st =
   (* optional "name :" prefix: an ident followed directly by ':' *)
-  let name =
+  let name, name_line =
     match st.toks with
-    | (Tident s, _) :: (Tcolon, _) :: rest ->
+    | (Tident s, ln) :: (Tcolon, _) :: rest ->
       st.toks <- rest;
-      s
-    | _ -> ""
+      (s, Some ln)
+    | _ -> ("", None)
   in
-  let _, start_line = peek st in
+  let _, peek_line = peek st in
+  let start_line = Option.value name_line ~default:peek_line in
   let first = parse_atom_list st in
   match peek st with
   | Tarrow, _ ->
@@ -186,11 +190,11 @@ let parse_statement st =
     (match atoms, eqs with
     | _ :: _, [] -> (
       match Tgd.make ~name ~body:first ~head:atoms () with
-      | Ok r -> Srule r
+      | Ok r -> (Srule r, start_line)
       | Error msg -> fail start_line msg)
     | [], _ :: _ -> (
       match Egd.make ~name ~body:first ~equalities:eqs () with
-      | Ok e -> Segd e
+      | Ok e -> (Segd e, start_line)
       | Error msg -> fail start_line msg)
     | _ :: _, _ :: _ -> fail start_line "a head mixes atoms and equalities"
     | [], [] -> fail start_line "empty head")
@@ -199,7 +203,7 @@ let parse_statement st =
     (match first with
     | [ a ] ->
       if not (Atom.is_ground a) then fail line "facts must be ground";
-      Sfact a
+      (Sfact a, start_line)
     | _ -> fail line "a fact statement contains exactly one atom")
   | _, line -> fail line "expected '->' or '.'"
 
@@ -212,6 +216,12 @@ let parse_statements src =
   in
   go []
 
+(* First line on which a statement of the offending kind appears. *)
+let line_of_first pred stmts =
+  match List.find_opt (fun (s, _) -> pred s) stmts with
+  | Some (_, line) -> Some line
+  | None -> None
+
 (** A fully parsed program: TGDs, EGDs and facts. *)
 type program = {
   tgds : Tgd.t list;
@@ -219,39 +229,70 @@ type program = {
   facts : Atom.t list;
 }
 
+let statements_result src =
+  try Ok (parse_statements src) with Parse_error msg -> Error msg
+
 (** Parse a program that may mix TGDs, EGDs and facts. *)
 let parse_program_full src =
-  try
-    let stmts = parse_statements src in
+  match statements_result src with
+  | Error _ as e -> e
+  | Ok stmts ->
+    let stmts = List.map fst stmts in
     Ok
       {
         tgds = List.filter_map (function Srule r -> Some r | Segd _ | Sfact _ -> None) stmts;
         egds = List.filter_map (function Segd e -> Some e | Srule _ | Sfact _ -> None) stmts;
         facts = List.filter_map (function Sfact a -> Some a | Srule _ | Segd _ -> None) stmts;
       }
-  with Parse_error msg -> Error msg
 
 (** Parse a program of rules and facts; fails if it contains an EGD. *)
 let parse_program src =
-  match parse_program_full src with
+  match statements_result src with
   | Error _ as e -> e
-  | Ok { egds = _ :: _; _ } ->
-    Error "unexpected EGD: use parse_program_full for programs with EGDs"
-  | Ok { tgds; egds = []; facts } -> Ok (tgds, facts)
+  | Ok stmts -> (
+    match line_of_first (function Segd _ -> true | _ -> false) stmts with
+    | Some line ->
+      Error
+        (Fmt.str
+           "line %d: unexpected EGD: use parse_program_full for programs \
+            with EGDs"
+           line)
+    | None ->
+      let stmts = List.map fst stmts in
+      Ok
+        ( List.filter_map (function Srule r -> Some r | _ -> None) stmts,
+          List.filter_map (function Sfact a -> Some a | _ -> None) stmts ))
 
 (** Parse rules only; fails on facts. *)
 let parse_rules src =
-  match parse_program src with
+  match statements_result src with
   | Error _ as e -> e
-  | Ok (rules, []) -> Ok rules
-  | Ok (_, _ :: _) -> Error "unexpected fact in a rule file"
+  | Ok stmts -> (
+    match line_of_first (function Segd _ -> true | _ -> false) stmts with
+    | Some line ->
+      Error
+        (Fmt.str
+           "line %d: unexpected EGD: use parse_program_full for programs \
+            with EGDs"
+           line)
+    | None -> (
+      match line_of_first (function Sfact _ -> true | _ -> false) stmts with
+      | Some line -> Error (Fmt.str "line %d: unexpected fact in a rule file" line)
+      | None ->
+        Ok (List.filter_map (function (Srule r, _) -> Some r | _ -> None) stmts)))
 
 (** Parse a database (ground facts only). *)
 let parse_database src =
-  match parse_program src with
+  match statements_result src with
   | Error _ as e -> e
-  | Ok ([], facts) -> Ok facts
-  | Ok (_ :: _, _) -> Error "unexpected rule in a database file"
+  | Ok stmts -> (
+    match
+      line_of_first (function Srule _ | Segd _ -> true | _ -> false) stmts
+    with
+    | Some line ->
+      Error (Fmt.str "line %d: unexpected rule in a database file" line)
+    | None ->
+      Ok (List.filter_map (function (Sfact a, _) -> Some a | _ -> None) stmts))
 
 let parse_rules_exn src =
   match parse_rules src with Ok r -> r | Error msg -> raise (Parse_error msg)

@@ -13,6 +13,10 @@
 
 exception Parse_error of string
 
+(** Every error message — lexical, syntactic, or a statement of the wrong
+    kind for the entry point (a fact in a rule file, an EGD in a plain
+    program) — carries the 1-based line number of the offending input. *)
+
 (** A fully parsed program. *)
 type program = {
   tgds : Tgd.t list;

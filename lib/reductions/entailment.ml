@@ -23,11 +23,7 @@ let default_budget = 50_000
 
 let check ?(budget = default_budget) rules db query =
   let config =
-    {
-      Engine.variant = Variant.Semi_oblivious;
-      max_triggers = budget;
-      max_atoms = 4 * budget;
-    }
+    { Engine.variant = Variant.Semi_oblivious; limits = Limits.of_budget budget }
   in
   let result = Engine.run ~config rules db in
   let found = Hom.exists result.Engine.instance [ query ] in
@@ -35,10 +31,10 @@ let check ?(budget = default_budget) rules db query =
   else
     match result.Engine.status with
     | Engine.Terminated -> `Not_entailed
-    | Engine.Budget_exhausted ->
+    | Engine.Exhausted reason ->
       `Unknown
-        (Fmt.str "chase budget of %d triggers exhausted without deriving %a"
-           budget Atom.pp query)
+        (Fmt.str "%a without deriving %a" Limits.pp_breach
+           reason.Limits.Exhaustion.breach Atom.pp query)
 
 let holds ?budget rules db query = check ?budget rules db query = `Entailed
 

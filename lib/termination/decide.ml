@@ -58,18 +58,20 @@ let sufficient_acyclicity ~variant rules =
               chase terminate on every database")
     else None
 
-let check ?standard ?budget ~variant rules =
+let check ?standard ?budget ?limits ?watchdog ~variant rules =
   match (variant : Variant.t) with
   | Restricted ->
     (* §4 territory: sufficient conditions, generic-instance refutation,
        and the single-head linear probe. *)
-    Restricted.check ?budget rules
+    Restricted.check ?budget ?limits rules
   | Oblivious | Semi_oblivious -> (
     match Classify.classify rules with
     | Classify.Simple_linear -> Sl.check ~variant rules
     | Classify.Linear -> Linear.check ?standard ~variant rules
-    | Classify.Guarded -> Guarded.check ?standard ?budget ~variant rules
+    | Classify.Guarded -> Guarded.check ?standard ?budget ?limits ~variant rules
     | Classify.Unguarded -> (
       match sufficient_acyclicity ~variant rules with
       | Some v -> v
-      | None -> (Simulation.check ?standard ?budget ~variant rules).verdict))
+      | None ->
+        (Simulation.check ?standard ?budget ?limits ?watchdog ~variant rules)
+          .verdict))

@@ -11,6 +11,12 @@
 val check :
   ?standard:bool ->
   ?budget:int ->
+  ?limits:Chase_engine.Limits.t ->
+  ?watchdog:Chase_engine.Watchdog.t ->
   variant:Chase_engine.Variant.t ->
   Chase_logic.Tgd.t list ->
   Verdict.t
+(** [limits] overrides the budget-derived defaults of every budgeted
+    procedure (adding e.g. a wall-clock deadline or a cancellation
+    token); [watchdog] streams progress snapshots of the
+    chase-simulation fallback. *)

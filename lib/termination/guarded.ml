@@ -243,7 +243,7 @@ let find_pump ?(min_occurrences = 3) ?(tips = 8) (result : Engine.result) =
 
 let default_budget = 20_000
 
-let check ?(standard = true) ?(budget = default_budget) ~variant rules =
+let check ?(standard = true) ?(budget = default_budget) ?limits ~variant rules =
   require_guarded rules;
   if Chase_classes.Classify.is_full rules then
     Verdict.terminates ~procedure:"guarded-types"
@@ -252,9 +252,10 @@ let check ?(standard = true) ?(budget = default_budget) ~variant rules =
          create finitely many facts over the database terms"
   else begin
     let crit = Critical.of_rules ~standard rules in
-    let config =
-      { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+    let limits =
+      match limits with Some l -> l | None -> Limits.of_budget budget
     in
+    let config = { Engine.variant; limits } in
     let result = Engine.run ~config rules (Instance.to_list crit) in
     match result.Engine.status with
     | Engine.Terminated ->
@@ -265,7 +266,7 @@ let check ?(standard = true) ?(budget = default_budget) ~variant rules =
               facts"
              Variant.pp variant result.Engine.triggers_applied
              (Instance.cardinal result.Engine.instance))
-    | Engine.Budget_exhausted -> (
+    | Engine.Exhausted reason -> (
       match find_pump result with
       | Some pump ->
         let shown = List.filteri (fun i _ -> i < 4) pump.occurrences in
@@ -283,5 +284,7 @@ let check ?(standard = true) ?(budget = default_budget) ~variant rules =
       | None ->
         Verdict.unknown ~procedure:"guarded-types"
           ~evidence:
-            (Fmt.str "budget of %d triggers exhausted and no pump found" budget))
+            (Fmt.str "%a and no pump found — %s" Limits.pp_breach
+               reason.Limits.Exhaustion.breach
+               (Limits.Exhaustion.diagnosis reason)))
   end

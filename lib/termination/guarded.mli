@@ -23,5 +23,12 @@ val find_pump : ?min_occurrences:int -> ?tips:int -> Engine.result -> pump optio
     along the guard chains of the deepest facts. *)
 
 val check :
-  ?standard:bool -> ?budget:int -> variant:Variant.t -> Tgd.t list -> Verdict.t
-(** @raise Invalid_argument if the set is not guarded. *)
+  ?standard:bool ->
+  ?budget:int ->
+  ?limits:Limits.t ->
+  variant:Variant.t ->
+  Tgd.t list ->
+  Verdict.t
+(** [limits] overrides the budget-derived defaults (deadline,
+    cancellation, …).
+    @raise Invalid_argument if the set is not guarded. *)

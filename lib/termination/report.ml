@@ -62,11 +62,7 @@ let build ?(budget = 20_000) rules =
   let critical_run =
     let crit = Critical.of_rules rules in
     let config =
-      {
-        Engine.variant = Variant.Semi_oblivious;
-        max_triggers = budget;
-        max_atoms = 4 * budget;
-      }
+      { Engine.variant = Variant.Semi_oblivious; limits = Limits.of_budget budget }
     in
     stats_of (Engine.run ~config rules (Instance.to_list crit))
   in
@@ -105,7 +101,7 @@ let pp fm t =
      depth %d, %d nulls"
     (match t.critical_run.status with
     | Engine.Terminated -> "terminated"
-    | Engine.Budget_exhausted -> "budget exhausted")
+    | Engine.Exhausted _ -> "budget exhausted")
     t.critical_run.facts t.critical_run.triggers t.critical_run.max_depth
     t.critical_run.nulls;
   Fmt.pf fm "@]"

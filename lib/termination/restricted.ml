@@ -29,17 +29,14 @@ open Chase_acyclicity
 
 let default_budget = 20_000
 
-let probe ?(budget = default_budget) rules db =
-  let config =
-    {
-      Engine.variant = Variant.Restricted;
-      max_triggers = budget;
-      max_atoms = 4 * budget;
-    }
+let probe ?(budget = default_budget) ?limits rules db =
+  let limits =
+    match limits with Some l -> l | None -> Limits.of_budget budget
   in
+  let config = { Engine.variant = Variant.Restricted; limits } in
   Engine.run ~config rules db
 
-let check ?(budget = default_budget) rules =
+let check ?(budget = default_budget) ?limits rules =
   if Weak.is_weakly_acyclic rules then
     Verdict.terminates ~procedure:"weak-acyclicity (sufficient)"
       ~evidence:
@@ -51,20 +48,21 @@ let check ?(budget = default_budget) rules =
          terminate on every database"
   else begin
     let generic = Critical.generic_of_rules rules in
-    let on_generic = probe ~budget rules (Instance.to_list generic) in
+    let on_generic = probe ~budget ?limits rules (Instance.to_list generic) in
     match on_generic.Engine.status with
-    | Engine.Budget_exhausted ->
+    | Engine.Exhausted reason ->
       (* Divergence on a concrete database refutes all-instance
          termination outright. *)
       Verdict.diverges ~procedure:"restricted-generic-probe"
         ~evidence:
           (Fmt.str
              "the restricted chase of the generic all-distinct instance did \
-              not close within %d triggers (%d facts, depth %d): divergence \
+              not close within the %a (%d facts, depth %d — %s): divergence \
               witnessed on a concrete database"
-             budget
+             Limits.pp_breach reason.Limits.Exhaustion.breach
              (Instance.cardinal on_generic.Engine.instance)
-             on_generic.Engine.max_depth)
+             on_generic.Engine.max_depth
+             (Limits.Exhaustion.diagnosis reason))
     | Engine.Terminated ->
       if Chase_classes.Classify.is_single_head rules
          && Chase_classes.Classify.is_linear rules

@@ -11,7 +11,14 @@ open Chase_engine
 
 val default_budget : int
 
-val probe : ?budget:int -> Chase_logic.Tgd.t list -> Chase_logic.Atom.t list -> Engine.result
+val probe :
+  ?budget:int ->
+  ?limits:Limits.t ->
+  Chase_logic.Tgd.t list ->
+  Chase_logic.Atom.t list ->
+  Engine.result
 (** A restricted-chase run on an explicit database. *)
 
-val check : ?budget:int -> Chase_logic.Tgd.t list -> Verdict.t
+val check : ?budget:int -> ?limits:Limits.t -> Chase_logic.Tgd.t list -> Verdict.t
+(** [limits] overrides the budget-derived defaults of the generic-instance
+    probe. *)

@@ -3,10 +3,13 @@
     By the critical-instance theorem (DESIGN.md §1) the ?-chase, for
     ? ∈ {oblivious, semi-oblivious}, terminates on every database iff it
     terminates on crit(Σ); so a run that drains its worklist is a {e proof}
-    of all-instance termination.  A run that exhausts its budget proves
-    nothing by itself — [check] then answers [Unknown], and the experiment
-    harness treats a generous exhausted budget as presumed divergence when
-    comparing against the exact procedures.
+    of all-instance termination.  A run that breaches its limits proves
+    nothing by itself — [check] then answers [Unknown], carrying the
+    structured exhaustion diagnostics (which limit, the dominant rule, the
+    recent null-growth rate) so the caller can tell a slow-but-converging
+    run from one diverging so far — and the experiment harness treats a
+    generous exhausted budget as presumed divergence when comparing
+    against the exact procedures.
 
     For the restricted chase the critical-instance reduction is {e not}
     sound in general (a restricted chase may terminate on the critical
@@ -24,13 +27,17 @@ type outcome = {
 
 let default_budget = 50_000
 
-(** [check ?standard ?budget ~variant rules] chases crit(Σ). *)
-let check ?(standard = true) ?(budget = default_budget) ~variant rules =
+(** [check ?standard ?budget ?limits ?watchdog ~variant rules] chases
+    crit(Σ).  [limits] overrides the budget-derived defaults; [watchdog]
+    streams progress snapshots of the simulation run. *)
+let check ?(standard = true) ?(budget = default_budget) ?limits ?watchdog
+    ~variant rules =
   let crit = Critical.of_rules ~standard rules in
-  let config =
-    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+  let limits =
+    match limits with Some l -> l | None -> Limits.of_budget budget
   in
-  let result = Engine.run ~config rules (Instance.to_list crit) in
+  let config = { Engine.variant; limits } in
+  let result = Engine.run ~config ?watchdog rules (Instance.to_list crit) in
   let verdict =
     match result.Engine.status with
     | Engine.Terminated ->
@@ -47,15 +54,14 @@ let check ?(standard = true) ?(budget = default_budget) ~variant rules =
              Variant.pp variant result.Engine.triggers_applied
              (Instance.cardinal result.Engine.instance)
              scope)
-    | Engine.Budget_exhausted ->
+    | Engine.Exhausted reason ->
       Verdict.unknown ~procedure:"chase-simulation"
         ~evidence:
-          (Fmt.str
-             "budget of %d triggers exhausted at %d facts, max depth %d — no \
-              conclusion"
-             budget
+          (Fmt.str "%a at %d facts, max depth %d — %s; no conclusion"
+             Limits.pp_breach reason.Limits.Exhaustion.breach
              (Instance.cardinal result.Engine.instance)
-             result.Engine.max_depth)
+             result.Engine.max_depth
+             (Limits.Exhaustion.diagnosis reason))
   in
   { verdict; result }
 

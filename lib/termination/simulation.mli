@@ -1,7 +1,9 @@
 (** The chase-simulation oracle: run the ?-chase on the critical
     instance.  A drained worklist proves all-instance termination for the
-    (semi-)oblivious chase (critical-instance theorem); budget exhaustion
-    proves nothing and is reported as [Unknown]. *)
+    (semi-)oblivious chase (critical-instance theorem); a breached limit
+    proves nothing and is reported as [Unknown], with the structured
+    exhaustion diagnostics (breach, dominant rule, null-growth rate) in
+    the evidence. *)
 
 open Chase_engine
 
@@ -13,7 +15,16 @@ type outcome = {
 val default_budget : int
 
 val check :
-  ?standard:bool -> ?budget:int -> variant:Variant.t -> Chase_logic.Tgd.t list -> outcome
+  ?standard:bool ->
+  ?budget:int ->
+  ?limits:Limits.t ->
+  ?watchdog:Watchdog.t ->
+  variant:Variant.t ->
+  Chase_logic.Tgd.t list ->
+  outcome
+(** [limits] overrides the budget-derived defaults (adding e.g. a
+    wall-clock deadline or a cancellation token); [watchdog] streams
+    progress snapshots of the simulation run. *)
 
 val presume :
   ?standard:bool -> ?budget:int -> variant:Variant.t -> Chase_logic.Tgd.t list -> bool

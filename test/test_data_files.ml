@@ -4,19 +4,7 @@
 open Chase
 open Test_util
 
-let read name =
-  (* cwd differs between `dune runtest` (test dir) and `dune exec` (root) *)
-  let candidates =
-    [ Filename.concat "../data" name; Filename.concat "data" name;
-      Filename.concat "../../data" name ]
-  in
-  match List.find_opt Sys.file_exists candidates with
-  | None -> Alcotest.fail ("data file not found: " ^ name)
-  | Some path ->
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+let read = read_data
 
 let test_university () =
   let rules = Parser.parse_rules_exn (read "university.chase") in

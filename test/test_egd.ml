@@ -88,7 +88,7 @@ let test_constant_conflict_fails () =
   in
   match r.Egd_chase.status with
   | Egd_chase.Failed _ -> ()
-  | Egd_chase.Terminated | Egd_chase.Budget_exhausted ->
+  | Egd_chase.Terminated | Egd_chase.Exhausted _ ->
     Alcotest.fail "expected failure on ada = grace"
 
 let test_egd_triggers_tgd () =
@@ -167,13 +167,16 @@ let egd_chase_sound =
           [ Egd.make_exn ~body:[ a1; a2 ] ~equalities:[ ("A1", "B1") ] () ]
       in
       let db = Instance.to_list (Critical.generic_of_rules tgds) in
-      let config = { Egd_chase.default_config with Engine.max_triggers = 4_000 } in
+      let config =
+        { Egd_chase.default_config with
+          Engine.limits = Limits.make ~max_triggers:4_000 ~max_atoms:200_000 () }
+      in
       let r = Egd_chase.run ~config ~tgds ~egds db in
       match r.Egd_chase.status with
       | Egd_chase.Terminated ->
         Engine.is_model tgds r.Egd_chase.instance
         && Egd_chase.satisfies_egds egds r.Egd_chase.instance
-      | Egd_chase.Failed _ | Egd_chase.Budget_exhausted -> true)
+      | Egd_chase.Failed _ | Egd_chase.Exhausted _ -> true)
 
 let suite =
   [

@@ -12,7 +12,7 @@ let test_example1_shape () =
   let result =
     chase ~budget:10 Families.example1 (parse_facts "person(bob).")
   in
-  Alcotest.(check bool) "budget hit" true (result.Engine.status = Engine.Budget_exhausted);
+  Alcotest.(check bool) "budget hit" true (exhausted result);
   let facts = sorted_facts result in
   Alcotest.(check bool) "has father fact" true
     (List.exists (fun a -> Atom.pred a = "hasFather") facts);
@@ -58,8 +58,7 @@ let test_restricted_terminates_on_separator () =
   Alcotest.(check bool) "restricted terminates" true
     ((chase ~variant:Variant.Restricted rules db).Engine.status = Engine.Terminated);
   Alcotest.(check bool) "oblivious diverges" true
-    ((chase ~variant:Variant.Oblivious ~budget:300 rules db).Engine.status
-    = Engine.Budget_exhausted)
+    (exhausted (chase ~variant:Variant.Oblivious ~budget:300 rules db))
 
 let test_fairness_breadth () =
   (* Two independent generators: FIFO must advance both, not starve one. *)
@@ -111,8 +110,128 @@ let test_provenance_parents_and_guard () =
 
 let test_budget_is_respected () =
   let result = chase ~budget:50 Families.example2 (parse_facts "p(a, b).") in
-  Alcotest.(check bool) "status budget" true (result.Engine.status = Engine.Budget_exhausted);
+  Alcotest.(check bool) "status budget" true (exhausted result);
   Alcotest.(check bool) "trigger cap honoured" true (result.Engine.triggers_applied <= 50)
+
+(* ------------- limits and graceful degradation ------------- *)
+
+(* Each limit kind on the divergence gallery: the run degrades instead of
+   looping, the breach names the limit, and the partial instance is a
+   sound prefix — every fact replays from its recorded derivation. *)
+
+let zoo () = Parser.parse_rules_exn (read_data "divergent_zoo.chase")
+let zoo_db () = parse_facts "p(a, a). q(a, a). r(a, a). marked(a)."
+
+let check_partial_sound result =
+  match Engine.check_provenance result ~db:(zoo_db ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("unsound partial result: " ^ msg)
+
+let degraded_run limits =
+  let result = chase ~limits (zoo ()) (zoo_db ()) in
+  check_partial_sound result;
+  exhaustion_exn result
+
+let test_trigger_budget_breach () =
+  let reason = degraded_run (Limits.make ~max_triggers:25 ()) in
+  (match reason.Limits.Exhaustion.breach with
+  | Limits.Trigger_budget 25 -> ()
+  | b -> Alcotest.failf "wrong breach: %a" Limits.pp_breach b);
+  Alcotest.(check int) "stopped at the cap" 25 reason.Limits.Exhaustion.steps;
+  Alcotest.(check bool) "firing table covers all steps" true
+    (List.fold_left (fun acc (_, c) -> acc + c) 0
+       reason.Limits.Exhaustion.rule_firings
+    = 25)
+
+let test_atom_budget_breach () =
+  let reason = degraded_run (Limits.make ~max_atoms:40 ()) in
+  match reason.Limits.Exhaustion.breach with
+  | Limits.Atom_budget 40 -> ()
+  | b -> Alcotest.failf "wrong breach: %a" Limits.pp_breach b
+
+let test_null_budget_breach () =
+  let reason = degraded_run (Limits.make ~max_nulls:30 ()) in
+  match reason.Limits.Exhaustion.breach with
+  | Limits.Null_budget 30 -> ()
+  | b -> Alcotest.failf "wrong breach: %a" Limits.pp_breach b
+
+let test_depth_budget_breach () =
+  let reason = degraded_run (Limits.make ~max_depth:5 ()) in
+  match reason.Limits.Exhaustion.breach with
+  | Limits.Depth_budget 5 -> ()
+  | b -> Alcotest.failf "wrong breach: %a" Limits.pp_breach b
+
+let test_deadline_breach_fake_clock () =
+  (* an injected clock that jumps 10ms per reading: the 5s deadline
+     expires after ~500 checks without any real waiting *)
+  let t = ref 0. in
+  let clock () = t := !t +. 0.01; !t in
+  let reason =
+    degraded_run (Limits.make ~timeout:5. ~clock ~check_every:1 ())
+  in
+  (match reason.Limits.Exhaustion.breach with
+  | Limits.Deadline 5. -> ()
+  | b -> Alcotest.failf "wrong breach: %a" Limits.pp_breach b);
+  Alcotest.(check bool) "elapsed beyond the deadline" true
+    (reason.Limits.Exhaustion.elapsed >= 5.)
+
+let test_cancellation () =
+  let cancel = Limits.Cancel.create () in
+  Limits.Cancel.cancel ~reason:"user interrupt" cancel;
+  let reason = degraded_run (Limits.make ~cancel ()) in
+  (match reason.Limits.Exhaustion.breach with
+  | Limits.Cancelled (Some "user interrupt") -> ()
+  | b -> Alcotest.failf "wrong breach: %a" Limits.pp_breach b);
+  Alcotest.(check int) "pre-cancelled: no step taken" 0
+    reason.Limits.Exhaustion.steps
+
+let test_dominant_rule_and_null_rate () =
+  (* one rule, one null per firing: the diagnostics are deterministic *)
+  let rules = parse "z1: p(X, Y) -> p(Y, Z)." in
+  let result = chase ~budget:10 rules (parse_facts "p(a, b).") in
+  let reason = exhaustion_exn result in
+  (match reason.Limits.Exhaustion.dominant_rule with
+  | Some ("z1", 10) -> ()
+  | Some (r, c) -> Alcotest.failf "wrong dominant rule: %s (%d)" r c
+  | None -> Alcotest.fail "no dominant rule");
+  Alcotest.(check (float 0.001)) "one null per trigger" 1.0
+    reason.Limits.Exhaustion.null_rate;
+  Alcotest.(check bool) "diagnosed as diverging" true
+    (let d = Limits.Exhaustion.diagnosis reason in
+     String.length d >= 9 && String.sub d 0 9 = "diverging")
+
+let test_watchdog_streams () =
+  let snaps = ref [] in
+  let w = Watchdog.create ~every:16 (fun s -> snaps := s :: !snaps) in
+  let config =
+    { Engine.variant = Variant.Oblivious; limits = Limits.of_budget 200 }
+  in
+  let result = Engine.run ~config ~watchdog:w (zoo ()) (zoo_db ()) in
+  Alcotest.(check bool) "run degraded" true (Engine.exhausted result);
+  Alcotest.(check int) "every 16 steps over 200 triggers" 12
+    (Watchdog.emitted w);
+  let steps = List.rev_map (fun s -> s.Watchdog.step) !snaps in
+  Alcotest.(check (list int)) "snapshots at the cadence"
+    (List.init 12 (fun i -> 16 * (i + 1)))
+    steps;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "meters populated" true
+        (s.Watchdog.facts > 0 && s.Watchdog.nulls > 0))
+    !snaps
+
+let test_terminating_run_reports_firings () =
+  let rules = parse "a: p(X) -> q(X). b: q(X) -> r(X)." in
+  let result = chase rules (parse_facts "p(u). p(v).") in
+  Alcotest.(check bool) "terminated" true
+    (result.Engine.status = Engine.Terminated);
+  Alcotest.(check (list (pair string int))) "per-rule firing counts"
+    [ ("a", 2); ("b", 2) ]
+    (List.sort compare result.Engine.rule_firings);
+  Alcotest.(check int) "queue drained" 0 result.Engine.queue_residual;
+  match Engine.check_provenance result ~db:(parse_facts "p(u). p(v).") with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("unsound terminating result: " ^ msg)
 
 (* ------------- critical instance ------------- *)
 
@@ -186,6 +305,22 @@ let suite =
     Alcotest.test_case "provenance parents and guard" `Quick
       test_provenance_parents_and_guard;
     Alcotest.test_case "budgets respected" `Quick test_budget_is_respected;
+    Alcotest.test_case "trigger budget: sound partial prefix" `Quick
+      test_trigger_budget_breach;
+    Alcotest.test_case "atom budget: sound partial prefix" `Quick
+      test_atom_budget_breach;
+    Alcotest.test_case "null budget: sound partial prefix" `Quick
+      test_null_budget_breach;
+    Alcotest.test_case "depth budget: sound partial prefix" `Quick
+      test_depth_budget_breach;
+    Alcotest.test_case "deadline breach (injected clock)" `Quick
+      test_deadline_breach_fake_clock;
+    Alcotest.test_case "cooperative cancellation" `Quick test_cancellation;
+    Alcotest.test_case "dominant rule and null-growth diagnosis" `Quick
+      test_dominant_rule_and_null_rate;
+    Alcotest.test_case "watchdog snapshot cadence" `Quick test_watchdog_streams;
+    Alcotest.test_case "terminating run reports firings" `Quick
+      test_terminating_run_reports_firings;
     Alcotest.test_case "critical instance (plain)" `Quick test_critical_plain;
     Alcotest.test_case "critical instance (standard)" `Quick test_critical_standard;
     Alcotest.test_case "critical instance includes rule constants" `Quick

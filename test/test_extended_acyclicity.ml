@@ -142,8 +142,7 @@ let restricted_below_so =
       let config =
         {
           Engine.variant = Variant.Restricted;
-          max_triggers = 20_000;
-          max_atoms = 80_000;
+          limits = Limits.make ~max_triggers:20_000 ~max_atoms:80_000 ();
         }
       in
       (Engine.run ~config rules (Instance.to_list generic)).Engine.status

@@ -12,6 +12,7 @@ let () =
       ("report", Test_report.suite);
       ("classify", Test_classify.suite);
       ("engine", Test_engine.suite);
+      ("faults", Test_faults.suite);
       ("acyclicity", Test_acyclicity.suite);
       ("extended-acyclicity", Test_extended_acyclicity.suite);
       ("theorems", Test_theorems.suite);

@@ -46,6 +46,29 @@ let test_errors () =
   Alcotest.(check bool) "nonground fact" true (Result.is_error (Parser.parse_database "p(X)."));
   Alcotest.(check bool) "fact in rule file" true (Result.is_error (Parser.parse_rules "p(a)."))
 
+let test_error_line_numbers () =
+  (* every entry-point error names the line of the offending statement,
+     including statements of the wrong kind *)
+  let has_line n = function
+    | Ok _ -> false
+    | Error msg ->
+      let prefix = Fmt.str "line %d:" n in
+      String.length msg >= String.length prefix
+      && String.sub msg 0 (String.length prefix) = prefix
+  in
+  Alcotest.(check bool) "fact on line 2 of a rule file" true
+    (has_line 2 (Parser.parse_rules "p(X) -> q(X).\np(a)."));
+  Alcotest.(check bool) "EGD on line 3 of a plain program" true
+    (has_line 3 (Parser.parse_program "p(a).\np(X) -> q(X).\nq(X) -> X = X."));
+  Alcotest.(check bool) "rule on line 2 of a database file" true
+    (has_line 2 (Parser.parse_database "p(a).\np(X) -> q(X)."));
+  Alcotest.(check bool) "EGD in a rule file" true
+    (has_line 1 (Parser.parse_rules "q(X) -> X = X."));
+  Alcotest.(check bool) "named statement reports the name's line" true
+    (has_line 2 (Parser.parse_rules "p(X) -> q(X).\nf:\np(a)."));
+  Alcotest.(check bool) "syntax errors carry lines too" true
+    (has_line 2 (Parser.parse_rules "p(X) -> q(X).\np(X ->\nq(X)."))
+
 let test_mixed_program () =
   match Parser.parse_program "p(a). p(X) -> q(X)." with
   | Ok (rules, facts) ->
@@ -113,6 +136,7 @@ let suite =
     Alcotest.test_case "case convention" `Quick test_case_convention;
     Alcotest.test_case "underscore variables" `Quick test_underscore_variable;
     Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "errors carry line numbers" `Quick test_error_line_numbers;
     Alcotest.test_case "mixed program" `Quick test_mixed_program;
     Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
   ]

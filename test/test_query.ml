@@ -57,14 +57,13 @@ let test_containment_under_tgds () =
     let config =
       {
         Engine.variant = Variant.Semi_oblivious;
-        max_triggers = budget;
-        max_atoms = 4 * budget;
+        limits = Limits.of_budget budget;
       }
     in
     let r = Engine.run ~config rules db in
     match r.Engine.status with
     | Engine.Terminated -> Some r.Engine.instance
-    | Engine.Budget_exhausted -> None
+    | Engine.Exhausted _ -> None
   in
   Alcotest.(check (option bool)) "2-path ⊆ edge under transitivity"
     (Some true)
@@ -83,14 +82,13 @@ let test_containment_budget () =
     let config =
       {
         Engine.variant = Variant.Semi_oblivious;
-        max_triggers = budget;
-        max_atoms = 4 * budget;
+        limits = Limits.of_budget budget;
       }
     in
     let r = Engine.run ~config rules db in
     match r.Engine.status with
     | Engine.Terminated -> Some r.Engine.instance
-    | Engine.Budget_exhausted -> None
+    | Engine.Exhausted _ -> None
   in
   Alcotest.(check (option bool)) "diverging chase gives None" None
     (Query.contained_in_under ~budget:100 ~chase:chase_fn rules q1 q1)

@@ -33,7 +33,7 @@ let test_clauses_on_named_runs () =
           let seq, _ =
             Sequence.record
               ~config:
-                { Engine.variant; max_triggers = 300; max_atoms = 2_000 }
+                { Engine.variant; limits = Limits.make ~max_triggers:300 ~max_atoms:2_000 () }
               ~variant rules db
           in
           Alcotest.(check bool)
@@ -67,7 +67,9 @@ let no_repeat_prop =
       let db = Instance.to_list (Critical.generic_of_rules rules) in
       let seq, _ =
         Sequence.record
-          ~config:{ Engine.variant; max_triggers = 500; max_atoms = 4_000 }
+          ~config:
+            { Engine.variant;
+              limits = Limits.make ~max_triggers:500 ~max_atoms:4_000 () }
           ~variant rules db
       in
       Sequence.no_repeated_trigger seq && Sequence.steps_are_valid seq)

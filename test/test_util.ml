@@ -17,20 +17,44 @@ let check_term = Alcotest.check term_testable
 (** Chase the critical instance with a budget; true iff it terminated. *)
 let crit_chase_terminates ?(standard = false) ?(budget = 10_000) variant rules =
   let crit = Critical.of_rules ~standard rules in
-  let config =
-    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
-  in
+  let config = { Engine.variant; limits = Limits.of_budget budget } in
   let result = Engine.run ~config rules (Instance.to_list crit) in
   result.Engine.status = Engine.Terminated
 
-(** Run the chase on an explicit database. *)
-let chase ?(variant = Variant.Oblivious) ?(budget = 10_000) rules db =
-  let config =
-    { Engine.variant; max_triggers = budget; max_atoms = 4 * budget }
+(** Run the chase on an explicit database; [limits] overrides the
+    budget-derived defaults. *)
+let chase ?(variant = Variant.Oblivious) ?(budget = 10_000) ?limits rules db =
+  let limits =
+    match limits with Some l -> l | None -> Limits.of_budget budget
   in
-  Engine.run ~config rules db
+  Engine.run ~config:{ Engine.variant; limits } rules db
+
+(** True iff the run stopped on a breached limit. *)
+let exhausted (result : Engine.result) = Engine.exhausted result
+
+(** The exhaustion reason of a degraded run; fails the test on a
+    terminated one. *)
+let exhaustion_exn (result : Engine.result) =
+  match Engine.exhaustion result with
+  | Some reason -> reason
+  | None -> Alcotest.fail "expected an exhausted run"
 
 let sorted_facts result = Instance.to_sorted_list result.Engine.instance
+
+(** Read a rule corpus file from data/. *)
+let read_data name =
+  (* cwd differs between `dune runtest` (test dir) and `dune exec` (root) *)
+  let candidates =
+    [ Filename.concat "../data" name; Filename.concat "data" name;
+      Filename.concat "../../data" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail ("data file not found: " ^ name)
+  | Some path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
 
 (** Compare instance contents up to null renaming: both embed in each
     other via constant-fixing homomorphisms. *)
