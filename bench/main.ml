@@ -19,6 +19,38 @@ let section title =
 let hr () = Fmt.pr "%s@." (String.make 72 '-')
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every experiment records its headline     *)
+(* numbers; the harness writes them to BENCH_results.json at the end.  *)
+(* ------------------------------------------------------------------ *)
+
+let results : (string * string) list ref = ref []
+
+(* [v] is a ready-to-embed JSON scalar (use the j* helpers below). *)
+let record experiment metric v =
+  results := (Fmt.str "%s/%s" experiment metric, v) :: !results
+
+let jint = string_of_int
+let jbool = string_of_bool
+let jfloat f = Fmt.str "%.6g" f
+
+let write_results path =
+  let oc = open_out path in
+  let fm = Format.formatter_of_out_channel oc in
+  Fmt.pf fm "{@\n";
+  let entries =
+    ("schema_version", "1") :: ("unit_of_time", "\"seconds\"")
+    :: List.rev !results
+  in
+  List.iteri
+    (fun i (k, v) ->
+      Fmt.pf fm "  %S: %s%s@\n" k v
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Fmt.pf fm "}@.";
+  close_out oc;
+  Fmt.pr "@.results written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Small timing helpers (wall-clock scaling tables)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -67,7 +99,10 @@ let e1 seeds =
   Fmt.pr "random SL sets: %d  (terminating: o %d, so %d)@." seeds !term_o
     !term_so;
   Fmt.pr "RA vs o-chase oracle agreement:  %d/%d@." !agree_o seeds;
-  Fmt.pr "WA vs so-chase oracle agreement: %d/%d@." !agree_so seeds
+  Fmt.pr "WA vs so-chase oracle agreement: %d/%d@." !agree_so seeds;
+  record "E1" "sets" (jint seeds);
+  record "E1" "agreement_ra_oblivious" (jint !agree_o);
+  record "E1" "agreement_wa_semi_oblivious" (jint !agree_so)
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Theorem 2: critical acyclicity is exact on linear TGDs         *)
@@ -106,7 +141,12 @@ let e2 seeds =
     (Weak.is_weakly_acyclic Families.thm2_counterexample)
     (Verdict.answer_to_string
        (Verdict.answer
-          (Linear.check ~variant:Variant.Oblivious Families.thm2_counterexample)))
+          (Linear.check ~variant:Variant.Oblivious Families.thm2_counterexample)));
+  record "E2" "sets" (jint seeds);
+  record "E2" "agreement_critical_ra_oblivious" (jint !agree_o);
+  record "E2" "agreement_critical_wa_semi_oblivious" (jint !agree_so);
+  record "E2" "plain_acyclicity_gap_oblivious" (jint !ra_wrong);
+  record "E2" "plain_acyclicity_gap_semi_oblivious" (jint !wa_wrong)
 
 
 (* ------------------------------------------------------------------ *)
@@ -137,7 +177,10 @@ let e2b seeds =
     "lattice (WA ⊆ JA ⊆ MFA) violations: %d   unsound cases: JA %d, MFA %d@."
     !lattice_violation !ja_unsound !mfa_unsound;
   Fmt.pr "MFA incompleteness witness (linear, so-terminating, not MFA): %b@."
-    (not (Mfa.is_mfa Families.mfa_incomplete_witness))
+    (not (Mfa.is_mfa Families.mfa_incomplete_witness));
+  record "E2b" "lattice_violations" (jint !lattice_violation);
+  record "E2b" "unsound_ja" (jint !ja_unsound);
+  record "E2b" "unsound_mfa" (jint !mfa_unsound)
 
 (* ------------------------------------------------------------------ *)
 (* E2c - agreement under harder generator profiles                      *)
@@ -167,7 +210,10 @@ let e2c seeds_per_profile =
         if exact = ct then incr agree
       done;
       Fmt.pr "%-24s agreement %d/%d (diverging: %d)@." name !agree
-        seeds_per_profile !diverging)
+        seeds_per_profile !diverging;
+      record "E2c"
+        (Fmt.str "agreement[%s]" name)
+        (jint !agree))
     profiles
 
 (* ------------------------------------------------------------------ *)
@@ -184,7 +230,9 @@ let e3a () =
       let twa = time_avg (fun () -> Weak.is_weakly_acyclic rules) in
       let tra = time_avg (fun () -> Rich.is_richly_acyclic rules) in
       let positions = Schema.position_count (Schema.of_rules rules) in
-      Fmt.pr "%8d %a %a %12d@." n pp_time twa pp_time tra positions)
+      Fmt.pr "%8d %a %a %12d@." n pp_time twa pp_time tra positions;
+      record "E3a" (Fmt.str "wa_seconds[%d]" n) (jfloat twa);
+      record "E3a" (Fmt.str "ra_seconds[%d]" n) (jfloat tra))
     [ 16; 64; 256; 1024 ]
 
 let e3b () =
@@ -203,7 +251,9 @@ let e3b () =
         time_avg ~reps:1 (fun () ->
             Linear.check ~standard:false ~variant:Variant.Semi_oblivious blk)
       in
-      Fmt.pr "%8d %a %a@." arity pp_time t1 pp_time t2)
+      Fmt.pr "%8d %a %a@." arity pp_time t1 pp_time t2;
+      record "E3b" (Fmt.str "divergent_seconds[%d]" arity) (jfloat t1);
+      record "E3b" (Fmt.str "terminating_seconds[%d]" arity) (jfloat t2))
     [ 2; 3; 4; 5; 6 ]
 
 (* ------------------------------------------------------------------ *)
@@ -226,7 +276,10 @@ let e4a seeds =
   done;
   Fmt.pr "random guarded sets: %d@." seeds;
   Fmt.pr "definite answers agreeing with the oracle: %d/%d (unknown: %d)@."
-    !agree seeds !unknown
+    !agree seeds !unknown;
+  record "E4a" "sets" (jint seeds);
+  record "E4a" "definite_agreeing" (jint !agree);
+  record "E4a" "unknown" (jint !unknown)
 
 let e4b () =
   section "E4b  Theorem 4: guarded cost grows with arity";
@@ -244,7 +297,9 @@ let e4b () =
             Guarded.check ~budget:3_000 ~variant:Variant.Semi_oblivious
               (Families.guarded_terminating ~arity))
       in
-      Fmt.pr "%8d %a %a@." arity pp_time t1 pp_time t2)
+      Fmt.pr "%8d %a %a@." arity pp_time t1 pp_time t2;
+      record "E4b" (Fmt.str "divergent_seconds[%d]" arity) (jfloat t1);
+      record "E4b" (Fmt.str "terminating_seconds[%d]" arity) (jfloat t2))
     [ 1; 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
@@ -268,7 +323,9 @@ let e5 seeds =
     "CT^o ∩ CT^so: %d   CT^so \\ CT^o: %d   neither: %d   violations of CT^o \
      ⊆ CT^so: %d@."
     !both !so_only !neither !violations;
-  Fmt.pr "witness of strictness: p(X,Y) -> p(X,Z)  (o diverges, so terminates)@."
+  Fmt.pr "witness of strictness: p(X,Y) -> p(X,Z)  (o diverges, so terminates)@.";
+  record "E5" "lattice_violations" (jint !violations);
+  record "E5" "so_only" (jint !so_only)
 
 (* ------------------------------------------------------------------ *)
 (* E6 — the critical-instance theorem at work                          *)
@@ -310,7 +367,9 @@ let e6 seeds =
   Fmt.pr
     "crit-terminating linear sets probed on random databases: %d runs, %d \
      divergences@."
-    !checked !violations
+    !checked !violations;
+  record "E6" "runs" (jint !checked);
+  record "E6" "divergences" (jint !violations)
 
 (* ------------------------------------------------------------------ *)
 (* E7 — the looping operator                                           *)
@@ -352,7 +411,9 @@ let e7 seeds =
   done;
   Fmt.pr "random Datalog programs: %d (entailed targets: %d)@." seeds
     !entailed_cases;
-  Fmt.pr "loop(Σ,α) termination = ¬entailment: %d/%d@." !correct seeds
+  Fmt.pr "loop(Σ,α) termination = ¬entailment: %d/%d@." !correct seeds;
+  record "E7" "sets" (jint seeds);
+  record "E7" "correct" (jint !correct)
 
 (* ------------------------------------------------------------------ *)
 (* E8 — §4 preview: the restricted chase                               *)
@@ -373,10 +434,11 @@ let e8 () =
   in
   List.iter
     (fun (name, rules) ->
-      Fmt.pr "%-26s %-8s %-8s %-12s@." name
-        (cell rules Variant.Oblivious)
-        (cell rules Variant.Semi_oblivious)
-        (cell rules Variant.Restricted))
+      let o = cell rules Variant.Oblivious
+      and so = cell rules Variant.Semi_oblivious
+      and r = cell rules Variant.Restricted in
+      Fmt.pr "%-26s %-8s %-8s %-12s@." name o so r;
+      record "E8" (Fmt.str "verdicts[%s]" name) (Fmt.str "%S" (String.concat "/" [ o; so; r ])))
     [
       ("restricted-separator", Families.restricted_separator);
       ("example2", Families.example2);
@@ -446,7 +508,77 @@ let e9 seeds =
      merges: %d@."
     !terminated !failed !budget !merges;
   Fmt.pr "cores computed: %d, of which strictly smaller than the chase: %d@."
-    !core_runs !shrunk
+    !core_runs !shrunk;
+  record "E9" "terminated" (jint !terminated);
+  record "E9" "failed" (jint !failed);
+  record "E9" "cores_strictly_smaller" (jint !shrunk)
+
+(* ------------------------------------------------------------------ *)
+(* E11 — crash-at-every-record determinism of the journaled chase      *)
+(* ------------------------------------------------------------------ *)
+
+let e11 kills =
+  section "E11  Durability: crash at record k + resume ≡ uninterrupted run";
+  let rules =
+    Parser.parse_rules_exn
+      "tc: e(X, Y), e(Y, Z) -> e(X, Z).  mk: e(X, Y) -> r(X, W)."
+  in
+  let db =
+    Parser.parse_database_exn
+      (String.concat " "
+         (List.init 9 (fun i -> Fmt.str "e(a%d, a%d)." i (i + 1))))
+  in
+  let config =
+    { Engine.variant = Variant.Oblivious; limits = Limits.of_budget 10_000 }
+  in
+  let baseline = Engine.run ~config rules db in
+  let journal =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "chase_bench_%d.jnl" (Unix.getpid ()))
+  in
+  let isomorphic = ref 0 and recovered = ref 0 in
+  let t0 = Sys.time () in
+  for k = 1 to kills do
+    let s =
+      Session.start ~journal ~fsync_every:0
+        ~fault:(Faults.Kill_after_record k) ~variant:Variant.Oblivious ~rules
+        ~db ()
+    in
+    (try
+       ignore (Engine.run ~config ~on_trigger:(Session.on_trigger s) rules db)
+     with Faults.Crash _ -> ());
+    match Recovery.recover ~journal ~variant:Variant.Oblivious ~rules ~db ()
+    with
+    | Error _ -> ()
+    | Ok report ->
+      incr recovered;
+      let resumed =
+        Engine.run ~config ~resume:report.Recovery.resume rules db
+      in
+      if
+        Instance.cardinal resumed.Engine.instance
+        = Instance.cardinal baseline.Engine.instance
+        && Instance.null_count resumed.Engine.instance
+           = Instance.null_count baseline.Engine.instance
+        && Option.is_some
+             (Hom.instance_hom resumed.Engine.instance
+                baseline.Engine.instance)
+        && Option.is_some
+             (Hom.instance_hom baseline.Engine.instance
+                resumed.Engine.instance)
+      then incr isomorphic
+  done;
+  let elapsed = Sys.time () -. t0 in
+  if Sys.file_exists journal then Sys.remove journal;
+  Fmt.pr
+    "kill points: %d (of %d journal records)   recovered: %d   isomorphic to \
+     the uninterrupted run: %d@."
+    kills baseline.Engine.triggers_applied !recovered !isomorphic;
+  Fmt.pr "total crash+recover+rerun time: %a@." pp_time elapsed;
+  record "E11" "kill_points" (jint kills);
+  record "E11" "recovered" (jint !recovered);
+  record "E11" "isomorphic" (jint !isomorphic);
+  record "E11" "seconds" (jfloat elapsed)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -513,7 +645,9 @@ let microbenches () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] -> Fmt.pr "%-38s %a@." name pp_time (ns /. 1e9)
+          | Some [ ns ] ->
+            Fmt.pr "%-38s %a@." name pp_time (ns /. 1e9);
+            record "micro" (Fmt.str "seconds[%s]" name) (jfloat (ns /. 1e9))
           | Some _ | None -> Fmt.pr "%-38s %14s@." name "n/a")
         res)
     tests
@@ -539,5 +673,8 @@ let () =
   e7 n_tiny;
   e8 ();
   e9 (min n_tiny 40);
+  e11 (if quick then 10 else 50);
   microbenches ();
+  record "harness" "quick" (jbool quick);
+  write_results "BENCH_results.json";
   Fmt.pr "@.done.@."

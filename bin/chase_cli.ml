@@ -11,16 +11,27 @@
     with code 2 after printing the partial instance and a structured
     exhaustion reason (which limit, the dominant rule, the recent
     null-growth rate) on stderr; [--progress] streams periodic watchdog
-    snapshots on stderr while the chase runs. *)
+    snapshots on stderr while the chase runs.
+
+    The run is also crash-safe on request: [--journal FILE] appends one
+    checksummed record per trigger application to a write-ahead journal
+    (fsync cadence [--journal-sync]), with an atomic snapshot of the full
+    history every [--snapshot-every] records at [FILE.snap].  After a
+    kill, crash or breached limit, [--resume FILE] restores the run from
+    the latest valid snapshot plus the journal tail — truncating a torn
+    tail rather than failing — revalidates it, and continues the chase
+    (and the journal) exactly where it stopped. *)
 
 open Cmdliner
 open Chase
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
 
 let variant_conv =
   let parse s =
@@ -30,47 +41,98 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-let run file variant budget max_atoms timeout progress critical standard quiet =
-  match Parser.parse_program (read_file file) with
+let run file variant budget max_atoms timeout progress critical standard quiet
+    journal snapshot_every journal_sync resume =
+  match read_file file with
   | Error msg ->
-    Fmt.epr "parse error: %s@." msg;
+    Fmt.epr "error: cannot read input: %s@." msg;
     1
-  | Ok (rules, facts) ->
-    let db =
-      if critical then Instance.to_list (Critical.of_rules ~standard rules)
-      else facts
-    in
-    if db = [] then begin
-      Fmt.epr "no database: give facts in the file or pass --critical@.";
+  | Ok src -> (
+    match Parser.parse_program src with
+    | Error msg ->
+      Fmt.epr "parse error: %s@." msg;
       1
-    end
-    else begin
-      let limits =
-        Limits.make ~max_triggers:budget ~max_atoms ?timeout ()
+    | Ok (rules, facts) ->
+      let db =
+        if critical then Instance.to_list (Critical.of_rules ~standard rules)
+        else facts
       in
-      let config = { Engine.variant; limits } in
-      let watchdog =
-        if progress then
-          Some
-            (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
-                 Fmt.epr "%a@." Watchdog.pp_snapshot s))
-        else None
-      in
-      let result = Engine.run ~config ?watchdog rules db in
-      if not quiet then
-        List.iter
-          (fun a -> Fmt.pr "%a.@." Atom.pp a)
-          (Instance.to_sorted_list result.Engine.instance);
-      Fmt.pr "%a@." Engine.pp_result result;
-      match result.Engine.status with
-      | Engine.Terminated -> 0
-      | Engine.Exhausted reason ->
-        Fmt.epr "%a@." Limits.Exhaustion.pp reason;
-        2
-    end
+      if db = [] then begin
+        Fmt.epr "no database: give facts in the file or pass --critical@.";
+        1
+      end
+      else begin
+        let limits = Limits.make ~max_triggers:budget ~max_atoms ?timeout () in
+        let config = { Engine.variant; limits } in
+        let watchdog =
+          if progress then
+            Some
+              (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
+                   Fmt.epr "%a@." Watchdog.pp_snapshot s))
+          else None
+        in
+        (* Durability wiring: a fresh journal, a resumed one, or none. *)
+        let durability =
+          match resume with
+          | Some jpath -> (
+            let snapshot = Session.snapshot_path jpath in
+            match
+              Recovery.recover ~snapshot ~journal:jpath ~variant ~rules ~db ()
+            with
+            | Error msg -> Error msg
+            | Ok report ->
+              (match report.Recovery.torn with
+              | Some (off, why) ->
+                Fmt.epr "journal: truncated torn tail at byte %d (%s)@." off
+                  why
+              | None -> ());
+              Fmt.epr "resuming at step %d (%d journal records%s)@."
+                report.Recovery.resume.Engine.next_step
+                (List.length report.Recovery.history)
+                (if report.Recovery.snapshot_step > 0 then
+                   Fmt.str ", snapshot through step %d"
+                     report.Recovery.snapshot_step
+                 else "");
+              let s =
+                Session.continue_ ~journal:jpath ~snapshot ~snapshot_every
+                  ~fsync_every:journal_sync report
+              in
+              Ok (Some s, Some report.Recovery.resume))
+          | None -> (
+            match journal with
+            | Some jpath ->
+              let snapshot = Session.snapshot_path jpath in
+              Ok
+                ( Some
+                    (Session.start ~journal:jpath ~snapshot ~snapshot_every
+                       ~fsync_every:journal_sync ~variant ~rules ~db ()),
+                  None )
+            | None -> Ok (None, None))
+        in
+        match durability with
+        | Error msg ->
+          Fmt.epr "cannot resume: %s@." msg;
+          2
+        | Ok (session, resume) -> (
+          let on_trigger = Option.map Session.on_trigger session in
+          let result =
+            Engine.run ~config ?resume ?on_trigger ?watchdog rules db
+          in
+          Option.iter Session.finish session;
+          if not quiet then
+            List.iter
+              (fun a -> Fmt.pr "%a.@." Atom.pp a)
+              (Instance.to_sorted_list result.Engine.instance);
+          Fmt.pr "%a@." Engine.pp_result result;
+          match result.Engine.status with
+          | Engine.Terminated -> 0
+          | Engine.Exhausted reason ->
+            Fmt.epr "%a@." Limits.Exhaustion.pp reason;
+            2)
+      end)
 
 let file_arg =
-  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE"
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
        ~doc:"Program file with rules (body -> head.) and facts (p(a,b).)")
 
 let variant_arg =
@@ -116,12 +178,44 @@ let standard_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print run statistics.")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Append a write-ahead journal of every trigger application \
+                 to $(docv) (one checksummed record each), enabling \
+                 $(b,--resume) after a crash or kill.  Snapshots go to \
+                 $(docv).snap.")
+
+let snapshot_every_arg =
+  Arg.(value & opt int 512
+       & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Publish an atomic snapshot of the journaled state every \
+                 $(docv) records (0 disables snapshots).  Only meaningful \
+                 with $(b,--journal) or $(b,--resume).")
+
+let journal_sync_arg =
+  Arg.(value & opt int 64
+       & info [ "journal-sync" ] ~docv:"N"
+           ~doc:"fsync the journal every $(docv) records (0: only at \
+                 close; every record is still flushed to the OS).")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume an interrupted run from journal $(docv) (and \
+                 $(docv).snap when present): restore the latest valid \
+                 state, truncate any torn tail, revalidate the restored \
+                 provenance, and continue the chase and the journal where \
+                 they stopped.  The program file must be the one the \
+                 journal was written for.")
+
 let cmd =
   let doc = "run the chase procedure on a rule set and database" in
   Cmd.v
     (Cmd.info "chase" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
-      $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg)
+      $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
+      $ journal_arg $ snapshot_every_arg $ journal_sync_arg $ resume_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,10 +16,12 @@ open Cmdliner
 open Chase
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
 
 let variant_conv =
   let parse s =
@@ -30,16 +32,21 @@ let variant_conv =
   Arg.conv (parse, Variant.pp)
 
 let run file variant budget standard timeout progress report =
-  match Parser.parse_rules (read_file file) with
+  match read_file file with
   | Error msg ->
-    Fmt.epr "parse error: %s@." msg;
+    Fmt.epr "error: cannot read input: %s@." msg;
     1
-  | Ok rules ->
-    if report then begin
-      Fmt.pr "%a@." Report.pp (Report.build ~budget rules);
-      0
-    end
-    else begin
+  | Ok src -> (
+    match Parser.parse_rules src with
+    | Error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      1
+    | Ok rules ->
+      if report then begin
+        Fmt.pr "%a@." Report.pp (Report.build ~budget rules);
+        0
+      end
+      else begin
       Fmt.pr "class: %a@." Classify.pp_cls (Classify.classify rules);
       let limits =
         match timeout with
@@ -56,16 +63,18 @@ let run file variant budget standard timeout progress report =
                  Fmt.epr "%a@." Watchdog.pp_snapshot s))
         else None
       in
-      let v = Decide.check ~standard ~budget ?limits ?watchdog ~variant rules in
-      Fmt.pr "%a@." Verdict.pp v;
-      match Verdict.answer v with
-      | Verdict.Terminates -> 0
-      | Verdict.Diverges -> 2
-      | Verdict.Unknown -> 3
-    end
+        let v =
+          Decide.check ~standard ~budget ?limits ?watchdog ~variant rules
+        in
+        Fmt.pr "%a@." Verdict.pp v;
+        match Verdict.answer v with
+        | Verdict.Terminates -> 0
+        | Verdict.Diverges -> 2
+        | Verdict.Unknown -> 3
+      end)
 
 let file_arg =
-  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE"
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
        ~doc:"Rule file (one 'body -> head.' per statement).")
 
 let variant_arg =

@@ -1,0 +1,92 @@
+Crash-safe chase: write-ahead journal, atomic snapshots, resume.
+
+  $ cat > tc.chase <<'EOF'
+  > tc: e(X, Y), e(Y, Z) -> e(X, Z).
+  > mk: e(X, Y) -> r(X, W).
+  > e(a0, a1). e(a1, a2). e(a2, a3). e(a3, a4). e(a4, a5).
+  > e(a5, a6). e(a6, a7). e(a7, a8). e(a8, a9).
+  > EOF
+
+A journaled run writes the journal and an atomic snapshot next to it.
+
+  $ ../bin/chase_cli.exe tc.chase --journal full.jnl -q
+  oblivious chase: terminated
+  facts: 90 (created 81)
+  triggers: 165 applied
+  nulls: 45
+  max depth: 5
+  $ ls full.jnl full.jnl.snap
+  full.jnl
+  full.jnl.snap
+
+A budget-killed run exits 2; --resume picks it up at the exact step and
+finishes with the same result as an uninterrupted run (exit 0).
+
+  $ ../bin/chase_cli.exe tc.chase --journal run.jnl -b 50 -q > /dev/null 2>&1; echo "exit $?"
+  exit 2
+  $ ../bin/chase_cli.exe tc.chase --resume run.jnl -q 2> resume.err; echo "exit $?"
+  oblivious chase: terminated
+  facts: 90 (created 81)
+  triggers: 165 applied
+  nulls: 45
+  max depth: 5
+  exit 0
+  $ cat resume.err
+  resuming at step 50 (50 journal records, snapshot through step 50)
+
+A journal from a --timeout-killed run resumes and exits 0.
+
+  $ { echo "tc: e(X, Y), e(Y, Z) -> e(X, Z)."; echo "mk: e(X, Y) -> r(X, W)."; \
+  >   for i in $(seq 0 59); do echo "e(b$i, b$((i+1)))."; done; } > big.chase
+  $ ../bin/chase_cli.exe big.chase --journal slow.jnl --timeout 0.05 -q > /dev/null 2>&1 || true
+  $ ../bin/chase_cli.exe big.chase --resume slow.jnl -q > /dev/null 2> /dev/null; echo "exit $?"
+  exit 0
+
+Resuming a journal of a finished run is a no-op with the same result.
+
+  $ ../bin/chase_cli.exe tc.chase --resume full.jnl -q 2> /dev/null
+  oblivious chase: terminated
+  facts: 90 (created 81)
+  triggers: 165 applied
+  nulls: 45
+  max depth: 5
+
+A torn tail is truncated — the truncation point is reported on stderr —
+and the resume still succeeds.
+
+  $ head -c $(($(wc -c < full.jnl) - 3)) full.jnl > torn.jnl
+  $ ../bin/chase_cli.exe tc.chase --resume torn.jnl -q > /dev/null 2> torn.err; echo "exit $?"
+  exit 0
+  $ grep -c "truncated torn tail at byte" torn.err
+  1
+
+An unusable journal — truncated into the header, or not a journal at
+all — cannot support a resume: structured error, exit 2.
+
+  $ head -c 20 full.jnl > bad.jnl
+  $ ../bin/chase_cli.exe tc.chase --resume bad.jnl -q
+  cannot resume: journal bad.jnl: corrupt header record: frame length overruns the file
+  [2]
+  $ echo "not a journal" > bad2.jnl
+  $ ../bin/chase_cli.exe tc.chase --resume bad2.jnl -q
+  cannot resume: bad2.jnl is not a chase journal (bad magic)
+  [2]
+
+A journal never resumes against a different program.
+
+  $ cat > other.chase <<'EOF'
+  > tc: e(X, Y), e(Y, Z) -> e(X, Z).
+  > e(z0, z1).
+  > EOF
+  $ ../bin/chase_cli.exe other.chase --resume full.jnl -q
+  cannot resume: journal was written for a different rule set
+  [2]
+
+Both CLIs report a structured error (no backtrace) on unreadable input.
+
+  $ ../bin/chase_cli.exe nope.chase
+  error: cannot read input: nope.chase: No such file or directory
+  [1]
+  $ ../bin/termination_cli.exe nope.chase
+  error: cannot read input: nope.chase: No such file or directory
+  [1]

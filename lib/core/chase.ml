@@ -6,6 +6,8 @@
       {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
     - chase engine: {!Variant}, {!Engine}, {!Limits}, {!Watchdog},
       {!Faults}, {!Critical}, {!Derivation};
+    - durability: {!Codec}, {!Journal}, {!Snapshot}, {!Recovery},
+      {!Session};
     - classes: {!Classify};
     - acyclicity: {!Digraph}, {!Dep_graph}, {!Weak}, {!Rich},
       {!Critical_linear};
@@ -46,6 +48,13 @@ module Critical = Chase_engine.Critical
 module Derivation = Chase_engine.Derivation
 module Egd_chase = Chase_engine.Egd_chase
 module Sequence = Chase_engine.Sequence
+
+(* Durability: write-ahead journal, snapshots, crash recovery *)
+module Codec = Chase_persist.Codec
+module Journal = Chase_persist.Journal
+module Snapshot = Chase_persist.Snapshot
+module Recovery = Chase_persist.Recovery
+module Session = Chase_persist.Session
 
 (* TGD classes *)
 module Classify = Chase_classes.Classify

@@ -78,8 +78,30 @@ let key_of_trigger rules variant tr =
   in
   (tr.t_rule, Subst.to_list sub)
 
-(** [run ?config ?on_trigger ?watchdog rules db] chases the facts [db]
-    with [rules].
+(** A restored mid-run state, produced by [Chase_persist.Recovery] from a
+    write-ahead journal (plus an optional snapshot).  [run ~resume] picks
+    the chase up exactly where the recorded run stopped: the instance,
+    the per-fact provenance, the null and step counters and — crucially —
+    the set of already-applied triggers are all reinstated, so no trigger
+    fires twice and fresh nulls continue from the restored stamp. *)
+type resume = {
+  facts : Atom.t list;
+      (** full restored instance: the database plus every journaled
+          creation *)
+  derivations : (Atom.t * Derivation.t) list;
+      (** provenance of every restored non-database fact *)
+  applied : (int * Subst.t) list;
+      (** applied triggers (rule index, full body homomorphism), in step
+          order — reinstated into the dedup set so none re-fires *)
+  next_null : int;  (** highest null stamp used so far *)
+  next_step : int;  (** last step number used so far *)
+  skipped : int;
+      (** restricted chase: triggers found satisfied before the crash
+          (skips are not journaled; 0 when unknown) *)
+}
+
+(** [run ?config ?resume ?on_trigger ?watchdog rules db] chases the facts
+    [db] with [rules].
 
     The input list [db] is not mutated; the result instance is fresh.
     Termination of the run is reported in [status]; when the configured
@@ -87,12 +109,17 @@ let key_of_trigger rules variant tr =
     result instance is the (finite) chase result, a universal model of the
     database and the rules.
 
+    [resume] restores a recovered mid-run state before the worklist is
+    seeded (see {!resume}); counters restart from the restored values, so
+    a trigger budget spans the original run and the resumed one.
+
     [on_trigger] is invoked after every trigger application with the step
-    number, the rule, the full body homomorphism, and the facts the
-    application actually added (possibly none, under set semantics) — the
-    hook behind {!Sequence}.  [watchdog] receives periodic progress
-    snapshots (see {!Watchdog}). *)
-let run ?(config = default_config) ?on_trigger ?watchdog rules db =
+    number, the rule (and its index), the full body homomorphism, the
+    derivation depth, the stamps of the nulls invented by the application
+    and the facts it actually added (possibly none, under set semantics) —
+    the hook behind {!Sequence} and the write-ahead journal.  [watchdog]
+    receives periodic progress snapshots (see {!Watchdog}). *)
+let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
   let rules = Array.of_list rules in
   let instance = Instance.create () in
   List.iter (fun a -> ignore (Instance.add instance a)) db;
@@ -112,6 +139,30 @@ let run ?(config = default_config) ?on_trigger ?watchdog rules db =
   let atoms_created = ref 0 in
   let max_depth = ref 0 in
   let step_counter = ref 0 in
+  (match resume with
+  | None -> ()
+  | Some r ->
+    List.iter (fun a -> ignore (Instance.add instance a)) r.facts;
+    List.iter (fun (a, d) -> Atom.Tbl.replace provenance a d) r.derivations;
+    null_counter := r.next_null;
+    step_counter := r.next_step;
+    triggers_applied := List.length r.applied;
+    triggers_skipped := r.skipped;
+    atoms_created := List.length r.derivations;
+    max_depth :=
+      List.fold_left
+        (fun m (_, d) -> max m d.Derivation.depth)
+        0 r.derivations;
+    List.iter
+      (fun (i, sub) ->
+        if i >= 0 && i < Array.length rules then begin
+          firings.(i) <- firings.(i) + 1;
+          let key =
+            key_of_trigger rules config.variant { t_rule = i; t_sub = sub }
+          in
+          Hashtbl.replace seen key ()
+        end)
+      r.applied);
   let enqueue tr =
     let key = key_of_trigger rules config.variant tr in
     if not (Hashtbl.mem seen key) then begin
@@ -190,7 +241,9 @@ let run ?(config = default_config) ?on_trigger ?watchdog rules db =
         ~null_rate:(fun () -> Watchdog.Window.rate null_window)
     | None -> ());
     match on_trigger with
-    | Some f -> f ~step:!step_counter r tr.t_sub (List.rev !new_atoms)
+    | Some f ->
+      f ~step:!step_counter ~rule_index:tr.t_rule ~depth
+        ~created_nulls:(List.rev !created) r tr.t_sub (List.rev !new_atoms)
     | None -> ()
   in
   let rule_display i =

@@ -52,19 +52,54 @@ type result = {
 val exhausted : result -> bool
 val exhaustion : result -> Limits.Exhaustion.reason option
 
+(** A restored mid-run state, produced by [Chase_persist.Recovery] from a
+    write-ahead journal (plus an optional snapshot).  [run ~resume] picks
+    the chase up exactly where the recorded run stopped: instance,
+    provenance, counters and the set of already-applied triggers are
+    reinstated, so no trigger fires twice and fresh nulls continue from
+    the restored stamp. *)
+type resume = {
+  facts : Atom.t list;
+      (** full restored instance: the database plus every journaled
+          creation *)
+  derivations : (Atom.t * Derivation.t) list;
+      (** provenance of every restored non-database fact *)
+  applied : (int * Subst.t) list;
+      (** applied triggers (rule index, full body homomorphism), in step
+          order *)
+  next_null : int;  (** highest null stamp used so far *)
+  next_step : int;  (** last step number used so far *)
+  skipped : int;
+      (** restricted chase: prior skips (not journaled; 0 when unknown) *)
+}
+
 val run :
   ?config:config ->
-  ?on_trigger:(step:int -> Tgd.t -> Subst.t -> Atom.t list -> unit) ->
+  ?resume:resume ->
+  ?on_trigger:
+    (step:int ->
+    rule_index:int ->
+    depth:int ->
+    created_nulls:int list ->
+    Tgd.t ->
+    Subst.t ->
+    Atom.t list ->
+    unit) ->
   ?watchdog:Watchdog.t ->
   Tgd.t list ->
   Atom.t list ->
   result
 (** [run rules db] chases the facts [db]; the input list is not mutated.
     When the run terminates, the result instance is a (finite) universal
-    model of the database and the rules.  [on_trigger] fires after every
-    trigger application with the step number, rule, full body
-    homomorphism, and the facts actually added (see {!Sequence});
-    [watchdog] receives periodic progress snapshots (see {!Watchdog}). *)
+    model of the database and the rules.  [resume] restores a recovered
+    mid-run state before the worklist is seeded; counters restart from
+    the restored values, so a trigger budget spans the original run and
+    the resumed one.  [on_trigger] fires after every trigger application
+    with the step number, the rule and its index, the derivation depth,
+    the stamps of the nulls the application invented, the full body
+    homomorphism and the facts actually added (see {!Sequence} and the
+    write-ahead journal of [Chase_persist]); [watchdog] receives periodic
+    progress snapshots (see {!Watchdog}). *)
 
 val depth_of : result -> Atom.t -> int
 (** Chase depth of a fact; database facts have depth 0. *)

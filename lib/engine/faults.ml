@@ -21,6 +21,28 @@ type injection =
   | Trip_null_cap  (** collapse the null budget to the current count *)
   | Trip_depth_cap  (** collapse the depth budget below the current depth *)
 
+(* ------------------------------------------------------------------ *)
+(* Crash-point injection for the write-ahead journal                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Crash of string
+(** The simulated process death: raised by a journal writer armed with a
+    {!write_fault}, after the scheduled (possibly partial) bytes have
+    reached the file.  Tests catch it where a real run would be killed. *)
+
+type write_fault =
+  | Kill_after_record of int
+      (** write record [k] in full, then die — a kill between two
+          appends *)
+  | Torn_write of int * int
+      (** [Torn_write (k, bytes)]: write only the first [bytes] bytes of
+          record [k]'s frame, then die — a torn append, leaving a
+          corrupt tail *)
+
+let pp_write_fault fm = function
+  | Kill_after_record k -> Fmt.pf fm "kill-after-record %d" k
+  | Torn_write (k, b) -> Fmt.pf fm "torn-write(%d, %d bytes)" k b
+
 let pp_injection fm = function
   | Expire_deadline -> Fmt.string fm "expire-deadline"
   | Cancel why -> Fmt.pf fm "cancel(%s)" why

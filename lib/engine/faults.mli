@@ -14,6 +14,20 @@ type injection =
 
 val pp_injection : Format.formatter -> injection -> unit
 
+exception Crash of string
+(** The simulated process death raised by a journal writer armed with a
+    {!write_fault}, after the scheduled (possibly partial) bytes have
+    reached the file.  Tests catch it where a real run would be killed. *)
+
+type write_fault =
+  | Kill_after_record of int
+      (** write record [k] in full, then die — a kill between appends *)
+  | Torn_write of int * int
+      (** [Torn_write (k, bytes)]: write only the first [bytes] bytes of
+          record [k]'s frame, then die — a torn append *)
+
+val pp_write_fault : Format.formatter -> write_fault -> unit
+
 type t
 
 val create : (int * injection) list -> t

@@ -36,7 +36,8 @@ let record ?config ?(variant = Variant.Oblivious) rules db =
   let steps = ref [] in
   let result =
     Engine.run ~config
-      ~on_trigger:(fun ~step rule hom added ->
+      ~on_trigger:(fun ~step ~rule_index:_ ~depth:_ ~created_nulls:_ rule hom
+                       added ->
         steps := { index = step; rule; hom; added } :: !steps)
       rules db
   in

@@ -1,0 +1,278 @@
+(** The write-ahead derivation journal.
+
+    An append-only file: an 8-byte magic, then length-prefixed,
+    CRC-32-checksummed frames.  The first frame is the header (chase
+    variant plus digests of the rule set and the database, so a resume
+    against the wrong program is refused); every further frame is one
+    {!Codec.step_record} — one trigger application.  Appends reach the
+    OS on every record and are [fsync]ed on a configurable cadence, so
+    a crash loses at most the records since the last sync and at worst
+    leaves one torn frame at the tail, which {!read} detects (short
+    frame, bad checksum, undecodable payload, out-of-order step) and
+    reports as a truncation point instead of failing.
+
+    A writer can be armed with a {!Faults.write_fault} to simulate the
+    crash at a chosen record — kill between appends, or a torn partial
+    append — through the {e real} write path. *)
+
+open Chase_logic
+
+let magic = "CHJNL01\n"
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Header: run identity                                                *)
+(* ------------------------------------------------------------------ *)
+
+type header = {
+  variant : Chase_engine.Variant.t;
+  rules_digest : string;  (** MD5 hex of the canonical rule text *)
+  db_digest : string;  (** MD5 hex of the sorted database text *)
+  rule_count : int;
+}
+
+let digest_rules rules =
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map Tgd.to_string rules)))
+
+let digest_db db =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          (List.sort String.compare (List.map Atom.to_string db))))
+
+let header_of ~variant ~rules ~db =
+  {
+    variant;
+    rules_digest = digest_rules rules;
+    db_digest = digest_db db;
+    rule_count = List.length rules;
+  }
+
+let matches h ~variant ~rules ~db =
+  if h.variant <> variant then
+    Error
+      (Fmt.str "journal was written for the %s chase, not %s"
+         (Chase_engine.Variant.to_string h.variant)
+         (Chase_engine.Variant.to_string variant))
+  else if h.rules_digest <> digest_rules rules then
+    Error "journal was written for a different rule set"
+  else if h.db_digest <> digest_db db then
+    Error "journal was written for a different database"
+  else Ok ()
+
+let pp_header fm h =
+  Fmt.pf fm "%a chase, %d rules, rules %s…, db %s…"
+    Chase_engine.Variant.pp h.variant h.rule_count
+    (String.sub h.rules_digest 0 8)
+    (String.sub h.db_digest 0 8)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tag_header = 'H'
+let tag_step = 'S'
+
+let frame tag payload =
+  let body = String.make 1 tag ^ payload in
+  let b = Buffer.create (String.length body + 8) in
+  Codec.put_u32 b (String.length body);
+  Codec.put_u32 b (Codec.Crc32.digest body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let encode_header h =
+  let b = Buffer.create 96 in
+  Codec.put_varint b version;
+  Codec.put_string b (Chase_engine.Variant.to_string h.variant);
+  Codec.put_string b h.rules_digest;
+  Codec.put_string b h.db_digest;
+  Codec.put_varint b h.rule_count;
+  Buffer.contents b
+
+let decode_header_reader r =
+  let v = Codec.get_varint r in
+  if v <> version then Codec.corrupt "unsupported journal version %d" v;
+  let variant_s = Codec.get_string r in
+  let variant =
+    match Chase_engine.Variant.of_string variant_s with
+    | Some v -> v
+    | None -> Codec.corrupt "unknown chase variant %S" variant_s
+  in
+  let rules_digest = Codec.get_string r in
+  let db_digest = Codec.get_string r in
+  let rule_count = Codec.get_varint r in
+  { variant; rules_digest; db_digest; rule_count }
+
+let decode_header payload = decode_header_reader (Codec.reader payload)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  oc : out_channel;
+  fsync_every : int;  (** records between [fsync]s; 0 = only on close *)
+  mutable unsynced : int;
+  mutable appended : int;  (** records appended through this writer *)
+  fault : Chase_engine.Faults.write_fault option;
+}
+
+let fsync_oc oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let create ?(fsync_every = 64) ?fault path h =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  output_string oc (frame tag_header (encode_header h));
+  fsync_oc oc;
+  { oc; fsync_every; unsynced = 0; appended = 0; fault }
+
+let open_append ?(fsync_every = 64) ?fault path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+  in
+  { oc; fsync_every; unsynced = 0; appended = 0; fault }
+
+let crash w msg =
+  fsync_oc w.oc;
+  close_out_noerr w.oc;
+  raise (Chase_engine.Faults.Crash msg)
+
+let append w sr =
+  w.appended <- w.appended + 1;
+  let fr = frame tag_step (Codec.encode_step sr) in
+  (match w.fault with
+  | Some (Chase_engine.Faults.Kill_after_record k) when w.appended = k ->
+    output_string w.oc fr;
+    crash w (Fmt.str "killed after journal record %d" k)
+  | Some (Chase_engine.Faults.Torn_write (k, bytes)) when w.appended = k ->
+    output_string w.oc (String.sub fr 0 (min bytes (String.length fr)));
+    crash w (Fmt.str "torn write at journal record %d (%d bytes)" k bytes)
+  | _ -> output_string w.oc fr);
+  flush w.oc;
+  w.unsynced <- w.unsynced + 1;
+  if w.fsync_every > 0 && w.unsynced >= w.fsync_every then begin
+    fsync_oc w.oc;
+    w.unsynced <- 0
+  end
+
+let sync w =
+  fsync_oc w.oc;
+  w.unsynced <- 0
+
+let close w =
+  fsync_oc w.oc;
+  close_out_noerr w.oc
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type tail =
+  | Clean
+  | Torn of {
+      offset : int;  (** byte offset of the first unusable frame *)
+      reason : string;
+    }
+
+let pp_tail fm = function
+  | Clean -> Fmt.string fm "clean tail"
+  | Torn { offset; reason } ->
+    Fmt.pf fm "torn tail at byte %d: %s" offset reason
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One frame at [pos]: [Ok (tag, payload, next_pos)] or the torn-tail
+   reason.  [`Eof] when [pos] is exactly the end of the data. *)
+let parse_frame data pos =
+  let len_total = String.length data in
+  if pos = len_total then `Eof
+  else if pos + 8 > len_total then `Torn "short frame header"
+  else begin
+    let r = Codec.reader ~pos data in
+    let len = Codec.get_u32 r in
+    let crc = Codec.get_u32 r in
+    if len <= 0 || len > len_total - pos - 8 then
+      `Torn "frame length overruns the file"
+    else if Codec.Crc32.digest ~pos:(pos + 8) ~len data <> crc then
+      `Torn "checksum mismatch"
+    else
+      `Frame (data.[pos + 8], String.sub data (pos + 9) (len - 1), pos + 8 + len)
+  end
+
+let read path =
+  if not (Sys.file_exists path) then Error (Fmt.str "no such journal: %s" path)
+  else begin
+    let data = try Ok (read_file path) with Sys_error m -> Error m in
+    match data with
+    | Error m -> Error (Fmt.str "cannot read journal %s: %s" path m)
+    | Ok data ->
+      if
+        String.length data < String.length magic
+        || String.sub data 0 (String.length magic) <> magic
+      then Error (Fmt.str "%s is not a chase journal (bad magic)" path)
+      else begin
+        match parse_frame data (String.length magic) with
+        | `Eof -> Error (Fmt.str "journal %s has no header record" path)
+        | `Torn reason ->
+          Error (Fmt.str "journal %s: corrupt header record: %s" path reason)
+        | `Frame (tag, payload, pos0) -> (
+          match
+            if tag <> tag_header then
+              Error (Fmt.str "journal %s: first record is not a header" path)
+            else
+              try Ok (decode_header payload)
+              with Codec.Corrupt m ->
+                Error (Fmt.str "journal %s: corrupt header record: %s" path m)
+          with
+          | Error _ as e -> e
+          | Ok header ->
+            let records = ref [] in
+            let last_step = ref 0 in
+            let rec go pos =
+              match parse_frame data pos with
+              | `Eof -> Clean
+              | `Torn reason -> Torn { offset = pos; reason }
+              | `Frame (tag, payload, next) ->
+                if tag <> tag_step then
+                  Torn { offset = pos; reason = "unknown record tag" }
+                else begin
+                  match Codec.decode_step payload with
+                  | exception Codec.Corrupt m ->
+                    Torn { offset = pos; reason = m }
+                  | sr ->
+                    if sr.Codec.step <> !last_step + 1 then
+                      Torn
+                        {
+                          offset = pos;
+                          reason =
+                            Fmt.str "out-of-order step %d after %d"
+                              sr.Codec.step !last_step;
+                        }
+                    else begin
+                      last_step := sr.Codec.step;
+                      records := sr :: !records;
+                      go next
+                    end
+                end
+            in
+            let tail = go pos0 in
+            Ok (header, List.rev !records, tail))
+      end
+  end
+
+let truncate_at path offset = Unix.truncate path offset
+
+let rewrite path h records =
+  let tmp = path ^ ".tmp" in
+  let w = create ~fsync_every:0 tmp h in
+  List.iter (append w) records;
+  close w;
+  Sys.rename tmp path

@@ -1,0 +1,254 @@
+(** Deterministic recovery: latest valid snapshot + journal tail →
+    a restored {!Engine.resume} state.
+
+    The best available history is chosen (the snapshot's records when the
+    journal's valid prefix is shorter, the journal's otherwise), then
+    {e replayed}: every record's homomorphism must map its rule body into
+    the instance built so far, the recorded null stamps must continue the
+    global stamp sequence, and re-deriving the head must reproduce
+    exactly the recorded created atoms and depth.  Replay therefore
+    doubles as an integrity check far stronger than the per-record CRC —
+    a journal that passes belongs to a real run of these rules on this
+    database.  The restored state is finally certified with
+    {!Engine.check_provenance} before the chase is allowed to continue.
+
+    Torn or corrupt journal tails are truncated (and, when the snapshot
+    is ahead of the journal, the journal is atomically rewritten to the
+    recovered history) so that appending after the resume always yields
+    a well-formed journal. *)
+
+open Chase_logic
+module Engine = Chase_engine.Engine
+module Derivation = Chase_engine.Derivation
+
+type report = {
+  header : Journal.header;
+  resume : Engine.resume;
+  history : Codec.step_record list;  (** the recovered, validated history *)
+  snapshot_step : int;  (** last step held by the snapshot; 0 if none *)
+  journal_step : int;  (** last step of the journal's valid prefix *)
+  torn : (int * string) option;
+      (** byte offset and reason when a corrupt tail was detected *)
+  repaired : bool;  (** the journal file was truncated or rewritten *)
+}
+
+let pp_report fm r =
+  Fmt.pf fm
+    "@[<v>recovered %d steps (%a)@ journal prefix: %d steps%s@ snapshot: %s@]"
+    (List.length r.history) Journal.pp_header r.header r.journal_step
+    (match r.torn with
+    | None -> ""
+    | Some (off, why) -> Fmt.str " — torn tail at byte %d (%s)" off why)
+    (if r.snapshot_step = 0 then "none"
+     else Fmt.str "through step %d" r.snapshot_step)
+
+(* Replay a validated history against the rules and database, rebuilding
+   instance, provenance and counters exactly as the engine left them. *)
+let replay ~rules ~db records =
+  let rules = Array.of_list rules in
+  let instance = Instance.create () in
+  List.iter (fun a -> ignore (Instance.add instance a)) db;
+  let provenance = Atom.Tbl.create 256 in
+  let derivations = ref [] in
+  let applied = ref [] in
+  let null_counter = ref 0 in
+  let last_step = ref 0 in
+  let fail sr fmt =
+    Fmt.kstr (fun m -> Error (Fmt.str "journal record %d: %s" sr.Codec.step m))
+      fmt
+  in
+  let atom_depth a =
+    match Atom.Tbl.find_opt provenance a with
+    | Some d -> Derivation.depth d
+    | None -> 0
+  in
+  let rec go = function
+    | [] ->
+      Ok
+        {
+          Engine.facts = Instance.to_list instance;
+          derivations = List.rev !derivations;
+          applied = List.rev !applied;
+          next_null = !null_counter;
+          next_step = !last_step;
+          skipped = 0;
+        }
+    | sr :: rest -> (
+      let open Codec in
+      if sr.step <> !last_step + 1 then
+        fail sr "out-of-order step (after %d)" !last_step
+      else if sr.rule_index < 0 || sr.rule_index >= Array.length rules then
+        fail sr "rule index %d out of range" sr.rule_index
+      else begin
+        let rule = rules.(sr.rule_index) in
+        if Tgd.name rule <> sr.rule_name then
+          fail sr "rule name mismatch (%S in the journal, %S in the program)"
+            sr.rule_name (Tgd.name rule)
+        else begin
+          let parents = Subst.apply_atoms sr.hom (Tgd.body rule) in
+          match
+            List.find_opt (fun p -> not (Instance.mem instance p)) parents
+          with
+          | Some p ->
+            fail sr "body image %a is not in the instance" Atom.pp p
+          | None ->
+            let depth =
+              1 + List.fold_left (fun d a -> max d (atom_depth a)) 0 parents
+            in
+            if depth <> sr.depth then
+              fail sr "depth mismatch (recorded %d, replayed %d)" sr.depth
+                depth
+            else begin
+              let existentials =
+                Util.Sset.elements (Tgd.existentials rule)
+              in
+              if List.length existentials <> List.length sr.created_nulls
+              then fail sr "null count mismatch for rule %a" Tgd.pp rule
+              else if
+                not
+                  (List.for_all
+                     (fun id ->
+                       incr null_counter;
+                       id = !null_counter)
+                     sr.created_nulls)
+              then fail sr "null stamps break the global sequence"
+              else begin
+                let sub' =
+                  List.fold_left2
+                    (fun acc z id -> Subst.bind_exn acc z (Term.Null id))
+                    sr.hom existentials sr.created_nulls
+                in
+                let guard_parent =
+                  Option.map (Subst.apply_atom sr.hom)
+                    (Chase_classes.Classify.guard_of rule)
+                in
+                let added = ref [] in
+                List.iter
+                  (fun head_atom ->
+                    let fact = Subst.apply_atom sub' head_atom in
+                    if Instance.add instance fact then begin
+                      added := fact :: !added;
+                      let d =
+                        {
+                          Derivation.rule;
+                          hom = sr.hom;
+                          parents;
+                          guard_parent;
+                          depth;
+                          step = sr.step;
+                          created_nulls = sr.created_nulls;
+                        }
+                      in
+                      Atom.Tbl.replace provenance fact d;
+                      derivations := (fact, d) :: !derivations
+                    end)
+                  (Tgd.head rule);
+                let added = List.rev !added in
+                if
+                  List.length added <> List.length sr.created_atoms
+                  || not (List.for_all2 Atom.equal added sr.created_atoms)
+                then
+                  fail sr
+                    "replayed facts do not match the recorded creations"
+                else begin
+                  applied := (sr.rule_index, sr.hom) :: !applied;
+                  last_step := sr.step;
+                  go rest
+                end
+              end
+            end
+        end
+      end)
+  in
+  go records
+
+(* The certified soundness check of the restored state: every restored
+   fact is a database fact or carries a derivation that replays. *)
+let certify ~variant ~db (resume : Engine.resume) =
+  let provenance = Atom.Tbl.create 256 in
+  List.iter
+    (fun (a, d) -> Atom.Tbl.replace provenance a d)
+    resume.Engine.derivations;
+  let result =
+    {
+      Engine.instance = Instance.of_list resume.Engine.facts;
+      status = Engine.Terminated;
+      variant;
+      triggers_applied = List.length resume.Engine.applied;
+      triggers_skipped = resume.Engine.skipped;
+      atoms_created = List.length resume.Engine.derivations;
+      nulls_created = resume.Engine.next_null;
+      max_depth =
+        List.fold_left
+          (fun m (_, d) -> max m (Derivation.depth d))
+          0 resume.Engine.derivations;
+      elapsed = 0.;
+      rule_firings = [];
+      queue_residual = 0;
+      provenance;
+    }
+  in
+  Engine.check_provenance result ~db
+
+let recover ?snapshot ?(repair = true) ~journal ~variant ~rules ~db () =
+  match Journal.read journal with
+  | Error m -> Error m
+  | Ok (header, jrecords, tail) -> (
+    match Journal.matches header ~variant ~rules ~db with
+    | Error m -> Error m
+    | Ok () ->
+      let journal_step = List.length jrecords in
+      let snap =
+        match snapshot with
+        | Some path when Sys.file_exists path -> (
+          match Snapshot.read path with
+          | Ok s when s.Snapshot.header = header -> Some s
+          | Ok _ | Error _ -> None (* unusable snapshot: fall back *))
+        | Some _ | None -> None
+      in
+      let snapshot_step =
+        match snap with Some s -> s.Snapshot.last_step | None -> 0
+      in
+      let history =
+        match snap with
+        | Some s when s.Snapshot.last_step > journal_step ->
+          s.Snapshot.records
+        | Some _ | None -> jrecords
+      in
+      match replay ~rules ~db history with
+      | Error m -> Error m
+      | Ok resume -> (
+        match certify ~variant ~db resume with
+        | Error m ->
+          Error ("recovered state fails provenance validation: " ^ m)
+        | Ok () ->
+          let repaired =
+            if not repair then false
+            else if List.length history > journal_step then begin
+              (* the snapshot is ahead of the journal's valid prefix:
+                 rewrite the journal to the recovered history so appends
+                 continue a well-formed file *)
+              Journal.rewrite journal header history;
+              true
+            end
+            else begin
+              match tail with
+              | Journal.Torn { offset; _ } ->
+                Journal.truncate_at journal offset;
+                true
+              | Journal.Clean -> false
+            end
+          in
+          Ok
+            {
+              header;
+              resume;
+              history;
+              snapshot_step;
+              journal_step;
+              torn =
+                (match tail with
+                | Journal.Torn { offset; reason } -> Some (offset, reason)
+                | Journal.Clean -> None);
+              repaired;
+            }))

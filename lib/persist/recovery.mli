@@ -1,0 +1,45 @@
+(** Deterministic recovery: latest valid snapshot + journal tail →
+    a restored {!Engine.resume} state, certified with
+    {!Engine.check_provenance} before the chase continues.  Torn or
+    corrupt tails are truncated (or the journal rewritten when the
+    snapshot is ahead of it) rather than treated as failures. *)
+
+open Chase_logic
+
+type report = {
+  header : Journal.header;
+  resume : Chase_engine.Engine.resume;
+  history : Codec.step_record list;  (** the recovered, validated history *)
+  snapshot_step : int;  (** last step held by the snapshot; 0 if none *)
+  journal_step : int;  (** last step of the journal's valid prefix *)
+  torn : (int * string) option;
+      (** byte offset and reason when a corrupt tail was detected *)
+  repaired : bool;  (** the journal file was truncated or rewritten *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val replay :
+  rules:Tgd.t list ->
+  db:Atom.t list ->
+  Codec.step_record list ->
+  (Chase_engine.Engine.resume, string) result
+(** Replay a history, re-deriving every step and cross-checking it
+    against the recorded creations — the integrity check behind
+    {!recover}, exposed for tests. *)
+
+val recover :
+  ?snapshot:string ->
+  ?repair:bool ->
+  journal:string ->
+  variant:Chase_engine.Variant.t ->
+  rules:Tgd.t list ->
+  db:Atom.t list ->
+  unit ->
+  (report, string) result
+(** [Error] when the journal is missing, has a bad magic or corrupt
+    header, identifies a different program (digest mismatch), or its
+    records do not replay; a torn {e tail} is not an error.  [repair]
+    (default [true]) truncates/rewrites the journal file to the
+    recovered history so subsequent appends continue a well-formed
+    file. *)

@@ -1,0 +1,91 @@
+(** A durability session: the glue between the engine's [on_trigger]
+    hook and the journal/snapshot writers.
+
+    [start] opens a fresh journal for a run; [continue] appends to a
+    recovered one.  {!on_trigger} has exactly the engine hook's shape —
+    pass it as [Engine.run ~on_trigger:(Session.on_trigger s)] — and
+    appends one journal record per trigger application, publishing an
+    atomic snapshot of the full history every [snapshot_every] records
+    when a snapshot path is configured. *)
+
+open Chase_logic
+
+type t = {
+  writer : Journal.writer;
+  header : Journal.header;
+  snapshot : string option;
+  snapshot_every : int;  (** records between snapshots; 0 = never *)
+  mutable history_rev : Codec.step_record list;
+  mutable last_step : int;
+  mutable since_snapshot : int;
+}
+
+let snapshot_path journal = journal ^ ".snap"
+
+let start ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64) ?fault
+    ~variant ~rules ~db () =
+  let header = Journal.header_of ~variant ~rules ~db in
+  let writer = Journal.create ~fsync_every ?fault journal header in
+  {
+    writer;
+    header;
+    snapshot;
+    snapshot_every;
+    history_rev = [];
+    last_step = 0;
+    since_snapshot = 0;
+  }
+
+let continue_ ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64)
+    ?fault (report : Recovery.report) =
+  let writer = Journal.open_append ~fsync_every ?fault journal in
+  {
+    writer;
+    header = report.Recovery.header;
+    snapshot;
+    snapshot_every;
+    history_rev = List.rev report.Recovery.history;
+    last_step = report.Recovery.resume.Chase_engine.Engine.next_step;
+    since_snapshot = 0;
+  }
+
+let write_snapshot t =
+  match t.snapshot with
+  | None -> ()
+  | Some path ->
+    Snapshot.write path
+      {
+        Snapshot.header = t.header;
+        last_step = t.last_step;
+        records = List.rev t.history_rev;
+      }
+
+let on_trigger t ~step ~rule_index ~depth ~created_nulls rule hom
+    created_atoms =
+  let sr =
+    {
+      Codec.step;
+      rule_index;
+      rule_name = Tgd.name rule;
+      hom;
+      depth;
+      created_nulls;
+      created_atoms;
+    }
+  in
+  Journal.append t.writer sr;
+  t.history_rev <- sr :: t.history_rev;
+  t.last_step <- step;
+  if t.snapshot_every > 0 then begin
+    t.since_snapshot <- t.since_snapshot + 1;
+    if t.since_snapshot >= t.snapshot_every then begin
+      write_snapshot t;
+      t.since_snapshot <- 0
+    end
+  end
+
+let records t = List.rev t.history_rev
+
+let finish t =
+  if t.snapshot_every > 0 && t.since_snapshot > 0 then write_snapshot t;
+  Journal.close t.writer

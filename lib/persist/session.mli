@@ -1,0 +1,58 @@
+(** A durability session: the glue between the engine's [on_trigger]
+    hook and the journal/snapshot writers.  One journal record per
+    trigger application; an atomic snapshot of the full history every
+    [snapshot_every] records when a snapshot path is configured. *)
+
+open Chase_logic
+
+type t
+
+val snapshot_path : string -> string
+(** The conventional snapshot path for a journal: [journal ^ ".snap"]. *)
+
+val start :
+  journal:string ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  ?fault:Chase_engine.Faults.write_fault ->
+  variant:Chase_engine.Variant.t ->
+  rules:Tgd.t list ->
+  db:Atom.t list ->
+  unit ->
+  t
+(** Open a fresh journal (truncating any previous file) for a new run.
+    [snapshot_every] defaults to 0 (no snapshots); [fsync_every] to
+    64. *)
+
+val continue_ :
+  journal:string ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  ?fsync_every:int ->
+  ?fault:Chase_engine.Faults.write_fault ->
+  Recovery.report ->
+  t
+(** Append to a journal just validated (and repaired) by
+    {!Recovery.recover}; the report seeds the in-memory history so
+    snapshots stay complete. *)
+
+val on_trigger :
+  t ->
+  step:int ->
+  rule_index:int ->
+  depth:int ->
+  created_nulls:int list ->
+  Tgd.t ->
+  Subst.t ->
+  Atom.t list ->
+  unit
+(** Exactly the engine hook's shape: pass as
+    [Engine.run ~on_trigger:(Session.on_trigger s)].
+    @raise Faults.Crash when an armed write fault fires. *)
+
+val records : t -> Codec.step_record list
+(** The full history journaled so far, in step order. *)
+
+val finish : t -> unit
+(** Final snapshot (when configured and due) + journal [fsync]/close. *)

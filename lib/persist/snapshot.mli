@@ -1,0 +1,18 @@
+(** Atomic snapshots of a chase in progress: the run's full replayable
+    history (journal header + step records up to a point) serialized as
+    one CRC-32-checked blob, published with write-to-temp + [rename] so
+    a reader always sees a complete snapshot or none. *)
+
+type t = {
+  header : Journal.header;
+  last_step : int;  (** step number of the last record included *)
+  records : Codec.step_record list;  (** steps 1..last_step, in order *)
+}
+
+val write : string -> t -> unit
+(** Atomic: write-to-temp, [fsync], [rename]. *)
+
+val read : string -> (t, string) result
+(** [Error] on a missing file, bad magic, wrong length, checksum
+    mismatch or undecodable payload — a damaged snapshot is simply
+    unusable (recovery falls back to the journal alone). *)

@@ -3,6 +3,7 @@ let () =
     [
       ("logic", Test_logic.suite);
       ("parser", Test_parser.suite);
+      ("parser-fuzz", Test_parser_fuzz.suite);
       ("query", Test_query.suite);
       ("egd", Test_egd.suite);
       ("core-model", Test_core_model.suite);
@@ -13,6 +14,7 @@ let () =
       ("classify", Test_classify.suite);
       ("engine", Test_engine.suite);
       ("faults", Test_faults.suite);
+      ("persist", Test_persist.suite);
       ("acyclicity", Test_acyclicity.suite);
       ("extended-acyclicity", Test_extended_acyclicity.suite);
       ("theorems", Test_theorems.suite);

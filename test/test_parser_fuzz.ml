@@ -1,0 +1,148 @@
+(** Parser robustness fuzzing: arbitrary byte strings and mutated
+    versions of the shipped [.chase] corpora must never escape as an
+    unstructured exception — every entry point returns [Ok] or a
+    structured error carrying a 1-based line number. *)
+
+open Chase
+open Test_util
+
+(* Every parse error is produced by the lexer/parser's [fail], which
+   prefixes "line %d: ". *)
+let has_line_number msg =
+  String.length msg > 5
+  && String.sub msg 0 5 = "line "
+  && (match msg.[5] with '0' .. '9' -> true | _ -> false)
+
+let entry_points =
+  [
+    ("parse_program_full", fun s -> Result.map ignore (Parser.parse_program_full s));
+    ("parse_program", fun s -> Result.map ignore (Parser.parse_program s));
+    ("parse_rules", fun s -> Result.map ignore (Parser.parse_rules s));
+    ("parse_database", fun s -> Result.map ignore (Parser.parse_database s));
+  ]
+
+(** [Ok _], or [Error] with a line number; anything else is a bug. *)
+let structured src =
+  List.for_all
+    (fun (name, parse) ->
+      match parse src with
+      | Ok () -> true
+      | Error msg ->
+        has_line_number msg
+        || QCheck.Test.fail_reportf
+             "%s: error without a line number: %S (input %S)" name msg src
+      | exception e ->
+        QCheck.Test.fail_reportf "%s: raised %s on %S" name
+          (Printexc.to_string e) src)
+    entry_points
+
+(* Arbitrary bytes, all 256 values, biased toward short inputs. *)
+let random_bytes_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 160))
+
+let fuzz_random_bytes =
+  qcheck ~count:1000 "random bytes never crash the parser"
+    (QCheck.make ~print:(Fmt.str "%S") random_bytes_gen)
+    structured
+
+(* Syntax-shaped noise: tokens the grammar knows, glued randomly.  This
+   reaches deeper parser states than uniform bytes do. *)
+let token_soup_gen =
+  QCheck.Gen.(
+    let token =
+      oneofl
+        [ "p"; "q"; "X"; "Y"; "_Z"; "a"; "0"; "("; ")"; ","; "."; "->";
+          "="; ":"; ":-"; "%"; "#"; " "; "\n"; "\t"; "e(X, Y)"; "-> p(X)." ]
+    in
+    map (String.concat "") (list_size (int_range 0 30) token))
+
+let fuzz_token_soup =
+  qcheck ~count:1000 "token soup never crashes the parser"
+    (QCheck.make ~print:(Fmt.str "%S") token_soup_gen)
+    structured
+
+(* Mutations of real corpus files: flip, insert, delete and truncate at
+   random positions.  A valid file nearby is the best source of inputs
+   that get far into the grammar before going wrong. *)
+let corpora =
+  lazy
+    [
+      read_data "divergent_zoo.chase";
+      read_data "university.chase";
+      read_data "genealogy.chase";
+    ]
+
+type mutation =
+  | Flip of int * char
+  | Insert of int * char
+  | Delete of int
+  | Truncate of int
+
+let apply_mutation src = function
+  | Flip (i, c) when String.length src > 0 ->
+    let i = i mod String.length src in
+    let b = Bytes.of_string src in
+    Bytes.set b i c;
+    Bytes.to_string b
+  | Insert (i, c) ->
+    let i = i mod (String.length src + 1) in
+    String.sub src 0 i ^ String.make 1 c ^ String.sub src i (String.length src - i)
+  | Delete i when String.length src > 0 ->
+    let i = i mod String.length src in
+    String.sub src 0 i ^ String.sub src (i + 1) (String.length src - i - 1)
+  | Truncate i when String.length src > 0 ->
+    String.sub src 0 (i mod String.length src)
+  | _ -> src
+
+let mutation_gen =
+  QCheck.Gen.(
+    let pos = int_range 0 10_000 in
+    let chr = map Char.chr (int_range 0 255) in
+    oneof
+      [
+        map2 (fun i c -> Flip (i, c)) pos chr;
+        map2 (fun i c -> Insert (i, c)) pos chr;
+        map (fun i -> Delete i) pos;
+        map (fun i -> Truncate i) pos;
+      ])
+
+let mutated_corpus_gen =
+  QCheck.Gen.(
+    map2
+      (fun which muts ->
+        let base = List.nth (Lazy.force corpora) which in
+        List.fold_left apply_mutation base muts)
+      (int_range 0 2)
+      (list_size (int_range 1 8) mutation_gen))
+
+let fuzz_mutated_corpora =
+  qcheck ~count:500 "mutated corpus files never crash the parser"
+    (QCheck.make ~print:(Fmt.str "%S") mutated_corpus_gen)
+    structured
+
+(* A few deterministic regressions: inputs that historically exercise
+   awkward lexer/parser states. *)
+let test_edge_inputs () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (Fmt.str "structured on %S" src) true
+        (structured src))
+    [
+      ""; "."; "->"; "-> ."; "p("; "p(X"; "p(X,"; "p(X)."; "p(X) ->";
+      "p(X) -> q(X)"; ":"; "name:"; "name: ->"; "p() -> q().";
+      "p(X) :- q(X)."; "X(a)."; "p(X) -> X = Y."; "p(X) -> q(X), .";
+      "% only a comment"; "# only a comment"; "\xff\xfe\x00";
+      "p(a).\np(b).\nbroken(";
+      String.make 10_000 '(';
+      "p(" ^ String.concat ", " (List.init 5_000 (fun i -> Fmt.str "x%d" i))
+      ^ ").";
+    ]
+
+let suite =
+  [
+    fuzz_random_bytes;
+    fuzz_token_soup;
+    fuzz_mutated_corpora;
+    Alcotest.test_case "edge inputs give structured errors" `Quick
+      test_edge_inputs;
+  ]
