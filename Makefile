@@ -1,6 +1,6 @@
-# Developer entry points; CI runs `make check`.
+# Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test smoke fmt fmt-ml check clean
+.PHONY: all build test check-naive smoke fmt fmt-ml check clean
 
 all: build
 
@@ -10,6 +10,11 @@ build:
 # full suite: unit + property tests and the cram CLI suite
 test:
 	dune runtest
+
+# the same suite driven by the naive reference matcher (CHASE_NAIVE=1):
+# guards the normative semantics behind the join planner
+check-naive:
+	CHASE_NAIVE=1 dune runtest --force
 
 # quick confidence: the CLI cram suite only (builds both binaries,
 # exercises parsing, the chase, limits/timeout degradation and reports)

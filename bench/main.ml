@@ -581,6 +581,94 @@ let e11 kills =
   record "E11" "seconds" (jfloat elapsed)
 
 (* ------------------------------------------------------------------ *)
+(* E12 — join-planned vs naive trigger matching                        *)
+(* ------------------------------------------------------------------ *)
+
+let e12 quick =
+  section "E12  Join planning: planned vs naive matcher (speedup + agreement)";
+  let with_matcher m f =
+    let saved = Hom.matcher () in
+    Hom.set_matcher m;
+    Fun.protect ~finally:(fun () -> Hom.set_matcher saved) f
+  in
+  let same_run a b =
+    a.Engine.triggers_applied = b.Engine.triggers_applied
+    && a.Engine.triggers_skipped = b.Engine.triggers_skipped
+    && List.equal Atom.equal
+         (Instance.to_sorted_list a.Engine.instance)
+         (Instance.to_sorted_list b.Engine.instance)
+  in
+  (* The planner's target workload: star joins whose only selective atom
+     is written last, so left-to-right matching enumerates the full
+     cartesian fan before ever touching it. *)
+  Fmt.pr "%6s %6s %11s %11s %9s %7s@." "width" "hubs" "naive" "planned"
+    "speedup" "agree";
+  hr ();
+  let widths = if quick then [ 4; 6 ] else [ 4; 6; 8 ] in
+  let hubs = if quick then 1_200 else 2_500 in
+  let min_speedup = ref infinity in
+  let wide_agree = ref true in
+  List.iter
+    (fun width ->
+      let rules = Families.wide_body ~width in
+      let db = Families.wide_body_db ~hubs ~fanout:3 in
+      let config =
+        {
+          Engine.variant = Variant.Oblivious;
+          limits = Limits.make ~max_triggers:200_000 ~max_atoms:800_000 ();
+        }
+      in
+      let last = ref None in
+      let time m =
+        with_matcher m (fun () ->
+            time_avg ~reps:1 (fun () ->
+                let r = Engine.run ~config rules db in
+                last := Some r;
+                r))
+      in
+      let t_naive = time Hom.Naive in
+      let r_naive = Option.get !last in
+      let t_planned = time Hom.Planned in
+      let r_planned = Option.get !last in
+      let agree = same_run r_naive r_planned in
+      let speedup = t_naive /. t_planned in
+      if speedup < !min_speedup then min_speedup := speedup;
+      if not agree then wide_agree := false;
+      Fmt.pr "%6d %6d %a %a %8.2fx %7b@." width hubs pp_time t_naive pp_time
+        t_planned speedup agree;
+      record "E12" (Fmt.str "naive_seconds[w%d]" width) (jfloat t_naive);
+      record "E12" (Fmt.str "planned_seconds[w%d]" width) (jfloat t_planned);
+      record "E12" (Fmt.str "speedup[w%d]" width) (jfloat speedup);
+      record "E12" (Fmt.str "agree[w%d]" width) (jbool agree))
+    widths;
+  (* Differential agreement on random guarded critical-instance chases:
+     runs must be step-for-step identical, not merely isomorphic, because
+     the engine canonicalises trigger discovery order. *)
+  let seeds = if quick then 20 else 60 in
+  let agree = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rules = Random_tgds.guarded ~seed () in
+    let db = Instance.to_list (Critical.of_rules ~standard:false rules) in
+    let config =
+      {
+        Engine.variant = Variant.Semi_oblivious;
+        limits = Limits.make ~max_triggers:4_000 ~max_atoms:16_000 ();
+      }
+    in
+    let rn = with_matcher Hom.Naive (fun () -> Engine.run ~config rules db) in
+    let rp = with_matcher Hom.Planned (fun () -> Engine.run ~config rules db) in
+    if same_run rn rp then incr agree
+  done;
+  Fmt.pr "@.wide-body minimum speedup: %.2fx (agreement on all widths: %b)@."
+    !min_speedup !wide_agree;
+  Fmt.pr "random guarded sets, planned ≡ naive run-for-run: %d/%d@." !agree
+    seeds;
+  record "E12" "min_speedup_wide_body" (jfloat !min_speedup);
+  record "E12" "wide_body_agreement" (jbool !wide_agree);
+  record "E12" "random_sets" (jint seeds);
+  record "E12" "random_agreement" (jint !agree)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -674,6 +762,7 @@ let () =
   e8 ();
   e9 (min n_tiny 40);
   e11 (if quick then 10 else 50);
+  e12 quick;
   microbenches ();
   record "harness" "quick" (jbool quick);
   write_results "BENCH_results.json";

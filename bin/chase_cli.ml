@@ -42,7 +42,8 @@ let variant_conv =
   Arg.conv (parse, Variant.pp)
 
 let run file variant budget max_atoms timeout progress critical standard quiet
-    journal snapshot_every journal_sync resume =
+    naive journal snapshot_every journal_sync resume =
+  if naive then Hom.set_matcher Hom.Naive;
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
@@ -178,6 +179,13 @@ let standard_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print run statistics.")
 
+let naive_arg =
+  Arg.(value & flag
+       & info [ "naive" ]
+           ~doc:"Use the naive left-to-right body matcher (the reference \
+                 semantics) instead of the join-planned one.  Equivalent \
+                 to setting CHASE_NAIVE=1.")
+
 let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"FILE"
@@ -216,6 +224,7 @@ let cmd =
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
       $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
-      $ journal_arg $ snapshot_every_arg $ journal_sync_arg $ resume_arg)
+      $ naive_arg $ journal_arg $ snapshot_every_arg $ journal_sync_arg
+      $ resume_arg)
 
 let () = exit (Cmd.eval' cmd)

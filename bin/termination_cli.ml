@@ -31,7 +31,8 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-let run file variant budget standard timeout progress report =
+let run file variant budget standard timeout progress naive report =
+  if naive then Hom.set_matcher Hom.Naive;
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
@@ -106,6 +107,13 @@ let progress_arg =
            ~doc:"Stream periodic watchdog snapshots of the chase \
                  simulation on stderr.")
 
+let naive_arg =
+  Arg.(value & flag
+       & info [ "naive" ]
+           ~doc:"Use the naive left-to-right body matcher (the reference \
+                 semantics) for every budgeted chase instead of the \
+                 join-planned one.  Equivalent to setting CHASE_NAIVE=1.")
+
 let report_arg =
   Arg.(value & flag
        & info [ "report" ]
@@ -118,6 +126,6 @@ let cmd =
     (Cmd.info "chase-termination" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
-      $ timeout_arg $ progress_arg $ report_arg)
+      $ timeout_arg $ progress_arg $ naive_arg $ report_arg)
 
 let () = exit (Cmd.eval' cmd)

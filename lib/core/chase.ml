@@ -3,7 +3,7 @@
     One-stop re-export of the public API.  The sub-libraries group as:
 
     - logic substrate: {!Term}, {!Atom}, {!Subst}, {!Instance}, {!Hom},
-      {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
+      {!Plan}, {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
     - chase engine: {!Variant}, {!Engine}, {!Limits}, {!Watchdog},
       {!Faults}, {!Critical}, {!Derivation};
     - durability: {!Codec}, {!Journal}, {!Snapshot}, {!Recovery},
@@ -30,6 +30,7 @@ module Atom = Chase_logic.Atom
 module Subst = Chase_logic.Subst
 module Instance = Chase_logic.Instance
 module Hom = Chase_logic.Hom
+module Plan = Chase_logic.Plan
 module Tgd = Chase_logic.Tgd
 module Schema = Chase_logic.Schema
 module Pattern = Chase_logic.Pattern

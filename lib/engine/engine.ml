@@ -93,6 +93,9 @@ type resume = {
   applied : (int * Subst.t) list;
       (** applied triggers (rule index, full body homomorphism), in step
           order — reinstated into the dedup set so none re-fires *)
+  applied_count : int;  (** [List.length applied], carried so that
+      resume-heavy paths never re-walk the list *)
+  created_count : int;  (** [List.length derivations], ditto *)
   next_null : int;  (** highest null stamp used so far *)
   next_step : int;  (** last step number used so far *)
   skipped : int;
@@ -146,9 +149,9 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
     List.iter (fun (a, d) -> Atom.Tbl.replace provenance a d) r.derivations;
     null_counter := r.next_null;
     step_counter := r.next_step;
-    triggers_applied := List.length r.applied;
+    triggers_applied := r.applied_count;
     triggers_skipped := r.skipped;
-    atoms_created := List.length r.derivations;
+    atoms_created := r.created_count;
     max_depth :=
       List.fold_left
         (fun m (_, d) -> max m d.Derivation.depth)
@@ -170,13 +173,28 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
       Queue.add tr queue
     end
   in
+  (* Trigger discovery is canonicalised: the homomorphisms found for one
+     (rule, discovery event) are sorted before entering the FIFO, so the
+     worklist order — and with it the whole chase sequence, null stamps
+     included — depends only on the substitution *set* the matcher
+     produces, never on its enumeration order.  Planned and naive runs
+     are therefore step-for-step identical, which the differential test
+     suite asserts. *)
+  let enqueue_found i subs =
+    List.iter
+      (fun sub -> enqueue { t_rule = i; t_sub = sub })
+      (List.sort Subst.compare subs)
+  in
   let enqueue_all_for_rule i =
-    Hom.iter instance (Tgd.body rules.(i)) (fun sub ->
-        enqueue { t_rule = i; t_sub = sub })
+    let acc = ref [] in
+    Hom.iter instance (Tgd.body rules.(i)) (fun sub -> acc := sub :: !acc);
+    enqueue_found i !acc
   in
   let enqueue_seeded_for_rule i seed =
+    let acc = ref [] in
     Hom.iter_seeded instance (Tgd.body rules.(i)) ~seed (fun sub ->
-        enqueue { t_rule = i; t_sub = sub })
+        acc := sub :: !acc);
+    enqueue_found i !acc
   in
   Array.iteri (fun i _ -> enqueue_all_for_rule i) rules;
   let atom_depth a =
@@ -201,6 +219,7 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
           Subst.bind_exn acc z n)
         (Tgd.existentials r) tr.t_sub
     in
+    let created = List.rev !created in
     let parents = Subst.apply_atoms tr.t_sub (Tgd.body r) in
     let guard_parent =
       Option.map (Subst.apply_atom tr.t_sub) (Chase_classes.Classify.guard_of r)
@@ -222,15 +241,16 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
               guard_parent;
               depth;
               step = !step_counter;
-              created_nulls = List.rev !created;
+              created_nulls = created;
             }
         end)
       (Tgd.head r);
+    let added = List.rev !new_atoms in
     (* Semi-naive trigger discovery: only homomorphisms using a new fact
        can be new. *)
     List.iter
       (fun fact -> Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
-      (List.rev !new_atoms);
+      added;
     Watchdog.Window.observe null_window ~step:!triggers_applied !null_counter;
     (match watchdog with
     | Some w ->
@@ -242,8 +262,8 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
     | None -> ());
     match on_trigger with
     | Some f ->
-      f ~step:!step_counter ~rule_index:tr.t_rule ~depth
-        ~created_nulls:(List.rev !created) r tr.t_sub (List.rev !new_atoms)
+      f ~step:!step_counter ~rule_index:tr.t_rule ~depth ~created_nulls:created
+        r tr.t_sub added
     | None -> ()
   in
   let rule_display i =

@@ -67,6 +67,10 @@ type resume = {
   applied : (int * Subst.t) list;
       (** applied triggers (rule index, full body homomorphism), in step
           order *)
+  applied_count : int;
+      (** [List.length applied], carried so that resume-heavy paths never
+          re-walk the list *)
+  created_count : int;  (** [List.length derivations], ditto *)
   next_null : int;  (** highest null stamp used so far *)
   next_step : int;  (** last step number used so far *)
   skipped : int;

@@ -183,6 +183,40 @@ let single_head_chain n =
         [ atom (pred_name "q" i) [ v "X" ] ]
         [ atom (pred_name "q" (i + 1)) [ v "Y" ] ])
 
+(* ------------------------------------------------------------------ *)
+(* Wide-body join families (E12: planned vs naive matching)            *)
+(* ------------------------------------------------------------------ *)
+
+(** [wide_body ~width]: one full rule with a [width]-atom star join whose
+    only selective atom is written {e last}:
+
+    big(X,Y₁), …, big(X,Y_{width-1}), sel(X) → out(Y₁, X)
+
+    Left-to-right matching enumerates every [big] fact and its whole
+    fan-out before consulting [sel]; a selectivity-ordered plan binds
+    [sel] first and touches only the selected star.  This is the E12
+    workload separating the planned matcher from the naive reference. *)
+let wide_body ~width =
+  if width < 2 then invalid_arg "Families.wide_body: width must be >= 2";
+  let body =
+    List.init (width - 1) (fun i -> atom "big" [ v "X"; v (Fmt.str "Y%d" i) ])
+    @ [ atom "sel" [ v "X" ] ]
+  in
+  [ rule ~name:"wide" body [ atom "out" [ v "Y0"; v "X" ] ] ]
+
+(** A database for {!wide_body}: [hubs] star centres with [fanout]
+    successors each, and a single selected centre.  Deterministic. *)
+let wide_body_db ~hubs ~fanout =
+  let edges =
+    List.concat
+      (List.init hubs (fun h ->
+           List.init fanout (fun k ->
+               atom "big"
+                 [ Term.Const (Fmt.str "h%d" h);
+                   Term.Const (Fmt.str "n%d_%d" h k) ])))
+  in
+  atom "sel" [ Term.Const "h0" ] :: edges
+
 (** The catalogue used by the examples and the census experiment. *)
 let catalogue : (string * Tgd.t list) list =
   [

@@ -49,5 +49,14 @@ val restricted_separator : Tgd.t list
 val restricted_divergent : Tgd.t list
 val single_head_chain : int -> Tgd.t list
 
+val wide_body : width:int -> Tgd.t list
+(** big(X,Y₁), …, big(X,Y_{width-1}), sel(X) → out(Y₁,X): a star join
+    whose only selective atom is written last — the E12 workload that
+    separates planned from naive matching.  Width ≥ 2. *)
+
+val wide_body_db : hubs:int -> fanout:int -> Atom.t list
+(** Database for {!wide_body}: [hubs] star centres with [fanout]
+    successors each, one selected centre; deterministic. *)
+
 val catalogue : (string * Tgd.t list) list
 (** The named families used by the zoo example and the census. *)

@@ -15,6 +15,10 @@ type profile = {
   existential_bias : float;  (** probability a head position is existential *)
   max_body : int;  (** body atoms per rule (guarded generator only) *)
   max_head : int;  (** head atoms per rule *)
+  constant_bias : float;
+      (** probability a non-leading body position (or a non-existential
+          head position) holds a constant instead of a variable; 0 keeps
+          the historical random stream byte-for-byte *)
 }
 
 let default_profile =
@@ -26,7 +30,19 @@ let default_profile =
     existential_bias = 0.4;
     max_body = 2;
     max_head = 2;
+    constant_bias = 0.0;
   }
+
+(* Draw a constant with probability [constant_bias], else fall back to
+   [mk].  The bias test is short-circuited so that profiles with bias 0
+   (every pre-existing caller) consume exactly the same random stream as
+   before the field existed. *)
+let maybe_const st profile mk =
+  if
+    profile.constant_bias > 0.0
+    && Random.State.float st 1.0 < profile.constant_bias
+  then Term.Const (Fmt.str "k%d" (Random.State.int st 3))
+  else mk ()
 
 let pred_name i = Fmt.str "p%d" i
 
@@ -49,8 +65,14 @@ let linear_rule st profile idx =
     else 1 + Random.State.int st (max 1 body_arity)
   in
   let body_args =
-    if profile.simple then List.init body_arity var
-    else List.init body_arity (fun _ -> var (Random.State.int st n_body_vars))
+    (* position 0 stays a variable so the body always has one *)
+    if profile.simple then
+      List.init body_arity (fun i ->
+          if i = 0 then var i else maybe_const st profile (fun () -> var i))
+    else
+      List.init body_arity (fun i ->
+          let v () = var (Random.State.int st n_body_vars) in
+          if i = 0 then v () else maybe_const st profile v)
   in
   let body_vars =
     List.sort_uniq compare
@@ -64,7 +86,7 @@ let linear_rule st profile idx =
       (* a small pool of existentials so they can be shared/repeated *)
       Term.Var (Fmt.str "Z%d" (1 + Random.State.int st (max 1 !existential_counter)))
     end
-    else Term.Var (pick st body_vars)
+    else maybe_const st profile (fun () -> Term.Var (pick st body_vars))
   in
   let head =
     List.init n_head (fun _ ->
@@ -88,7 +110,8 @@ let guarded_rule st profile idx =
     List.init n_side (fun _ ->
         let p = Random.State.int st profile.n_preds in
         Atom.of_list (pred_name p)
-          (List.init (arity_of profile p) (fun _ -> Term.Var (pick st guard_vars))))
+          (List.init (arity_of profile p) (fun _ ->
+               maybe_const st profile (fun () -> Term.Var (pick st guard_vars)))))
   in
   let n_head = 1 + Random.State.int st profile.max_head in
   let existential_counter = ref 0 in
@@ -97,7 +120,7 @@ let guarded_rule st profile idx =
       incr existential_counter;
       Term.Var (Fmt.str "Z%d" (1 + Random.State.int st (max 1 !existential_counter)))
     end
-    else Term.Var (pick st guard_vars)
+    else maybe_const st profile (fun () -> Term.Var (pick st guard_vars))
   in
   let head =
     List.init n_head (fun _ ->

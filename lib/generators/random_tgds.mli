@@ -11,10 +11,14 @@ type profile = {
   existential_bias : float;  (** probability a head position is existential *)
   max_body : int;  (** extra body atoms (guarded generator) *)
   max_head : int;  (** head atoms per rule *)
+  constant_bias : float;
+      (** probability a non-leading body position (or non-existential head
+          position) holds a constant; 0 (the default) reproduces the
+          historical random stream exactly *)
 }
 
 val default_profile : profile
-(** 3 rules, 3 predicates, arity ≤ 3, bias 0.4. *)
+(** 3 rules, 3 predicates, arity ≤ 3, bias 0.4, no constants. *)
 
 val simple_linear : seed:int -> ?profile:profile -> unit -> Tgd.t list
 val linear : seed:int -> ?profile:profile -> unit -> Tgd.t list

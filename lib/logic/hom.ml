@@ -1,12 +1,21 @@
 (** Homomorphism search: matching conjunctions of atoms into instances.
 
-    The search is a straightforward backtracking join.  Body atoms are
-    processed left to right; for each atom we enumerate candidate facts,
-    using the (predicate, position, term) index when some argument is
-    already determined by the partial substitution.  For the workloads of
-    this library (rule bodies of a handful of atoms) this is entirely
-    adequate; no join reordering is attempted beyond preferring an atom
-    with a bound argument. *)
+    Two matchers share the same backtracking core:
+
+    - the {b naive} matcher processes body atoms left to right, probing
+      the (predicate, position, term) index at the {e first} determined
+      position — the reference implementation, kept verbatim as the
+      normative semantics (DESIGN.md);
+    - the {b planned} matcher asks {!Plan} for a selectivity-ordered
+      permutation of the body and probes the {e smallest} index at each
+      step, using the O(1) cardinality statistics of {!Instance}.
+
+    Both enumerate the same substitution set (the property suite pins
+    this); only the enumeration order and the work done differ.  The
+    top-level entry points ({!iter}, {!iter_seeded}, {!all}, {!exists},
+    {!find}) dispatch on the process-wide {!matcher} selection: planned
+    by default, naive when the environment variable [CHASE_NAIVE] is set
+    (or {!set_matcher} was called — the CLIs' [--naive]). *)
 
 (** [match_atom sub pat fact] extends [sub] so that [sub pat = fact];
     [None] if impossible. *)
@@ -30,8 +39,31 @@ let match_atom sub pat fact =
     in
     go 0 sub
 
-(** Candidate facts for [pat] under partial substitution [sub], using the
-    narrowest available index. *)
+(* ------------------------------------------------------------------ *)
+(* Matcher selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type matcher = Planned | Naive
+
+let matcher_of_env =
+  lazy
+    (match Sys.getenv_opt "CHASE_NAIVE" with
+    | Some ("1" | "true" | "yes" | "on") -> Naive
+    | Some _ | None -> Planned)
+
+let selected : matcher option ref = ref None
+
+let set_matcher m = selected := Some m
+
+let matcher () =
+  match !selected with Some m -> m | None -> Lazy.force matcher_of_env
+
+(* ------------------------------------------------------------------ *)
+(* The naive reference matcher (left-to-right, first bound position)   *)
+(* ------------------------------------------------------------------ *)
+
+(** Candidate facts for [pat] under partial substitution [sub], probing
+    the index at the first determined position — the reference policy. *)
 let candidates ins sub pat =
   let n = Atom.arity pat in
   let rec find_bound i =
@@ -50,9 +82,9 @@ let candidates ins sub pat =
 
 exception Stop
 
-(** [iter ?init ins pats f] calls [f] on every substitution [s] extending
-    [init] with [s pats ⊆ ins]. *)
-let iter ?(init = Subst.empty) ins pats f =
+(** [iter_naive ?init ins pats f] calls [f] on every substitution [s]
+    extending [init] with [s pats ⊆ ins]; body atoms left to right. *)
+let iter_naive ?(init = Subst.empty) ins pats f =
   let rec go pats sub =
     match pats with
     | [] -> f sub
@@ -66,11 +98,12 @@ let iter ?(init = Subst.empty) ins pats f =
   in
   go pats init
 
-(** [iter_seeded ?init ins pats ~seed f] is like [iter] but only yields
-    substitutions in which at least one body atom is mapped to the fact
-    [seed].  This is the semi-naive primitive of the chase engine: when a
-    new fact arrives, only homomorphisms using it can be new. *)
-let iter_seeded ?(init = Subst.empty) ins pats ~seed f =
+(** [iter_seeded_naive ?init ins pats ~seed f] is like {!iter_naive} but
+    only yields substitutions in which at least one body atom is mapped to
+    the fact [seed].  This is the semi-naive primitive of the chase
+    engine: when a new fact arrives, only homomorphisms using it can be
+    new. *)
+let iter_seeded_naive ?(init = Subst.empty) ins pats ~seed f =
   let n = List.length pats in
   (* For each choice of the atom pinned to [seed], enumerate the rest, and
      require pinned-position minimality to avoid emitting the same
@@ -98,6 +131,127 @@ let iter_seeded ?(init = Subst.empty) ins pats ~seed f =
       in
       go 0 sub0
   done
+
+(* ------------------------------------------------------------------ *)
+(* The planned matcher (selectivity order, smallest index per step)    *)
+(* ------------------------------------------------------------------ *)
+
+(** Candidate facts for [pat] under [sub], probing the {e smallest} index
+    over all determined positions (O(arity) count lookups, no walks). *)
+let candidates_best ins sub pat =
+  let p = Atom.pred pat in
+  let n = Atom.arity pat in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    let t =
+      match Atom.arg pat i with
+      | Term.Var v -> Subst.find_opt v sub
+      | (Term.Const _ | Term.Null _) as t -> Some t
+    in
+    match t with
+    | Some t ->
+      let c = Instance.count_matching ins p i t in
+      (match !best with
+      | Some (c0, _, _) when c0 <= c -> ()
+      | Some _ | None -> best := Some (c, i, t))
+    | None -> ()
+  done;
+  match !best with
+  | Some (_, i, t) -> Instance.atoms_matching ins p i t
+  | None -> Instance.atoms_of_pred ins p
+
+(* Below this instance size, planning and count probes cost more than the
+   bucket walks they avoid: the planned matcher falls back to the naive
+   algorithm (the substitution set is the same either way). *)
+let plan_threshold = 64
+
+(* Backtracking through [pats_arr] in the order given by [plan], starting
+   at plan step [from].  [skip_seed pos fact] implements the pinned-
+   position minimality filter of the seeded search (always false for the
+   unseeded one). *)
+let run_plan ~skip_seed pats_arr plan ~from ins sub0 f =
+  let order = Plan.order plan in
+  let steps = Array.length order in
+  let rec go k sub =
+    if k >= steps then f sub
+    else
+      let pos = order.(k) in
+      List.iter
+        (fun fact ->
+          if skip_seed pos fact then ()
+          else
+            match match_atom sub pats_arr.(pos) fact with
+            | Some sub' -> go (k + 1) sub'
+            | None -> ())
+        (candidates_best ins sub pats_arr.(pos))
+  in
+  go from sub0
+
+let no_skip _ _ = false
+
+(** [iter_planned ?init ?plan ins pats f]: same substitution set as
+    {!iter_naive}, enumerated through a selectivity-ordered plan
+    (computed here unless supplied). *)
+let iter_planned ?(init = Subst.empty) ?plan ins pats f =
+  match pats with
+  | [] -> f init
+  | _ when plan = None && Instance.cardinal ins < plan_threshold ->
+    iter_naive ~init ins pats f
+  | [ pat ] ->
+    (* single atom: nothing to order, but still probe the best index *)
+    List.iter
+      (fun fact ->
+        match match_atom init pat fact with Some s -> f s | None -> ())
+      (candidates_best ins init pat)
+  | _ ->
+    let plan =
+      match plan with
+      | Some p -> p
+      | None -> Plan.make ~bound:(Subst.domain init) ins pats
+    in
+    run_plan ~skip_seed:no_skip (Array.of_list pats) plan ~from:0 ins init f
+
+(** [iter_seeded_planned ?init ins pats ~seed f]: the delta-driven
+    rederivation primitive, planned.  For each body atom that matches the
+    seed, that atom is pinned first (one candidate: the seed itself) and
+    the rest of the body is planned with the pin's variables bound. *)
+let iter_seeded_planned ?(init = Subst.empty) ins pats ~seed f =
+  if Instance.cardinal ins < plan_threshold then
+    iter_seeded_naive ~init ins pats ~seed f
+  else begin
+  let pats_arr = Array.of_list pats in
+  let n = Array.length pats_arr in
+  let bound0 = Subst.domain init in
+  for pin = 0 to n - 1 do
+    match match_atom init pats_arr.(pin) seed with
+    | None -> ()
+    | Some sub0 ->
+      (* pinned-position minimality, as in the naive seeded search: a
+         body atom left of the pin must not map onto the seed *)
+      let skip_seed pos fact = pos < pin && Atom.equal fact seed in
+      let plan = Plan.seeded ~bound:bound0 ins pats ~pin in
+      run_plan ~skip_seed pats_arr plan ~from:1 ins sub0 f
+  done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatching entry points                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter ?init ins pats f] calls [f] on every substitution [s] extending
+    [init] with [s pats ⊆ ins], through the selected matcher. *)
+let iter ?init ins pats f =
+  match matcher () with
+  | Planned -> iter_planned ?init ins pats f
+  | Naive -> iter_naive ?init ins pats f
+
+(** [iter_seeded ?init ins pats ~seed f] is like [iter] but only yields
+    substitutions in which at least one body atom is mapped to the fact
+    [seed].  Each qualifying substitution is produced exactly once. *)
+let iter_seeded ?init ins pats ~seed f =
+  match matcher () with
+  | Planned -> iter_seeded_planned ?init ins pats ~seed f
+  | Naive -> iter_seeded_naive ?init ins pats ~seed f
 
 let all ?init ins pats =
   let acc = ref [] in

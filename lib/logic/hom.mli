@@ -1,13 +1,38 @@
 (** Homomorphism search: matching conjunctions of atoms into instances.
 
-    A backtracking join over the instance indexes; adequate for rule
-    bodies of a handful of atoms.  All searches extend an optional initial
-    substitution, which is how frontier-restricted matching (restricted
-    chase satisfaction, semi-oblivious keys) reuses the same machinery. *)
+    A backtracking join over the instance indexes.  Two interchangeable
+    matchers drive it: the {b naive} left-to-right reference matcher (the
+    normative semantics) and the {b planned} matcher, which follows a
+    selectivity-ordered {!Plan} and probes the smallest index at every
+    step.  Both produce the same substitution {e set}; the top-level
+    entry points dispatch on {!matcher} — planned by default, naive when
+    the [CHASE_NAIVE] environment variable is set or {!set_matcher} was
+    called (the CLIs' [--naive] flag).
+
+    All searches extend an optional initial substitution, which is how
+    frontier-restricted matching (restricted chase satisfaction,
+    semi-oblivious keys) reuses the same machinery. *)
 
 val match_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
 (** [match_atom sub pattern fact] extends [sub] so that the pattern maps
     onto the fact; [None] if impossible. *)
+
+(** {1 Matcher selection} *)
+
+type matcher =
+  | Planned  (** join-planned, delta-driven — the default *)
+  | Naive  (** left-to-right reference implementation *)
+
+val matcher : unit -> matcher
+(** The active matcher: the value forced by {!set_matcher} if any,
+    otherwise [Naive] when the environment variable [CHASE_NAIVE] is
+    [1]/[true]/[yes]/[on], otherwise [Planned]. *)
+
+val set_matcher : matcher -> unit
+(** Process-wide override, used by the CLIs' [--naive] and the
+    differential test harness. *)
+
+(** {1 Dispatching entry points} *)
 
 val iter : ?init:Subst.t -> Instance.t -> Atom.t list -> (Subst.t -> unit) -> unit
 (** Call the continuation on every substitution mapping all atoms into
@@ -22,6 +47,34 @@ val iter_seeded :
 val all : ?init:Subst.t -> Instance.t -> Atom.t list -> Subst.t list
 val exists : ?init:Subst.t -> Instance.t -> Atom.t list -> bool
 val find : ?init:Subst.t -> Instance.t -> Atom.t list -> Subst.t option
+
+(** {1 The individual matchers}
+
+    Exposed for the differential and property test suites; normal code
+    goes through the dispatching entry points above. *)
+
+val iter_naive :
+  ?init:Subst.t -> Instance.t -> Atom.t list -> (Subst.t -> unit) -> unit
+(** The reference matcher: body atoms left to right, first determined
+    position probed.  Its substitution set defines correctness. *)
+
+val iter_seeded_naive :
+  ?init:Subst.t -> Instance.t -> Atom.t list -> seed:Atom.t -> (Subst.t -> unit) -> unit
+
+val iter_planned :
+  ?init:Subst.t ->
+  ?plan:Plan.t ->
+  Instance.t ->
+  Atom.t list ->
+  (Subst.t -> unit) ->
+  unit
+(** The planned matcher; [plan] overrides the planner's ordering (it must
+    be a plan for exactly this body). *)
+
+val iter_seeded_planned :
+  ?init:Subst.t -> Instance.t -> Atom.t list -> seed:Atom.t -> (Subst.t -> unit) -> unit
+
+(** {1 Instance-level homomorphisms} *)
 
 val instance_hom : Instance.t -> Instance.t -> Term.t Term.Map.t option
 (** A homomorphism between instances: identity on constants, nulls map

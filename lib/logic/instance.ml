@@ -4,13 +4,25 @@
     enumerating candidate atoms for body matching, so the representation
     keeps, besides the membership table, a per-predicate bucket and a
     per-(predicate, position, term) index used to narrow matching when a
-    body atom already has a bound argument. *)
+    body atom already has a bound argument.
+
+    Every bucket carries its cardinality, and the number of distinct
+    terms per (predicate, position) is maintained incrementally, so the
+    cardinality accessors used by the join planner ({!Plan}) are O(1) and
+    never walk a bucket. *)
+
+type bucket = {
+  mutable elts : Atom.t list;
+  mutable n : int;  (** [List.length elts], maintained incrementally *)
+}
 
 type t = {
   all : unit Atom.Tbl.t;  (** membership *)
-  by_pred : (string, Atom.t list ref) Hashtbl.t;
-  by_pred_pos_term : (string * int * Term.t, Atom.t list ref) Hashtbl.t;
-  by_term : (Term.t, Atom.t list ref) Hashtbl.t;
+  by_pred : (string, bucket) Hashtbl.t;
+  by_pred_pos_term : (string * int * Term.t, bucket) Hashtbl.t;
+  by_term : (Term.t, bucket) Hashtbl.t;
+  distinct_at_pos : (string * int, int ref) Hashtbl.t;
+      (** distinct terms seen at each (predicate, position) *)
   mutable size : int;
 }
 
@@ -20,6 +32,7 @@ let create ?(initial_capacity = 256) () =
     by_pred = Hashtbl.create 32;
     by_pred_pos_term = Hashtbl.create initial_capacity;
     by_term = Hashtbl.create initial_capacity;
+    distinct_at_pos = Hashtbl.create 64;
     size = 0;
   }
 
@@ -28,11 +41,15 @@ let cardinal ins = ins.size
 
 let bucket tbl key =
   match Hashtbl.find_opt tbl key with
-  | Some r -> r
+  | Some b -> b
   | None ->
-    let r = ref [] in
-    Hashtbl.add tbl key r;
-    r
+    let b = { elts = []; n = 0 } in
+    Hashtbl.add tbl key b;
+    b
+
+let push b a =
+  b.elts <- a :: b.elts;
+  b.n <- b.n + 1
 
 (** [add ins a] inserts [a]; returns [true] iff the atom is new.  Raises
     [Invalid_argument] if [a] contains a variable. *)
@@ -42,18 +59,27 @@ let add ins a =
   else begin
     Atom.Tbl.add ins.all a ();
     ins.size <- ins.size + 1;
-    let b = bucket ins.by_pred (Atom.pred a) in
-    b := a :: !b;
+    push (bucket ins.by_pred (Atom.pred a)) a;
     Array.iteri
       (fun i t ->
-        let b = bucket ins.by_pred_pos_term (Atom.pred a, i, t) in
-        b := a :: !b)
+        let key = (Atom.pred a, i, t) in
+        (match Hashtbl.find_opt ins.by_pred_pos_term key with
+        | Some b -> push b a
+        | None ->
+          let b = { elts = [ a ]; n = 1 } in
+          Hashtbl.add ins.by_pred_pos_term key b;
+          (* first time this term shows up at this position *)
+          let d =
+            match Hashtbl.find_opt ins.distinct_at_pos (Atom.pred a, i) with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.add ins.distinct_at_pos (Atom.pred a, i) r;
+              r
+          in
+          incr d))
       (Atom.args a);
-    Term.Set.iter
-      (fun t ->
-        let b = bucket ins.by_term t in
-        b := a :: !b)
-      (Atom.term_set a);
+    Term.Set.iter (fun t -> push (bucket ins.by_term t) a) (Atom.term_set a);
     true
   end
 
@@ -65,18 +91,33 @@ let of_list atoms =
   ins
 
 let atoms_of_pred ins p =
-  match Hashtbl.find_opt ins.by_pred p with Some r -> !r | None -> []
+  match Hashtbl.find_opt ins.by_pred p with Some b -> b.elts | None -> []
 
 (** [atoms_matching ins p i t] are the atoms of predicate [p] whose [i]-th
     argument is exactly the term [t]. *)
 let atoms_matching ins p i t =
   match Hashtbl.find_opt ins.by_pred_pos_term (p, i, t) with
-  | Some r -> !r
+  | Some b -> b.elts
   | None -> []
 
 (** [atoms_containing ins t] are the atoms in which term [t] occurs. *)
 let atoms_containing ins t =
-  match Hashtbl.find_opt ins.by_term t with Some r -> !r | None -> []
+  match Hashtbl.find_opt ins.by_term t with Some b -> b.elts | None -> []
+
+(* ---- O(1) cardinality accessors (the planner's statistics) ---- *)
+
+let count_of_pred ins p =
+  match Hashtbl.find_opt ins.by_pred p with Some b -> b.n | None -> 0
+
+let count_matching ins p i t =
+  match Hashtbl.find_opt ins.by_pred_pos_term (p, i, t) with
+  | Some b -> b.n
+  | None -> 0
+
+let distinct_at ins p i =
+  match Hashtbl.find_opt ins.distinct_at_pos (p, i) with
+  | Some r -> !r
+  | None -> 0
 
 let iter f ins = Atom.Tbl.iter (fun a () -> f a) ins.all
 let fold f ins init = Atom.Tbl.fold (fun a () acc -> f a acc) ins.all init
@@ -88,8 +129,8 @@ let copy ins = of_list (to_list ins)
 (** All predicates with at least one fact, with their arities. *)
 let predicates ins =
   Hashtbl.fold
-    (fun p r acc ->
-      match !r with [] -> acc | a :: _ -> (p, Atom.arity a) :: acc)
+    (fun p b acc ->
+      match b.elts with [] -> acc | a :: _ -> (p, Atom.arity a) :: acc)
     ins.by_pred []
 
 (** The set of all terms occurring in the instance. *)

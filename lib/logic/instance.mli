@@ -25,6 +25,20 @@ val atoms_matching : t -> string -> int -> Term.t -> Atom.t list
 
 val atoms_containing : t -> Term.t -> Atom.t list
 
+val count_of_pred : t -> string -> int
+(** Number of facts of the predicate; O(1). *)
+
+val count_matching : t -> string -> int -> Term.t -> int
+(** [count_matching ins p i t] is [List.length (atoms_matching ins p i t)]
+    without walking the bucket; O(1).  The planner's exact statistic for
+    constant-bound positions. *)
+
+val distinct_at : t -> string -> int -> int
+(** Number of distinct terms occurring at position [i] of predicate [p];
+    O(1).  [count_of_pred ins p / distinct_at ins p i] estimates the
+    average bucket size at a position whose term is not yet known — the
+    planner's statistic for variable-bound positions. *)
+
 val iter : (Atom.t -> unit) -> t -> unit
 val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Atom.t list

@@ -1,0 +1,52 @@
+(** Join plans for body matching: a selectivity-ordered permutation of a
+    rule body.
+
+    A plan decides in which order {!Hom} binds the body atoms of a rule
+    against an instance.  Atoms are picked greedily by estimated
+    candidate count, computed from the O(1) cardinality statistics of
+    {!Instance} — exact bucket sizes for constant-bound positions,
+    average bucket sizes ([count_of_pred / distinct_at]) for positions
+    whose variable is bound by an earlier atom of the plan.  Planning
+    never walks a bucket and never enumerates a fact.
+
+    Plans only reorder the enumeration; the substitution {e set} produced
+    by a planned search is identical to the naive left-to-right search
+    (see the property suite and DESIGN.md: the naive matcher is the
+    normative semantics). *)
+
+type t
+(** A permutation of the body atoms of one rule, for one instance. *)
+
+val make : ?bound:Util.Sset.t -> Instance.t -> Atom.t list -> t
+(** [make ?bound ins body] orders [body] by estimated selectivity against
+    [ins].  [bound] are variables already determined by the initial
+    substitution of the search (their positions count as bound from the
+    start).  The empty body yields the empty plan. *)
+
+val seeded : ?bound:Util.Sset.t -> Instance.t -> Atom.t list -> pin:int -> t
+(** [seeded ins body ~pin] plans a delta-driven rederivation: the body
+    atom at index [pin] is matched against the seed fact and therefore
+    goes first (its single candidate is the seed); the remaining atoms
+    are ordered greedily with [pin]'s variables bound.
+    @raise Invalid_argument if [pin] is out of range. *)
+
+val order : t -> int array
+(** The permutation: [order.(k)] is the original body index matched at
+    step [k]. *)
+
+val atoms : t -> Atom.t list -> Atom.t list
+(** Apply the permutation to the body it was made for. *)
+
+val length : t -> int
+
+val is_permutation : t -> int
+(** Checked accessor used by the property tests: returns the length if
+    [order] is a permutation of [0..n-1], raises otherwise. *)
+
+val estimate : ?bound:Util.Sset.t -> Instance.t -> Atom.t -> int
+(** The planner's cost estimate for matching one atom given the bound
+    variables: the smallest bucket-size estimate over its determined
+    positions, or the predicate cardinality when none is determined.
+    Exposed for tests and diagnostics. *)
+
+val pp : Format.formatter -> t -> unit

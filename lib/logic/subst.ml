@@ -44,6 +44,10 @@ let apply_atoms (s : t) atoms = List.map (apply_atom s) atoms
 (** [restrict s vars] keeps only the bindings of [vars]. *)
 let restrict (s : t) vars = Smap.filter (fun v _ -> Util.Sset.mem v vars) s
 
+(** The set of bound variables. *)
+let domain (s : t) =
+  Smap.fold (fun v _ acc -> Util.Sset.add v acc) s Util.Sset.empty
+
 let compare (s1 : t) (s2 : t) = Smap.compare Term.compare s1 s2
 let equal s1 s2 = compare s1 s2 = 0
 

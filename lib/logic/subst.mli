@@ -32,6 +32,9 @@ val apply_atoms : t -> Atom.t list -> Atom.t list
 val restrict : t -> Util.Sset.t -> t
 (** Keep only the bindings of the given variables. *)
 
+val domain : t -> Util.Sset.t
+(** The set of bound variables. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 

@@ -50,7 +50,9 @@ let replay ~rules ~db records =
   List.iter (fun a -> ignore (Instance.add instance a)) db;
   let provenance = Atom.Tbl.create 256 in
   let derivations = ref [] in
+  let n_derivations = ref 0 in
   let applied = ref [] in
+  let n_applied = ref 0 in
   let null_counter = ref 0 in
   let last_step = ref 0 in
   let fail sr fmt =
@@ -69,6 +71,8 @@ let replay ~rules ~db records =
           Engine.facts = Instance.to_list instance;
           derivations = List.rev !derivations;
           applied = List.rev !applied;
+          applied_count = !n_applied;
+          created_count = !n_derivations;
           next_null = !null_counter;
           next_step = !last_step;
           skipped = 0;
@@ -140,7 +144,8 @@ let replay ~rules ~db records =
                         }
                       in
                       Atom.Tbl.replace provenance fact d;
-                      derivations := (fact, d) :: !derivations
+                      derivations := (fact, d) :: !derivations;
+                      incr n_derivations
                     end)
                   (Tgd.head rule);
                 let added = List.rev !added in
@@ -152,6 +157,7 @@ let replay ~rules ~db records =
                     "replayed facts do not match the recorded creations"
                 else begin
                   applied := (sr.rule_index, sr.hom) :: !applied;
+                  incr n_applied;
                   last_step := sr.step;
                   go rest
                 end
@@ -174,9 +180,9 @@ let certify ~variant ~db (resume : Engine.resume) =
       Engine.instance = Instance.of_list resume.Engine.facts;
       status = Engine.Terminated;
       variant;
-      triggers_applied = List.length resume.Engine.applied;
+      triggers_applied = resume.Engine.applied_count;
       triggers_skipped = resume.Engine.skipped;
-      atoms_created = List.length resume.Engine.derivations;
+      atoms_created = resume.Engine.created_count;
       nulls_created = resume.Engine.next_null;
       max_depth =
         List.fold_left

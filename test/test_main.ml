@@ -13,6 +13,9 @@ let () =
       ("report", Test_report.suite);
       ("classify", Test_classify.suite);
       ("engine", Test_engine.suite);
+      ("plan-props", Test_plan_props.suite);
+      ("differential", Test_differential.suite);
+      ("metamorphic", Test_metamorphic.suite);
       ("faults", Test_faults.suite);
       ("persist", Test_persist.suite);
       ("acyclicity", Test_acyclicity.suite);

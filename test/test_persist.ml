@@ -410,6 +410,51 @@ let test_restricted_resume () =
   | Error msg -> Alcotest.fail ("restricted provenance: " ^ msg));
   cleanup path
 
+(* Regression: the resume record carries its counters ([applied_count],
+   [created_count]) instead of the engine re-deriving them with
+   [List.length] on every resume — and a resumed run's final counters
+   must match the uninterrupted run's exactly, at any kill point
+   (including a kill after the very last record). *)
+let test_resume_counters_exact () =
+  let rules = rules () and db = db () in
+  let baseline = chase rules db in
+  List.iter
+    (fun k ->
+      let path = tmp_journal () in
+      (match
+         run_journaled ~fault:(Faults.Kill_after_record k) ~fsync_every:1 path
+           rules db
+       with
+      | _ -> Alcotest.fail "armed crash did not fire"
+      | exception Faults.Crash _ -> ());
+      let report = recover_exn ~variant:Variant.Oblivious path rules db in
+      let resume = report.Recovery.resume in
+      Alcotest.(check int)
+        (Fmt.str "k=%d: carried applied_count" k)
+        (List.length resume.Engine.applied)
+        resume.Engine.applied_count;
+      Alcotest.(check int)
+        (Fmt.str "k=%d: applied_count = journal records" k)
+        k resume.Engine.applied_count;
+      Alcotest.(check int)
+        (Fmt.str "k=%d: carried created_count" k)
+        (List.length resume.Engine.derivations)
+        resume.Engine.created_count;
+      let resumed =
+        Engine.run ~config:(config Variant.Oblivious) ~resume rules db
+      in
+      Alcotest.(check int)
+        (Fmt.str "k=%d: triggers applied match uninterrupted run" k)
+        baseline.Engine.triggers_applied resumed.Engine.triggers_applied;
+      Alcotest.(check int)
+        (Fmt.str "k=%d: atoms created match uninterrupted run" k)
+        baseline.Engine.atoms_created resumed.Engine.atoms_created;
+      Alcotest.(check int)
+        (Fmt.str "k=%d: nulls created match uninterrupted run" k)
+        baseline.Engine.nulls_created resumed.Engine.nulls_created;
+      cleanup path)
+    [ 1; 17; 83; 164; 165 ]
+
 let test_recover_wrong_program () =
   let rules = rules () and db = db () in
   let path = tmp_journal () in
@@ -474,6 +519,8 @@ let suite =
     Alcotest.test_case "resume continues the journal" `Quick
       test_resume_continues_journal;
     Alcotest.test_case "restricted-chase resume" `Quick test_restricted_resume;
+    Alcotest.test_case "resume counters match the uninterrupted run" `Quick
+      test_resume_counters_exact;
     Alcotest.test_case "wrong program/variant/db refused" `Quick
       test_recover_wrong_program;
     Alcotest.test_case "replay rejects tampered histories" `Quick
