@@ -1,6 +1,6 @@
 # Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test check-naive smoke fmt fmt-ml check clean
+.PHONY: all build test check-naive smoke lint fmt fmt-ml check clean
 
 all: build
 
@@ -21,6 +21,10 @@ check-naive:
 smoke:
 	dune runtest cram
 
+# static diagnostics over the shipped corpus: errors or warnings fail
+lint: build
+	dune exec bin/lint_cli.exe -- data/*.chase examples/*.chase
+
 # formatting gate: dune files are always checked; .ml formatting only
 # when ocamlformat is available (it is not baked into every image)
 fmt:
@@ -34,7 +38,7 @@ fmt:
 fmt-ml:
 	ocamlformat --check $$(git ls-files '*.ml' '*.mli')
 
-check: build fmt test
+check: build fmt lint test
 
 clean:
 	dune clean

@@ -20,7 +20,12 @@
     kill, crash or breached limit, [--resume FILE] restores the run from
     the latest valid snapshot plus the journal tail — truncating a torn
     tail rather than failing — revalidates it, and continues the chase
-    (and the journal) exactly where it stopped. *)
+    (and the journal) exactly where it stopped.
+
+    Every run preflights the schema: an arity clash is reported as the
+    [E001] diagnostic (exit 2) instead of surfacing as an exception from
+    the engine's indexes.  [--lint] runs the full static battery of
+    [chase-lint] first. *)
 
 open Cmdliner
 open Chase
@@ -41,19 +46,58 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
+(* [parse_program] with source locations kept: same error string for
+   EGDs, and the located statements feed the arity preflight and
+   [--lint]. *)
+let parse_located_program src =
+  match Parser.parse_located src with
+  | Error _ as e -> e
+  | Ok p -> (
+    match p.Parser.legds with
+    | (_, line) :: _ ->
+      Error
+        (Fmt.str
+           "line %d: unexpected EGD: use parse_program_full for programs \
+            with EGDs"
+           line)
+    | [] -> Ok p)
+
+(* The arity preflight ([E001]) guards every code path that builds the
+   joint schema (the critical instance, the engine indexes); with
+   [--lint] the whole static battery runs and errors are fatal. *)
+let preflight ~file ~lint (p : Parser.located_program) =
+  if lint then begin
+    let report = Lint.analyze (Lint.of_program p) in
+    List.iter
+      (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d)
+      report.Lint.diagnostics;
+    Lint.errors report = 0
+  end
+  else
+    match
+      Schema_check.check ~rules:p.Parser.lrules ~facts:p.Parser.lfacts ()
+    with
+    | [] -> true
+    | diags ->
+      List.iter (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d) diags;
+      false
+
 let run file variant budget max_atoms timeout progress critical standard quiet
-    naive journal snapshot_every journal_sync resume =
+    naive journal snapshot_every journal_sync resume lint =
   if naive then Hom.set_matcher Hom.Naive;
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
     1
   | Ok src -> (
-    match Parser.parse_program src with
+    match parse_located_program src with
     | Error msg ->
       Fmt.epr "parse error: %s@." msg;
       1
-    | Ok (rules, facts) ->
+    | Ok p when not (preflight ~file ~lint p) -> 2
+    | Ok p ->
+      let rules = List.map fst p.Parser.lrules
+      and facts = List.map fst p.Parser.lfacts in
       let db =
         if critical then Instance.to_list (Critical.of_rules ~standard rules)
         else facts
@@ -217,6 +261,13 @@ let resume_arg =
                  they stopped.  The program file must be the one the \
                  journal was written for.")
 
+let lint_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Run the static diagnostics battery (see chase-lint) \
+                 before chasing; diagnostics go to stderr and errors \
+                 abort with exit status 2.")
+
 let cmd =
   let doc = "run the chase procedure on a rule set and database" in
   Cmd.v
@@ -225,6 +276,6 @@ let cmd =
       const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
       $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
       $ naive_arg $ journal_arg $ snapshot_every_arg $ journal_sync_arg
-      $ resume_arg)
+      $ resume_arg $ lint_arg)
 
 let () = exit (Cmd.eval' cmd)

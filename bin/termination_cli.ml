@@ -10,7 +10,12 @@
     breached the [unknown] verdict carries the structured exhaustion
     diagnostics, distinguishing "slow but possibly converging" from
     "diverging so far" by the recent null-growth rate.  [--progress]
-    streams watchdog snapshots of the simulation fallback on stderr. *)
+    streams watchdog snapshots of the simulation fallback on stderr.
+
+    Every run preflights the schema: an arity clash is reported as the
+    [E001] diagnostic (exit 2) instead of surfacing as an exception from
+    deep inside a procedure.  [--lint] runs the full static battery of
+    [chase-lint] first. *)
 
 open Cmdliner
 open Chase
@@ -31,18 +36,58 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-let run file variant budget standard timeout progress naive report =
+(* [parse_rules] with source locations kept: same error strings for
+   statements of the wrong kind, and the located rules feed the arity
+   preflight and [--lint]. *)
+let parse_located_rules src =
+  match Parser.parse_located src with
+  | Error _ as e -> e
+  | Ok p -> (
+    match p.Parser.legds with
+    | (_, line) :: _ ->
+      Error
+        (Fmt.str
+           "line %d: unexpected EGD: use parse_program_full for programs \
+            with EGDs"
+           line)
+    | [] -> (
+      match p.Parser.lfacts with
+      | (_, line) :: _ ->
+        Error (Fmt.str "line %d: unexpected fact in a rule file" line)
+      | [] -> Ok p.Parser.lrules))
+
+(* The arity preflight ([E001]) guards every code path that builds the
+   joint schema; with [--lint] the whole static battery runs and errors
+   are fatal. *)
+let preflight ~file ~lint lrules =
+  if lint then begin
+    let report = Lint.analyze { Lint.rules = lrules; egds = []; facts = [] } in
+    List.iter
+      (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d)
+      report.Lint.diagnostics;
+    Lint.errors report = 0
+  end
+  else
+    match Schema_check.check ~rules:lrules ~facts:[] () with
+    | [] -> true
+    | diags ->
+      List.iter (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d) diags;
+      false
+
+let run file variant budget standard timeout progress naive report lint =
   if naive then Hom.set_matcher Hom.Naive;
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
     1
   | Ok src -> (
-    match Parser.parse_rules src with
+    match parse_located_rules src with
     | Error msg ->
       Fmt.epr "parse error: %s@." msg;
       1
-    | Ok rules ->
+    | Ok lrules when not (preflight ~file ~lint lrules) -> 2
+    | Ok lrules ->
+      let rules = List.map fst lrules in
       if report then begin
         Fmt.pr "%a@." Report.pp (Report.build ~budget rules);
         0
@@ -120,12 +165,19 @@ let report_arg =
            ~doc:"Print the full analysis portfolio (class, every \
                  acyclicity condition, all variants, chase statistics).")
 
+let lint_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Run the static diagnostics battery (see chase-lint) \
+                 before deciding; diagnostics go to stderr and errors \
+                 abort with exit status 2.")
+
 let cmd =
   let doc = "decide all-instance chase termination for a TGD set" in
   Cmd.v
     (Cmd.info "chase-termination" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
-      $ timeout_arg $ progress_arg $ naive_arg $ report_arg)
+      $ timeout_arg $ progress_arg $ naive_arg $ report_arg $ lint_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -328,6 +328,58 @@ let confirm ~semi rules ~start ~cycle ~laps =
   done;
   !ok && Pattern.equal (Pattern.of_atom !atom) start
 
+(* --- concrete realization ------------------------------------------ *)
+
+(** The concrete evidence behind a certificate: one lap of the pump
+    replayed with real fresh nulls. *)
+type realization = {
+  facts : Atom.t list;
+      (** the instantiated start fact followed by the fact produced by
+          each cycle step, in order *)
+  first_subst : Subst.t;
+      (** the realizing substitution of the first cycle step: body match
+          plus fresh nulls for the existentials *)
+}
+
+(** Replay one lap of a {e confirmed} certificate, returning the fact
+    chain and the realizing substitution of the first step.  Every step
+    of a confirmed cycle matches by construction; a step that fails to
+    match (an unconfirmed, hand-built certificate) is skipped. *)
+let realize rules cert =
+  let rules_arr = Array.of_list rules in
+  let counter = ref 0 in
+  let fresh_null () =
+    incr counter;
+    Term.Null !counter
+  in
+  let start_fact = Pattern.instantiate ~fresh_null cert.start in
+  let atom = ref start_fact in
+  let facts = ref [ start_fact ] in
+  let first_subst = ref None in
+  List.iter
+    (fun tr ->
+      let r = rules_arr.(tr.rule_idx) in
+      let body_atom = match Tgd.body r with [ a ] -> a | _ -> assert false in
+      match Hom.match_atom Subst.empty body_atom !atom with
+      | None -> ()
+      | Some sub ->
+        let sub' =
+          Util.Sset.fold
+            (fun z acc -> Subst.bind_exn acc z (fresh_null ()))
+            (Tgd.existentials r) sub
+        in
+        if Option.is_none !first_subst then first_subst := Some sub';
+        let produced =
+          Subst.apply_atom sub' (List.nth (Tgd.head r) tr.head_idx)
+        in
+        facts := produced :: !facts;
+        atom := produced)
+    cert.cycle;
+  {
+    facts = List.rev !facts;
+    first_subst = Option.value !first_subst ~default:Subst.empty;
+  }
+
 (* --- the searches -------------------------------------------------- *)
 
 (** Oblivious-chase lasso search: from each reachable pattern π, explore

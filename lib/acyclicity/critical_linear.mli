@@ -49,6 +49,22 @@ type certificate = {
 
 val pp_certificate : Tgd.t list -> Format.formatter -> certificate -> unit
 
+(** The concrete evidence behind a certificate: one lap of the pump
+    replayed with real fresh nulls. *)
+type realization = {
+  facts : Atom.t list;
+      (** the instantiated start fact followed by the fact produced by
+          each cycle step, in order *)
+  first_subst : Subst.t;
+      (** the realizing substitution of the first cycle step: body match
+          plus fresh nulls for the existentials *)
+}
+
+val realize : Tgd.t list -> certificate -> realization
+(** Replay one lap of a confirmed certificate.  The fact chain is the
+    machine-checkable witness the diagnostics layer ([W021]) attaches to
+    a non-termination verdict. *)
+
 val confirm :
   semi:bool -> Tgd.t list -> start:Pattern.t -> cycle:transition list -> laps:int -> bool
 (** Replay the cycle concretely for [laps] laps; [true] when after the

@@ -1,0 +1,132 @@
+(** Whole-set graph passes: dangerous cycles ([W020]) and reachability
+    from the database ([I030], [I033]). *)
+
+open Chase_logic
+module Dep_graph = Chase_acyclicity.Dep_graph
+module Sset = Util.Sset
+
+(* ------------------------------------------------------------------ *)
+(* Predicate-level reachability                                        *)
+(* ------------------------------------------------------------------ *)
+
+let body_preds r =
+  List.fold_left (fun s a -> Sset.add (Atom.pred a) s) Sset.empty (Tgd.body r)
+
+let head_preds r =
+  List.fold_left (fun s a -> Sset.add (Atom.pred a) s) Sset.empty (Tgd.head r)
+
+let reachable_predicates ~rules ~facts =
+  let start =
+    List.fold_left (fun s a -> Sset.add (Atom.pred a) s) Sset.empty facts
+  in
+  let step reach =
+    List.fold_left
+      (fun reach r ->
+        if Sset.subset (body_preds r) reach then
+          Sset.union reach (head_preds r)
+        else reach)
+      reach rules
+  in
+  let rec fix reach =
+    let reach' = step reach in
+    if Sset.equal reach reach' then reach else fix reach'
+  in
+  fix start
+
+let reachability ~rules ~facts =
+  if facts = [] then []
+  else
+    let reach =
+      reachable_predicates
+        ~rules:(List.map fst rules)
+        ~facts:(List.map fst facts)
+    in
+    (* I030: one diagnostic per unreachable predicate read by some body. *)
+    let readers = Hashtbl.create 16 in
+    List.iteri
+      (fun idx (r, _) ->
+        Sset.iter
+          (fun p ->
+            if not (Sset.mem p reach) then
+              Hashtbl.replace readers p
+                (idx :: Option.value (Hashtbl.find_opt readers p) ~default:[]))
+          (body_preds r))
+      rules;
+    let unreachable =
+      Hashtbl.fold (fun p idxs acc -> (p, List.rev idxs) :: acc) readers []
+      |> List.sort (fun (p, _) (q, _) -> String.compare p q)
+    in
+    let i030 =
+      List.map
+        (fun (p, used_by) ->
+          let first_line =
+            List.nth_opt rules (List.hd used_by) |> Option.map snd
+          in
+          let msg =
+            Fmt.str
+              "predicate %s is unreachable: no database fact or derivable \
+               head can populate it"
+              p
+          in
+          Diagnostic.make Diagnostic.I030 ?line:first_line
+            ~witness:(Diagnostic.Unreachable { pred = p; used_by })
+            msg)
+        unreachable
+    in
+    (* I033: rules blocked by at least one unreachable body predicate. *)
+    let i033 =
+      List.concat
+        (List.mapi
+           (fun idx (r, line) ->
+             let missing =
+               Sset.elements (Sset.diff (body_preds r) reach)
+             in
+             if missing = [] then []
+             else
+               let msg =
+                 Fmt.str
+                   "rule %s can never fire on this database: %a %s never \
+                    populated"
+                   (Diagnostic.rule_label idx r)
+                   (Util.pp_list ", " Fmt.string)
+                   missing
+                   (match missing with [ _ ] -> "is" | _ -> "are")
+               in
+               [
+                 Diagnostic.make Diagnostic.I033 ~line
+                   ~rule:(Diagnostic.rule_label idx r)
+                   ~witness:(Diagnostic.Dead_rule { rule = idx; missing })
+                   msg;
+               ])
+           rules)
+    in
+    i030 @ i033
+
+(* ------------------------------------------------------------------ *)
+(* Dangerous cycles                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let graph_name = function
+  | Dep_graph.Plain -> "dependency"
+  | Dep_graph.Extended -> "extended-dependency"
+
+let dangerous_cycle ~mode lrules =
+  let rules = List.map fst lrules in
+  let g = Dep_graph.build ~mode rules in
+  match Dep_graph.dangerous_cycle g with
+  | None -> []
+  | Some positions ->
+    let msg =
+      Fmt.str
+        "the %s graph has a cycle through a special edge: %a — invented \
+         values can feed back into the positions that invented them"
+        (graph_name mode)
+        (Util.pp_list " -> " Dep_graph.pp_position)
+        positions
+    in
+    [
+      Diagnostic.make Diagnostic.W020
+        ~witness:
+          (Diagnostic.Position_cycle { graph = graph_name mode; positions })
+        msg;
+    ]

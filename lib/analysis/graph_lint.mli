@@ -1,0 +1,32 @@
+(** Whole-set graph passes.
+
+    - [W020] special-edge-cycle: a dangerous cycle (through a special
+      edge) in the dependency graph ([Plain]) or the extended dependency
+      graph ([Extended]); the witness is the cycle as a position path.
+      This is exactly the obstruction {!Chase_acyclicity.Weak} /
+      {!Chase_acyclicity.Rich} report, surfaced as a diagnostic.
+    - [I030] unreachable-predicate: a predicate some rule body reads that
+      the given database can never populate (predicate-level
+      over-approximation of firability).
+    - [I033] dead-rule: a rule with at least one unreachable body
+      predicate — it can never fire on this database.
+
+    The reachability passes are only meaningful relative to a database;
+    with no facts they emit nothing. *)
+
+open Chase_logic
+
+val reachable_predicates :
+  rules:Tgd.t list -> facts:Atom.t list -> Util.Sset.t
+(** Least fixpoint: the database's predicates, closed under "if every
+    body predicate of a rule is reachable, its head predicates are". *)
+
+val reachability :
+  rules:(Tgd.t * int) list -> facts:(Atom.t * int) list -> Diagnostic.t list
+(** The [I030] and [I033] passes; [[]] when [facts] is empty. *)
+
+val dangerous_cycle :
+  mode:Chase_acyclicity.Dep_graph.mode ->
+  (Tgd.t * int) list ->
+  Diagnostic.t list
+(** The [W020] pass over the chosen graph. *)

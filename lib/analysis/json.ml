@@ -1,0 +1,41 @@
+(** A minimal JSON tree and printer (no external dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Escape per RFC 8259: quote, backslash, and control characters. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp fm = function
+  | Null -> Fmt.string fm "null"
+  | Bool b -> Fmt.string fm (if b then "true" else "false")
+  | Int n -> Fmt.int fm n
+  | Str s -> Fmt.pf fm "\"%s\"" (escape s)
+  | List xs ->
+    Fmt.pf fm "[%a]" (Fmt.list ~sep:(fun fm () -> Fmt.string fm ",") pp) xs
+  | Obj fields ->
+    let pp_field fm (k, v) = Fmt.pf fm "\"%s\":%a" (escape k) pp v in
+    Fmt.pf fm "{%a}"
+      (Fmt.list ~sep:(fun fm () -> Fmt.string fm ",") pp_field)
+      fields
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,16 @@
+(** A minimal JSON tree and printer — just enough for the [--format=json]
+    renderer of the diagnostics engine, so the library adds no external
+    dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Compact (single-line) rendering with proper string escaping. *)
+
+val to_string : t -> string

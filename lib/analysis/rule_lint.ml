@@ -1,0 +1,171 @@
+(** Per-rule hygiene: guardedness witnesses ([W010]), subsumed and
+    duplicate rules ([I031]), write-only existentials ([I032]). *)
+
+open Chase_logic
+module Classify = Chase_classes.Classify
+module Sset = Util.Sset
+
+(* ------------------------------------------------------------------ *)
+(* W010 — unguarded rules, with the uncovered variables as witness      *)
+(* ------------------------------------------------------------------ *)
+
+let unguarded lrules =
+  List.concat
+    (List.mapi
+       (fun idx (r, line) ->
+         if Classify.rule_is_guarded r then []
+         else
+           let vars = Classify.unguarded_witness r in
+           let candidate = Classify.best_guard_candidate r in
+           let msg =
+             Fmt.str "rule %s is unguarded: no single body atom covers %a%a"
+               (Diagnostic.rule_label idx r)
+               (Util.pp_list ", " Term.pp) vars
+               (fun fm -> function
+                 | None -> ()
+                 | Some a -> Fmt.pf fm " (best candidate: %a)" Atom.pp a)
+               candidate
+           in
+           [
+             Diagnostic.make Diagnostic.W010 ~line
+               ~rule:(Diagnostic.rule_label idx r)
+               ~witness:(Diagnostic.Uncovered_vars { rule = idx; vars; candidate })
+               msg;
+           ])
+       lrules)
+
+(* ------------------------------------------------------------------ *)
+(* I031 — subsumed rules                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Subsumption is checked by freezing: the candidate subsumed rule r2 has
+   its universally quantified variables turned into marker constants
+   ("?v"), making its body a concrete instance.  r1 ⊨ r2 iff some
+   homomorphism θ maps body(r1) into that instance and extends over
+   head(r1) — existentials of r1 frozen as distinct markers ("!z"), since
+   each application invents fresh nulls — such that every head atom of r2
+   (its own existentials still free, matched consistently) maps into
+   θ(head r1).  Marker constants cannot collide with user constants: the
+   parser accepts neither '?' nor '!' in identifiers. *)
+
+let freeze_all prefix a =
+  Atom.map_terms
+    (function Term.Var v -> Term.Const (prefix ^ v) | t -> t)
+    a
+
+let freeze_except keep a =
+  Atom.map_terms
+    (function
+      | Term.Var v when not (Sset.mem v keep) -> Term.Const ("?" ^ v)
+      | t -> t)
+    a
+
+let subsumes r1 r2 =
+  let body2 = Instance.of_list (List.map (freeze_all "?") (Tgd.body r2)) in
+  let head2 = List.map (freeze_except (Tgd.existentials r2)) (Tgd.head r2) in
+  let found = ref None in
+  (try
+     Hom.iter body2 (Tgd.body r1) (fun theta ->
+         let head1 =
+           List.map (freeze_all "!") (Subst.apply_atoms theta (Tgd.head r1))
+         in
+         if Hom.exists (Instance.of_list head1) head2 then begin
+           found := Some theta;
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let subsumed lrules =
+  let arr = Array.of_list lrules in
+  let n = Array.length arr in
+  let diags = ref [] in
+  for j = 0 to n - 1 do
+    let rj, line = arr.(j) in
+    let found = ref false in
+    for i = 0 to n - 1 do
+      if (not !found) && i <> j then begin
+        let ri, _ = arr.(i) in
+        match subsumes ri rj with
+        | None -> ()
+        | Some theta ->
+          (* among mutually subsuming (duplicate) rules keep the first *)
+          if i < j || Option.is_none (subsumes rj ri) then begin
+            found := true;
+            let mutual = i < j && Option.is_some (subsumes rj ri) in
+            let msg =
+              Fmt.str "rule %s is %s rule %s: it can derive nothing new"
+                (Diagnostic.rule_label j rj)
+                (if mutual then "a duplicate of" else "subsumed by")
+                (Diagnostic.rule_label i ri)
+            in
+            diags :=
+              Diagnostic.make Diagnostic.I031 ~line
+                ~rule:(Diagnostic.rule_label j rj)
+                ~witness:
+                  (Diagnostic.Subsumed_by
+                     { rule = j; by = i; substitution = Subst.to_list theta })
+                msg
+              :: !diags
+          end
+      end
+    done
+  done;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* I032 — write-only existentials                                      *)
+(* ------------------------------------------------------------------ *)
+
+let positions_in_head r z =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun i ->
+          match Atom.arg a i with
+          | Term.Var v when String.equal v z -> Some (Atom.pred a, i)
+          | _ -> None)
+        (List.init (Atom.arity a) Fun.id))
+    (Tgd.head r)
+
+let unused_existentials ?(extra_consumers = Sset.empty) lrules =
+  let consumed =
+    List.fold_left
+      (fun acc (r, _) ->
+        List.fold_left
+          (fun acc a -> Sset.add (Atom.pred a) acc)
+          acc (Tgd.body r))
+      extra_consumers lrules
+  in
+  List.concat
+    (List.mapi
+       (fun idx (r, line) ->
+         Sset.fold
+           (fun z acc ->
+             let positions = positions_in_head r z in
+             let landing =
+               List.fold_left (fun s (p, _) -> Sset.add p s) Sset.empty positions
+             in
+             if Sset.exists (fun p -> Sset.mem p consumed) landing then acc
+             else
+               let msg =
+                 Fmt.str
+                   "existential variable %s of rule %s is write-only: no rule \
+                    body reads %a"
+                   z
+                   (Diagnostic.rule_label idx r)
+                   (Util.pp_list ", " Fmt.string)
+                   (Sset.elements landing)
+               in
+               Diagnostic.make Diagnostic.I032 ~line
+                 ~rule:(Diagnostic.rule_label idx r)
+                 ~witness:
+                   (Diagnostic.Unused_existential { rule = idx; var = z; positions })
+                 msg
+               :: acc)
+           (Tgd.existentials r) []
+         |> List.rev)
+       lrules)
+
+let check ?extra_consumers lrules =
+  unguarded lrules @ subsumed lrules @ unused_existentials ?extra_consumers lrules

@@ -1,0 +1,37 @@
+(** Per-rule hygiene passes.
+
+    - [W010] unguarded-rule: no single body atom covers every body
+      variable; the witness names the uncovered variables (via
+      {!Chase_classes.Classify.unguarded_witness}) and the best guard
+      candidate.
+    - [I031] subsumed-rule: a rule logically implied by another — its
+      body is an instance-preserving specialization and its head adds
+      nothing.  Exact duplicates (up to variable renaming) are the
+      degenerate case; among mutually subsuming rules only the later one
+      is flagged.
+    - [I032] unused-existential: an existential variable all of whose
+      landing predicates appear in no rule body, so the invented nulls
+      are never read downstream. *)
+
+open Chase_logic
+
+val unguarded : (Tgd.t * int) list -> Diagnostic.t list
+(** The [W010] pass. *)
+
+val subsumed : (Tgd.t * int) list -> Diagnostic.t list
+(** The [I031] pass. *)
+
+val subsumes : Tgd.t -> Tgd.t -> Subst.t option
+(** [subsumes r1 r2] is a substitution θ over the variables of [r1] with
+    θ(body r1) ⊆ body r2 and θ(head r1) ⊆ head r2 (existentials of [r2]
+    matched consistently), i.e. evidence that [r1 ⊨ r2]; exposed for the
+    structural witness tests. *)
+
+val unused_existentials :
+  ?extra_consumers:Util.Sset.t -> (Tgd.t * int) list -> Diagnostic.t list
+(** The [I032] pass.  [extra_consumers] adds predicates read outside the
+    TGDs (EGD bodies, queries). *)
+
+val check :
+  ?extra_consumers:Util.Sset.t -> (Tgd.t * int) list -> Diagnostic.t list
+(** All three passes. *)

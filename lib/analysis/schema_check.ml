@@ -1,0 +1,71 @@
+(** Schema/arity consistency across rules, EGDs and database ([E001]). *)
+
+open Chase_logic
+module Smap = Util.Smap
+
+(* For each predicate, every arity in use with the line of its first
+   use, in first-use order. *)
+type uses = (int * int) list
+
+let record (tbl : uses Smap.t ref) pred arity line =
+  let old = Option.value (Smap.find_opt pred !tbl) ~default:[] in
+  if not (List.mem_assoc arity old) then
+    tbl := Smap.add pred (old @ [ (arity, line) ]) !tbl
+
+let collect ~rules ~egds ~facts =
+  let tbl = ref Smap.empty in
+  List.iter
+    (fun (r, line) ->
+      List.iter (fun (p, n) -> record tbl p n line) (Tgd.predicates r))
+    rules;
+  List.iter
+    (fun (e, line) ->
+      List.iter
+        (fun a -> record tbl (Atom.pred a) (Atom.arity a) line)
+        (Egd.body e))
+    egds;
+  List.iter
+    (fun (a, line) -> record tbl (Atom.pred a) (Atom.arity a) line)
+    facts;
+  !tbl
+
+let pp_use fm (arity, line) = Fmt.pf fm "arity %d (line %d)" arity line
+
+let check ~rules ?(egds = []) ~facts () =
+  let tbl = collect ~rules ~egds ~facts in
+  Smap.fold
+    (fun pred uses acc ->
+      match uses with
+      | [] | [ _ ] -> acc
+      | _ :: (_, clash_line) :: _ ->
+        let msg =
+          Fmt.str "predicate %s is used with clashing arities: %a" pred
+            (Util.pp_list " vs " pp_use) uses
+        in
+        Diagnostic.make Diagnostic.E001 ~line:clash_line
+          ~witness:(Diagnostic.Arity_uses { pred; uses })
+          msg
+        :: acc)
+    tbl []
+  |> List.sort Diagnostic.compare_for_report
+
+let run ~rules ?(egds = []) ~facts () =
+  match check ~rules ~egds ~facts () with
+  | [] ->
+    (* No clash: the exception-raising builders cannot fire. *)
+    let s = ref Schema.empty in
+    List.iter
+      (fun (r, _) ->
+        List.iter (fun (p, n) -> s := Schema.add_exn !s p n) (Tgd.predicates r))
+      rules;
+    List.iter
+      (fun (e, _) ->
+        List.iter
+          (fun a -> s := Schema.add_exn !s (Atom.pred a) (Atom.arity a))
+          (Egd.body e))
+      egds;
+    List.iter
+      (fun (a, _) -> s := Schema.add_exn !s (Atom.pred a) (Atom.arity a))
+      facts;
+    Ok !s
+  | diags -> Error diags

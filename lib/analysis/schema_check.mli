@@ -1,0 +1,31 @@
+(** Schema and arity consistency across the whole program — rules, EGDs
+    {e and} the database ([E001]).
+
+    This is the checked replacement for the [Invalid_argument] escape of
+    {!Chase_logic.Schema.of_rules}: clashes inside one rule are caught by
+    [Tgd.make] at parse time, but a predicate used with different arities
+    in two different statements only surfaces once something builds the
+    joint schema — which used to be an exception deep inside a dependency
+    graph or engine run.  Here it is a diagnostic with the clashing
+    lines. *)
+
+open Chase_logic
+
+val run :
+  rules:(Tgd.t * int) list ->
+  ?egds:(Egd.t * int) list ->
+  facts:(Atom.t * int) list ->
+  unit ->
+  (Schema.t, Diagnostic.t list) result
+(** The joint schema of the program, or one [E001] per clashing
+    predicate.  Each witness lists every arity in use with the line of
+    its first use; the diagnostic's span is the line where the clash
+    first becomes visible (the second arity's first use). *)
+
+val check :
+  rules:(Tgd.t * int) list ->
+  ?egds:(Egd.t * int) list ->
+  facts:(Atom.t * int) list ->
+  unit ->
+  Diagnostic.t list
+(** Just the diagnostics ([[]] when the schema is consistent). *)

@@ -37,6 +37,35 @@ let guard_of r =
 
 let rule_is_guarded r = Option.is_some (guard_of r)
 
+(** The body atom covering the most body variables — the best guard
+    candidate (first among ties); the guard itself on guarded rules. *)
+let best_guard_candidate r =
+  let bvars = Tgd.body_vars r in
+  let coverage a = Util.Sset.cardinal (Util.Sset.inter bvars (Atom.var_set a)) in
+  match Tgd.body r with
+  | [] -> None
+  | a :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (best, c) a' ->
+          let c' = coverage a' in
+          if c' > c then (a', c') else (best, c))
+        (a, coverage a) rest
+    in
+    Some best
+
+(** The body variables left uncovered by the best guard candidate — why
+    the rule is not guarded ([[]] on guarded rules). *)
+let unguarded_witness r =
+  if rule_is_guarded r then []
+  else
+    match best_guard_candidate r with
+    | None -> []
+    | Some a ->
+      Util.Sset.diff (Tgd.body_vars r) (Atom.var_set a)
+      |> Util.Sset.elements
+      |> List.map (fun v -> Term.Var v)
+
 let rule_is_linear r = match Tgd.body r with [ _ ] -> true | _ -> false
 
 let rule_is_simple_linear r =

@@ -23,6 +23,15 @@ val guard_of : Tgd.t -> Atom.t option
 (** The first body atom containing all body variables, if any. *)
 
 val rule_is_guarded : Tgd.t -> bool
+
+val best_guard_candidate : Tgd.t -> Atom.t option
+(** The body atom covering the most body variables (first among ties);
+    the guard itself when the rule is guarded. *)
+
+val unguarded_witness : Tgd.t -> Term.t list
+(** The body variables the best guard candidate does not cover, i.e. the
+    reason the rule is unguarded; [[]] on guarded rules. *)
+
 val rule_is_linear : Tgd.t -> bool
 val rule_is_simple_linear : Tgd.t -> bool
 

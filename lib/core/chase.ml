@@ -13,6 +13,8 @@
       {!Critical_linear};
     - termination procedures: {!Verdict}, {!Sl}, {!Linear}, {!Guarded},
       {!Simulation}, {!Decide};
+    - static diagnostics (Σ-lint): {!Diagnostic}, {!Schema_check},
+      {!Rule_lint}, {!Graph_lint}, {!Explain}, {!Lint}, {!Json};
     - reductions: {!Looping}, {!Entailment};
     - workloads: {!Families}, {!Random_tgds}.
 
@@ -78,6 +80,15 @@ module Restricted = Chase_termination.Restricted
 module Simulation = Chase_termination.Simulation
 module Decide = Chase_termination.Decide
 module Report = Chase_termination.Report
+
+(* Static diagnostics (Σ-lint) *)
+module Json = Chase_analysis.Json
+module Diagnostic = Chase_analysis.Diagnostic
+module Schema_check = Chase_analysis.Schema_check
+module Rule_lint = Chase_analysis.Rule_lint
+module Graph_lint = Chase_analysis.Graph_lint
+module Explain = Chase_analysis.Explain
+module Lint = Chase_analysis.Lint
 
 (* Reductions *)
 module Looping = Chase_reductions.Looping

@@ -229,8 +229,36 @@ type program = {
   facts : Atom.t list;
 }
 
+(** As {!program}, but every statement carries the 1-based line on which
+    it starts — the source spans consumed by the static analyzer
+    ([Chase_analysis.Lint]). *)
+type located_program = {
+  lrules : (Tgd.t * int) list;
+  legds : (Egd.t * int) list;
+  lfacts : (Atom.t * int) list;
+}
+
 let statements_result src =
   try Ok (parse_statements src) with Parse_error msg -> Error msg
+
+(** Parse a program keeping, for every statement, the line it starts on. *)
+let parse_located src =
+  match statements_result src with
+  | Error _ as e -> e
+  | Ok stmts ->
+    Ok
+      {
+        lrules =
+          List.filter_map
+            (function Srule r, ln -> Some (r, ln) | _ -> None)
+            stmts;
+        legds =
+          List.filter_map (function Segd e, ln -> Some (e, ln) | _ -> None) stmts;
+        lfacts =
+          List.filter_map
+            (function Sfact a, ln -> Some (a, ln) | _ -> None)
+            stmts;
+      }
 
 (** Parse a program that may mix TGDs, EGDs and facts. *)
 let parse_program_full src =

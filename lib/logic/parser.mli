@@ -27,6 +27,17 @@ type program = {
 val parse_program_full : string -> (program, string) result
 (** TGDs, EGDs ([body -> X = Y.]) and facts, in file order per kind. *)
 
+(** As {!program}, with the 1-based starting line of every statement —
+    the source spans the static analyzer attaches to diagnostics. *)
+type located_program = {
+  lrules : (Tgd.t * int) list;
+  legds : (Egd.t * int) list;
+  lfacts : (Atom.t * int) list;
+}
+
+val parse_located : string -> (located_program, string) result
+(** Accepts any mix of rules, EGDs and facts. *)
+
 val parse_program : string -> (Tgd.t list * Atom.t list, string) result
 (** Rules and facts; fails if the source contains an EGD. *)
 

@@ -86,6 +86,22 @@ let pp fm t =
     (List.length t.rules) Classify.pp_cls t.cls
     (if t.full then ", full (Datalog)" else "")
     (if t.single_head then ", single-head" else "");
+  if t.cls = Classify.Unguarded then
+    List.iteri
+      (fun idx r ->
+        match Classify.unguarded_witness r with
+        | [] -> ()
+        | vars ->
+          Fmt.pf fm "  unguarded %s: no body atom covers %a%a@."
+            (match Tgd.name r with
+            | "" -> Fmt.str "rule#%d" (idx + 1)
+            | n -> n)
+            (Util.pp_list ", " Term.pp) vars
+            (fun fm -> function
+              | None -> ()
+              | Some g -> Fmt.pf fm " (best candidate: %a)" Atom.pp g)
+            (Classify.best_guard_candidate r))
+      t.rules;
   Fmt.pf fm "acyclicity: RA %a   WA %a   JA %a   MFA %s@."
     yesno t.acyclicity.richly_acyclic yesno t.acyclicity.weakly_acyclic
     yesno t.acyclicity.jointly_acyclic

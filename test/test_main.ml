@@ -21,6 +21,7 @@ let () =
       ("acyclicity", Test_acyclicity.suite);
       ("extended-acyclicity", Test_extended_acyclicity.suite);
       ("theorems", Test_theorems.suite);
+      ("lint", Test_lint.suite);
       ("reductions", Test_reductions.suite);
       ("model-theory", Test_model_theory.suite);
     ]
