@@ -1,6 +1,6 @@
 # Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test check-naive smoke lint fmt fmt-ml check clean
+.PHONY: all build test check-naive smoke obs-smoke lint fmt fmt-ml check clean
 
 all: build
 
@@ -21,6 +21,16 @@ check-naive:
 smoke:
 	dune runtest cram
 
+# trace-enabled smoke chase: one observed run over the shipped corpus,
+# then validate the emitted files (well-formed JSON, span balance,
+# schema header) with the obs-check tool
+obs-smoke: build
+	dune exec bin/chase_cli.exe -- data/company_mapping.chase -q --profile \
+	  --trace _build/obs_smoke.trace.json \
+	  --metrics _build/obs_smoke.metrics.jsonl
+	dune exec bin/obs_check.exe -- --trace _build/obs_smoke.trace.json \
+	  --metrics _build/obs_smoke.metrics.jsonl
+
 # static diagnostics over the shipped corpus: errors or warnings fail
 lint: build
 	dune exec bin/lint_cli.exe -- data/*.chase examples/*.chase
@@ -38,7 +48,7 @@ fmt:
 fmt-ml:
 	ocamlformat --check $$(git ls-files '*.ml' '*.mli')
 
-check: build fmt lint test
+check: build fmt lint test obs-smoke
 
 clean:
 	dune clean

@@ -601,8 +601,8 @@ let e12 quick =
   (* The planner's target workload: star joins whose only selective atom
      is written last, so left-to-right matching enumerates the full
      cartesian fan before ever touching it. *)
-  Fmt.pr "%6s %6s %11s %11s %9s %7s@." "width" "hubs" "naive" "planned"
-    "speedup" "agree";
+  Fmt.pr "%6s %6s %11s %11s %9s %12s %12s %7s@." "width" "hubs" "naive"
+    "planned" "speedup" "n-examined" "p-examined" "agree";
   hr ();
   let widths = if quick then [ 4; 6 ] else [ 4; 6; 8 ] in
   let hubs = if quick then 1_200 else 2_500 in
@@ -619,26 +619,46 @@ let e12 quick =
         }
       in
       let last = ref None in
+      (* [time] also diffs the always-on matcher counters: candidate
+         facts examined is the machine-independent cost the wall-clock
+         speedup should track. *)
       let time m =
         with_matcher m (fun () ->
-            time_avg ~reps:1 (fun () ->
-                let r = Engine.run ~config rules db in
-                last := Some r;
-                r))
+            let s0 = Hom.Stats.snapshot () in
+            let t =
+              time_avg ~reps:1 (fun () ->
+                  let r = Engine.run ~config rules db in
+                  last := Some r;
+                  r)
+            in
+            (t, Hom.Stats.diff s0 (Hom.Stats.snapshot ())))
       in
-      let t_naive = time Hom.Naive in
+      let t_naive, s_naive = time Hom.Naive in
       let r_naive = Option.get !last in
-      let t_planned = time Hom.Planned in
+      let t_planned, s_planned = time Hom.Planned in
       let r_planned = Option.get !last in
       let agree = same_run r_naive r_planned in
       let speedup = t_naive /. t_planned in
       if speedup < !min_speedup then min_speedup := speedup;
       if not agree then wide_agree := false;
-      Fmt.pr "%6d %6d %a %a %8.2fx %7b@." width hubs pp_time t_naive pp_time
-        t_planned speedup agree;
+      Fmt.pr "%6d %6d %a %a %8.2fx %12d %12d %7b@." width hubs pp_time t_naive
+        pp_time t_planned speedup s_naive.Hom.Stats.candidates
+        s_planned.Hom.Stats.candidates agree;
       record "E12" (Fmt.str "naive_seconds[w%d]" width) (jfloat t_naive);
       record "E12" (Fmt.str "planned_seconds[w%d]" width) (jfloat t_planned);
       record "E12" (Fmt.str "speedup[w%d]" width) (jfloat speedup);
+      record "E12"
+        (Fmt.str "naive_candidates[w%d]" width)
+        (jint s_naive.Hom.Stats.candidates);
+      record "E12"
+        (Fmt.str "planned_candidates[w%d]" width)
+        (jint s_planned.Hom.Stats.candidates);
+      record "E12"
+        (Fmt.str "planned_probe_cost[w%d]" width)
+        (jint s_planned.Hom.Stats.planned_probe_cost);
+      record "E12"
+        (Fmt.str "planned_naive_probe_estimate[w%d]" width)
+        (jint s_planned.Hom.Stats.naive_probe_cost);
       record "E12" (Fmt.str "agree[w%d]" width) (jbool agree))
     widths;
   (* Differential agreement on random guarded critical-instance chases:
@@ -667,6 +687,117 @@ let e12 quick =
   record "E12" "wide_body_agreement" (jbool !wide_agree);
   record "E12" "random_sets" (jint seeds);
   record "E12" "random_agreement" (jint !agree)
+
+(* ------------------------------------------------------------------ *)
+(* E13 — observability: hot spots, self-consistency, overhead          *)
+(* ------------------------------------------------------------------ *)
+
+let e13 quick =
+  section "E13  Observability: per-rule hot spots, self-consistency, overhead";
+  let tower = Families.guarded_tower ~levels:6 in
+  let db = Instance.to_list (Critical.of_rules tower) in
+  let config =
+    {
+      Engine.variant = Variant.Semi_oblivious;
+      limits = Limits.make ~max_triggers:10_000 ~max_atoms:40_000 ();
+    }
+  in
+  (* One fully observed run: spans into a JSONL buffer, metrics into a
+     fresh registry.  The profile columns must re-sum to the run totals
+     the engine reports — the table is self-checking. *)
+  let buf = Buffer.create 4096 in
+  let metrics = Metrics.create () in
+  let obs = Obs.create ~metrics [ Sink.jsonl (Buffer.add_string buf) ] in
+  let r = Engine.run ~config ~obs tower db in
+  Obs.finish obs;
+  Fmt.pr "%a" Profile.pp metrics;
+  let rows = Profile.rows metrics in
+  let sum f = List.fold_left (fun a row -> a + f row) 0 rows in
+  let firings_sum = sum (fun (row : Profile.row) -> row.firings) in
+  let nulls_sum = sum (fun (row : Profile.row) -> row.nulls) in
+  let nulls_run = Instance.null_count r.Engine.instance in
+  let firings_ok = firings_sum = r.Engine.triggers_applied in
+  let nulls_ok = nulls_sum = nulls_run in
+  let events =
+    String.fold_left
+      (fun n c -> if c = '\n' then n + 1 else n)
+      0 (Buffer.contents buf)
+  in
+  let hottest, hottest_share =
+    match rows with
+    | [] -> ("-", 0.)
+    | first :: _ ->
+      let total =
+        List.fold_left (fun a (row : Profile.row) -> a +. row.time_s) 0. rows
+      in
+      let top =
+        List.fold_left
+          (fun best (row : Profile.row) ->
+            if row.time_s > best.Profile.time_s then row else best)
+          first rows
+      in
+      (top.label, if total > 0. then 100. *. top.time_s /. total else 0.)
+  in
+  Fmt.pr
+    "@.self-check: profile firings %d vs run %d (%b)   nulls %d vs run %d \
+     (%b)@."
+    firings_sum r.Engine.triggers_applied firings_ok nulls_sum nulls_run
+    nulls_ok;
+  Fmt.pr "hottest rule: %s (%.1f%% of rule time)   events emitted: %d@."
+    hottest hottest_share events;
+  (* The off-switch must be nearly free: the same run with no observer
+     vs a live observer draining into the null sink. *)
+  let reps = if quick then 3 else 5 in
+  let t_off = time_avg ~reps (fun () -> Engine.run ~config tower db) in
+  let t_on =
+    time_avg ~reps (fun () ->
+        let obs = Obs.create ~metrics:(Metrics.create ()) [ Sink.null ] in
+        let r = Engine.run ~config ~obs tower db in
+        Obs.finish obs;
+        r)
+  in
+  Fmt.pr "wall time: obs off %a   obs on (null sink) %a   ratio %.2fx@."
+    pp_time t_off pp_time t_on (t_on /. t_off);
+  (* Journal latency percentiles from an observed durable run. *)
+  let journal =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "chase_obs_%d.jnl" (Unix.getpid ()))
+  in
+  let jm = Metrics.create () in
+  let jobs = Obs.create ~metrics:jm [] in
+  let s =
+    Session.start ~obs:jobs ~journal ~fsync_every:8
+      ~variant:config.Engine.variant ~rules:tower ~db ()
+  in
+  ignore
+    (Engine.run ~config ~obs:jobs ~on_trigger:(Session.on_trigger s) tower db);
+  Session.finish s;
+  Obs.finish jobs;
+  (match Metrics.hist_stats jm "journal.append_s" with
+  | Some (n, _, _, _, p50, _, p99) ->
+    Fmt.pr "journal appends: %d   p50 %.1f µs   p99 %.1f µs@." n (1e6 *. p50)
+      (1e6 *. p99);
+    record "E13" "journal_appends" (jint n);
+    record "E13" "journal_append_p50_seconds" (jfloat p50);
+    record "E13" "journal_append_p99_seconds" (jfloat p99)
+  | None -> ());
+  (match Metrics.hist_stats jm "journal.fsync_s" with
+  | Some (n, _, _, _, p50, _, p99) ->
+    Fmt.pr "journal fsyncs:  %d   p50 %.1f µs   p99 %.1f µs@." n (1e6 *. p50)
+      (1e6 *. p99);
+    record "E13" "journal_fsyncs" (jint n);
+    record "E13" "journal_fsync_p50_seconds" (jfloat p50);
+    record "E13" "journal_fsync_p99_seconds" (jfloat p99)
+  | None -> ());
+  if Sys.file_exists journal then Sys.remove journal;
+  record "E13" "profile_firings_consistent" (jbool firings_ok);
+  record "E13" "profile_nulls_consistent" (jbool nulls_ok);
+  record "E13" "hottest_rule" (Fmt.str "%S" hottest);
+  record "E13" "hottest_share_percent" (jfloat hottest_share);
+  record "E13" "span_events" (jint events);
+  record "E13" "obs_off_seconds" (jfloat t_off);
+  record "E13" "obs_on_seconds" (jfloat t_on);
+  record "E13" "enabled_overhead_ratio" (jfloat (t_on /. t_off))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -763,6 +894,7 @@ let () =
   e9 (min n_tiny 40);
   e11 (if quick then 10 else 50);
   e12 quick;
+  e13 quick;
   microbenches ();
   record "harness" "quick" (jbool quick);
   write_results "BENCH_results.json";

@@ -22,6 +22,13 @@
     tail rather than failing — revalidates it, and continues the chase
     (and the journal) exactly where it stopped.
 
+    The run is observable on request: [--trace FILE] writes a Chrome
+    trace-event file of the run's spans (load it in Perfetto or
+    about:tracing), [--metrics FILE] writes JSONL metric events and a
+    final summary per counter/gauge/histogram, and [--profile] prints a
+    per-rule hot-spot table (time, firings, nulls, probe counts) after
+    the run.
+
     Every run preflights the schema: an arity clash is reported as the
     [E001] diagnostic (exit 2) instead of surfacing as an exception from
     the engine's indexes.  [--lint] runs the full static battery of
@@ -83,7 +90,8 @@ let preflight ~file ~lint (p : Parser.located_program) =
       false
 
 let run file variant budget max_atoms timeout progress critical standard quiet
-    naive journal snapshot_every journal_sync resume lint =
+    naive journal snapshot_every journal_sync resume lint trace metrics
+    profile =
   if naive then Hom.set_matcher Hom.Naive;
   match read_file file with
   | Error msg ->
@@ -107,73 +115,90 @@ let run file variant budget max_atoms timeout progress critical standard quiet
         1
       end
       else begin
-        let limits = Limits.make ~max_triggers:budget ~max_atoms ?timeout () in
-        let config = { Engine.variant; limits } in
-        let watchdog =
-          if progress then
-            Some
-              (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
-                   Fmt.epr "%a@." Watchdog.pp_snapshot s))
-          else None
-        in
-        (* Durability wiring: a fresh journal, a resumed one, or none. *)
-        let durability =
-          match resume with
-          | Some jpath -> (
-            let snapshot = Session.snapshot_path jpath in
-            match
-              Recovery.recover ~snapshot ~journal:jpath ~variant ~rules ~db ()
-            with
-            | Error msg -> Error msg
-            | Ok report ->
-              (match report.Recovery.torn with
-              | Some (off, why) ->
-                Fmt.epr "journal: truncated torn tail at byte %d (%s)@." off
-                  why
-              | None -> ());
-              Fmt.epr "resuming at step %d (%d journal records%s)@."
-                report.Recovery.resume.Engine.next_step
-                (List.length report.Recovery.history)
-                (if report.Recovery.snapshot_step > 0 then
-                   Fmt.str ", snapshot through step %d"
-                     report.Recovery.snapshot_step
-                 else "");
-              let s =
-                Session.continue_ ~journal:jpath ~snapshot ~snapshot_every
-                  ~fsync_every:journal_sync report
-              in
-              Ok (Some s, Some report.Recovery.resume))
-          | None -> (
-            match journal with
-            | Some jpath ->
-              let snapshot = Session.snapshot_path jpath in
-              Ok
-                ( Some
-                    (Session.start ~journal:jpath ~snapshot ~snapshot_every
-                       ~fsync_every:journal_sync ~variant ~rules ~db ()),
-                  None )
-            | None -> Ok (None, None))
-        in
-        match durability with
+        match Obs.files ?trace ?metrics ~force:profile () with
         | Error msg ->
-          Fmt.epr "cannot resume: %s@." msg;
-          2
-        | Ok (session, resume) -> (
-          let on_trigger = Option.map Session.on_trigger session in
-          let result =
-            Engine.run ~config ?resume ?on_trigger ?watchdog rules db
+          Fmt.epr "error: %s@." msg;
+          1
+        | Ok (obs, obs_close) -> (
+          let limits =
+            Limits.make ~max_triggers:budget ~max_atoms ?timeout ()
           in
-          Option.iter Session.finish session;
-          if not quiet then
-            List.iter
-              (fun a -> Fmt.pr "%a.@." Atom.pp a)
-              (Instance.to_sorted_list result.Engine.instance);
-          Fmt.pr "%a@." Engine.pp_result result;
-          match result.Engine.status with
-          | Engine.Terminated -> 0
-          | Engine.Exhausted reason ->
-            Fmt.epr "%a@." Limits.Exhaustion.pp reason;
-            2)
+          let config = { Engine.variant; limits } in
+          let watchdog =
+            if progress then
+              Some
+                (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
+                     Obs.series obs "watchdog" (Watchdog.fields s);
+                     Obs.flush obs;
+                     Fmt.epr "%a@." Watchdog.pp_snapshot s;
+                     (* explicit channel flush: a kill mid-interval must
+                        not eat buffered progress lines *)
+                     flush stderr))
+            else None
+          in
+          (* Durability wiring: a fresh journal, a resumed one, or none. *)
+          let durability =
+            match resume with
+            | Some jpath -> (
+              let snapshot = Session.snapshot_path jpath in
+              match
+                Recovery.recover ~snapshot ~journal:jpath ~variant ~rules ~db
+                  ()
+              with
+              | Error msg -> Error msg
+              | Ok report ->
+                (match report.Recovery.torn with
+                | Some (off, why) ->
+                  Fmt.epr "journal: truncated torn tail at byte %d (%s)@." off
+                    why
+                | None -> ());
+                Fmt.epr "resuming at step %d (%d journal records%s)@."
+                  report.Recovery.resume.Engine.next_step
+                  (List.length report.Recovery.history)
+                  (if report.Recovery.snapshot_step > 0 then
+                     Fmt.str ", snapshot through step %d"
+                       report.Recovery.snapshot_step
+                   else "");
+                let s =
+                  Session.continue_ ~obs ~journal:jpath ~snapshot
+                    ~snapshot_every ~fsync_every:journal_sync report
+                in
+                Ok (Some s, Some report.Recovery.resume))
+            | None -> (
+              match journal with
+              | Some jpath ->
+                let snapshot = Session.snapshot_path jpath in
+                Ok
+                  ( Some
+                      (Session.start ~obs ~journal:jpath ~snapshot
+                         ~snapshot_every ~fsync_every:journal_sync ~variant
+                         ~rules ~db ()),
+                    None )
+              | None -> Ok (None, None))
+          in
+          match durability with
+          | Error msg ->
+            obs_close ();
+            Fmt.epr "cannot resume: %s@." msg;
+            2
+          | Ok (session, resume) -> (
+            let on_trigger = Option.map Session.on_trigger session in
+            let result =
+              Engine.run ~config ~obs ?resume ?on_trigger ?watchdog rules db
+            in
+            Option.iter Session.finish session;
+            obs_close ();
+            if not quiet then
+              List.iter
+                (fun a -> Fmt.pr "%a.@." Atom.pp a)
+                (Instance.to_sorted_list result.Engine.instance);
+            Fmt.pr "%a@." Engine.pp_result result;
+            if profile then Fmt.pr "%a@." Profile.pp (Obs.metrics obs);
+            match result.Engine.status with
+            | Engine.Terminated -> 0
+            | Engine.Exhausted reason ->
+              Fmt.epr "%a@." Limits.Exhaustion.pp reason;
+              2))
       end)
 
 let file_arg =
@@ -268,6 +293,27 @@ let lint_arg =
                  before chasing; diagnostics go to stderr and errors \
                  abort with exit status 2.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event file of the run's spans \
+                 (chase, seed, per-rule trigger applications, matching) \
+                 to $(docv); load it in Perfetto or about:tracing.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write metric events and final counter / gauge / \
+                 histogram summaries as JSON lines to $(docv) (first \
+                 line is a schema header).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print a per-rule hot-spot table after the run: time, \
+                 firings, nulls created and candidate facts probed per \
+                 rule.")
+
 let cmd =
   let doc = "run the chase procedure on a rule set and database" in
   Cmd.v
@@ -276,6 +322,6 @@ let cmd =
       const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
       $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
       $ naive_arg $ journal_arg $ snapshot_every_arg $ journal_sync_arg
-      $ resume_arg $ lint_arg)
+      $ resume_arg $ lint_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

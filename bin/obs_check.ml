@@ -1,0 +1,144 @@
+(** [obs-check] — validate observability output files.
+
+    A small CI checker for the files the CLIs emit: [--trace FILE]
+    verifies a Chrome trace-event file (well-formed JSON, a non-empty
+    top-level array, every event carries name/ph/ts, begin/end events
+    balance as a stack), [--metrics FILE] verifies a metrics JSONL file
+    (a [chase-metrics/1] schema header first, every line parses, at
+    least one summary line follows).  Exit 0 when every checked file is
+    valid, 1 otherwise. *)
+
+module Jsonv = Chase.Jsonv
+
+let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+(* One trace event: name/ph/ts present and of the right shape; returns
+   [ph] so the caller can stack-balance B against E. *)
+let check_event i (ev : Jsonv.t) =
+  match ev with
+  | Jsonv.Obj _ -> (
+    let str k = Option.bind (Jsonv.member k ev) Jsonv.to_string_opt in
+    let num k = Option.bind (Jsonv.member k ev) Jsonv.to_float_opt in
+    match (str "name", str "ph", num "ts") with
+    | Some name, Some ph, Some _ -> Ok (name, ph)
+    | None, _, _ -> fail "event %d: missing or non-string \"name\"" i
+    | _, None, _ -> fail "event %d: missing or non-string \"ph\"" i
+    | _, _, None -> fail "event %d: missing or non-numeric \"ts\"" i)
+  | _ -> fail "event %d: not a JSON object" i
+
+let check_trace path =
+  match read_file path with
+  | Error msg -> fail "%s: cannot read: %s" path msg
+  | Ok src -> (
+    match Jsonv.of_string src with
+    | Error msg -> fail "%s: invalid JSON: %s" path msg
+    | Ok (Jsonv.List []) -> fail "%s: empty trace (no events)" path
+    | Ok (Jsonv.List events) -> (
+      let rec walk i stack = function
+        | [] -> (
+          match stack with
+          | [] -> Ok (List.length events)
+          | name :: _ -> fail "%s: unclosed span %S at end of trace" path name)
+        | ev :: rest -> (
+          match check_event i ev with
+          | Error msg -> fail "%s: %s" path msg
+          | Ok (name, "B") -> walk (i + 1) (name :: stack) rest
+          | Ok (name, "E") -> (
+            match stack with
+            | top :: below when String.equal top name ->
+              walk (i + 1) below rest
+            | top :: _ ->
+              fail "%s: event %d: end of %S but %S is open" path i name top
+            | [] -> fail "%s: event %d: end of %S with no open span" path i
+                      name)
+          | Ok (_, ("i" | "C")) -> walk (i + 1) stack rest
+          | Ok (_, ph) -> fail "%s: event %d: unknown phase %S" path i ph)
+      in
+      match walk 0 [] events with
+      | Error _ as e -> e
+      | Ok n ->
+        Printf.printf "trace OK: %s (%d events, spans balanced)\n" path n;
+        Ok ())
+    | Ok _ -> fail "%s: top level is not a JSON array" path)
+
+let check_metrics path =
+  match read_file path with
+  | Error msg -> fail "%s: cannot read: %s" path msg
+  | Ok src -> (
+    let lines =
+      String.split_on_char '\n' src
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    match lines with
+    | [] -> fail "%s: empty metrics file" path
+    | header :: rest -> (
+      let schema_ok =
+        match Jsonv.of_string header with
+        | Ok j -> (
+          let str k = Option.bind (Jsonv.member k j) Jsonv.to_string_opt in
+          match (str "type", str "schema") with
+          | Some "schema", Some "chase-metrics/1" -> true
+          | _ -> false)
+        | Error _ -> false
+      in
+      if not schema_ok then
+        fail "%s: first line is not the chase-metrics/1 schema header" path
+      else if rest = [] then
+        fail "%s: no metric lines after the schema header" path
+      else
+        let rec parse i = function
+          | [] -> Ok ()
+          | l :: rest -> (
+            match Jsonv.of_string l with
+            | Error msg -> fail "%s: line %d: invalid JSON: %s" path i msg
+            | Ok j -> (
+              match Option.bind (Jsonv.member "type" j) Jsonv.to_string_opt with
+              | Some _ -> parse (i + 1) rest
+              | None ->
+                fail "%s: line %d: missing or non-string \"type\"" path i))
+        in
+        match parse 2 rest with
+        | Error _ as e -> e
+        | Ok () ->
+          Printf.printf "metrics OK: %s (%d lines)\n" path
+            (List.length lines);
+          Ok ()))
+
+let usage () =
+  prerr_endline
+    "usage: obs-check [--trace FILE] [--metrics FILE]\n\
+     Validate observability output files (Chrome trace / metrics JSONL).";
+  exit 1
+
+let () =
+  let rec parse checks = function
+    | [] -> List.rev checks
+    | "--trace" :: file :: rest -> parse (`Trace file :: checks) rest
+    | "--metrics" :: file :: rest -> parse (`Metrics file :: checks) rest
+    | _ -> usage ()
+  in
+  let checks = parse [] (List.tl (Array.to_list Sys.argv)) in
+  if checks = [] then usage ();
+  let failed = ref false in
+  List.iter
+    (fun check ->
+      let r =
+        match check with
+        | `Trace f -> check_trace f
+        | `Metrics f -> check_metrics f
+      in
+      match r with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "obs-check: %s\n" msg;
+        failed := true)
+    checks;
+  exit (if !failed then 1 else 0)

@@ -12,6 +12,13 @@
     "diverging so far" by the recent null-growth rate.  [--progress]
     streams watchdog snapshots of the simulation fallback on stderr.
 
+    The decision is observable on request: [--trace FILE] writes a
+    Chrome trace-event file of the procedure spans ([decide:<proc>],
+    pump search, budgeted chase runs — load it in Perfetto),
+    [--metrics FILE] writes JSONL metrics (per-procedure wall time,
+    pump-search node counts, chase counters), and [--profile] prints
+    the per-rule hot-spot table of the budgeted chase runs.
+
     Every run preflights the schema: an arity clash is reported as the
     [E001] diagnostic (exit 2) instead of surfacing as an exception from
     deep inside a procedure.  [--lint] runs the full static battery of
@@ -74,7 +81,8 @@ let preflight ~file ~lint lrules =
       List.iter (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d) diags;
       false
 
-let run file variant budget standard timeout progress naive report lint =
+let run file variant budget standard timeout progress naive report lint trace
+    metrics profile =
   if naive then Hom.set_matcher Hom.Naive;
   match read_file file with
   | Error msg ->
@@ -93,30 +101,43 @@ let run file variant budget standard timeout progress naive report lint =
         0
       end
       else begin
-      Fmt.pr "class: %a@." Classify.pp_cls (Classify.classify rules);
-      let limits =
-        match timeout with
-        | None -> None
-        | Some t ->
-          Some
-            (Limits.make ~max_triggers:budget ~max_atoms:(4 * budget)
-               ~timeout:t ())
-      in
-      let watchdog =
-        if progress then
-          Some
-            (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
-                 Fmt.epr "%a@." Watchdog.pp_snapshot s))
-        else None
-      in
-        let v =
-          Decide.check ~standard ~budget ?limits ?watchdog ~variant rules
-        in
-        Fmt.pr "%a@." Verdict.pp v;
-        match Verdict.answer v with
-        | Verdict.Terminates -> 0
-        | Verdict.Diverges -> 2
-        | Verdict.Unknown -> 3
+        match Obs.files ?trace ?metrics ~force:profile () with
+        | Error msg ->
+          Fmt.epr "error: %s@." msg;
+          1
+        | Ok (obs, obs_close) -> (
+          Fmt.pr "class: %a@." Classify.pp_cls (Classify.classify rules);
+          let limits =
+            match timeout with
+            | None -> None
+            | Some t ->
+              Some
+                (Limits.make ~max_triggers:budget ~max_atoms:(4 * budget)
+                   ~timeout:t ())
+          in
+          let watchdog =
+            if progress then
+              Some
+                (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
+                     Obs.series obs "watchdog" (Watchdog.fields s);
+                     Obs.flush obs;
+                     Fmt.epr "%a@." Watchdog.pp_snapshot s;
+                     (* explicit channel flush: a kill mid-interval must
+                        not eat buffered progress lines *)
+                     flush stderr))
+            else None
+          in
+          let v =
+            Decide.check ~standard ~budget ?limits ?watchdog ~obs ~variant
+              rules
+          in
+          obs_close ();
+          Fmt.pr "%a@." Verdict.pp v;
+          if profile then Fmt.pr "%a@." Profile.pp (Obs.metrics obs);
+          match Verdict.answer v with
+          | Verdict.Terminates -> 0
+          | Verdict.Diverges -> 2
+          | Verdict.Unknown -> 3)
       end)
 
 let file_arg =
@@ -172,12 +193,32 @@ let lint_arg =
                  before deciding; diagnostics go to stderr and errors \
                  abort with exit status 2.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event file of the procedure spans \
+                 to $(docv); load it in Perfetto or about:tracing.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write metric events and final counter / gauge / \
+                 histogram summaries as JSON lines to $(docv) (first \
+                 line is a schema header).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print the per-rule hot-spot table of the budgeted \
+                 chase runs after the verdict.")
+
 let cmd =
   let doc = "decide all-instance chase termination for a TGD set" in
   Cmd.v
     (Cmd.info "chase-termination" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
-      $ timeout_arg $ progress_arg $ naive_arg $ report_arg $ lint_arg)
+      $ timeout_arg $ progress_arg $ naive_arg $ report_arg $ lint_arg
+      $ trace_arg $ metrics_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

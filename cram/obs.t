@@ -1,0 +1,63 @@
+Observability: the --profile hot-spot table, --metrics JSONL and
+--trace Chrome trace files, validated by the obs-check tool.
+
+  $ cat > prog.chase <<'EOF'
+  > r1: p(X) -> q(X, Y).
+  > r2: q(X, Y) -> r(Y).
+  > r3: r(X), q(Y, X) -> s(X).
+  > p(a). p(b).
+  > EOF
+
+The profile table rides after the run statistics.  Its label and
+integer columns (rule, firings, nulls, probes) are deterministic —
+rows sort by firings, then name — while the time columns are not, so
+the test pins the first four columns only.
+
+  $ ../bin/chase_cli.exe prog.chase -q --profile | awk 'NR > 7 && NF { print $1, $2, $3, $4 }'
+  r1 2 2 2
+  r2 2 0 2
+  r3 2 0 0
+  TOTAL 6 2 4
+
+The metrics file opens with the schema header line, then JSONL events
+and summaries; run counters are deterministic for a fixed program.
+
+  $ ../bin/chase_cli.exe prog.chase -q --metrics m.jsonl > /dev/null
+  $ head -n 1 m.jsonl
+  {"type":"schema","schema":"chase-metrics/1"}
+  $ grep '"chase.triggers_applied"' m.jsonl
+  {"type":"counter","name":"chase.triggers_applied","value":6}
+  $ grep '"chase.rule.firings"' m.jsonl
+  {"type":"counter","name":"chase.rule.firings","label":"r1","value":2}
+  {"type":"counter","name":"chase.rule.firings","label":"r2","value":2}
+  {"type":"counter","name":"chase.rule.firings","label":"r3","value":2}
+
+The trace file is a balanced Chrome trace-event array; obs-check
+validates both outputs (and the event counts are deterministic).
+
+  $ ../bin/chase_cli.exe prog.chase -q --trace t.json --metrics m2.jsonl > /dev/null
+  $ ../bin/obs_check.exe --trace t.json --metrics m2.jsonl
+  trace OK: t.json (29 events, spans balanced)
+  metrics OK: m2.jsonl (33 lines)
+
+obs-check rejects tampered files.
+
+  $ echo '{"truncated": true' > bad.json
+  $ ../bin/obs_check.exe --trace bad.json
+  obs-check: bad.json: invalid JSON: expected ',' or '}' at byte 19
+  [1]
+  $ echo '{"type":"note"}' > bad.jsonl
+  $ ../bin/obs_check.exe --metrics bad.jsonl
+  obs-check: bad.jsonl: first line is not the chase-metrics/1 schema header
+  [1]
+
+The termination CLI carries the same flags; the decision procedures
+report per-procedure dispatch counters.
+
+  $ cat > div.chase <<'EOF'
+  > g1: p(X, Y) -> p(Y, Z).
+  > EOF
+  $ ../bin/termination_cli.exe div.chase -v oblivious --metrics d.jsonl > /dev/null 2>&1; echo "exit $?"
+  exit 2
+  $ grep '"decide.dispatch"' d.jsonl
+  {"type":"counter","name":"decide.dispatch","label":"simple-linear","value":1}

@@ -6,6 +6,7 @@
       {!Plan}, {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
     - chase engine: {!Variant}, {!Engine}, {!Limits}, {!Watchdog},
       {!Faults}, {!Critical}, {!Derivation};
+    - observability: {!Obs}, {!Metrics}, {!Sink}, {!Jsonv}, {!Profile};
     - durability: {!Codec}, {!Journal}, {!Snapshot}, {!Recovery},
       {!Session};
     - classes: {!Classify};
@@ -51,6 +52,13 @@ module Critical = Chase_engine.Critical
 module Derivation = Chase_engine.Derivation
 module Egd_chase = Chase_engine.Egd_chase
 module Sequence = Chase_engine.Sequence
+
+(* Observability: spans, metrics, sinks, the profile table *)
+module Obs = Chase_obs.Obs
+module Metrics = Chase_obs.Metrics
+module Sink = Chase_obs.Sink
+module Jsonv = Chase_obs.Jsonv
+module Profile = Chase_engine.Profile
 
 (* Durability: write-ahead journal, snapshots, crash recovery *)
 module Codec = Chase_persist.Codec

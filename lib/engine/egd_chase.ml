@@ -96,7 +96,9 @@ let default_config =
     saturation until a joint fixpoint.  [config.variant] is ignored — the
     restricted chase is the only variant with sane EGD interleaving under
     re-examination (see the module comment). *)
-let run ?(config = default_config) ~tgds ~egds db =
+let run ?(config = default_config) ?(obs = Chase_obs.Obs.disabled) ~tgds ~egds
+    db =
+  let module Obs = Chase_obs.Obs in
   let config = { config with Engine.variant = Variant.Restricted } in
   let base = config.Engine.limits in
   let monitor = Limits.Monitor.start base in
@@ -112,12 +114,23 @@ let run ?(config = default_config) ~tgds ~egds db =
       triggers_applied = !total_triggers;
     }
   in
+  let saturate_egds egds instance =
+    Obs.with_span obs "egd-saturate" (fun () -> saturate_egds egds instance)
+  in
   let rec loop instance =
     incr rounds;
+    Obs.span_begin obs
+      ~args:[ ("round", Chase_obs.Jsonv.Int !rounds) ]
+      "round";
+    let out = round instance in
+    Obs.span_end obs "round";
+    out
+  and round instance =
     match saturate_egds egds instance with
     | Error msg -> finish instance (Failed msg)
     | Ok (instance, merges) -> (
       total_merges := !total_merges + merges;
+      Obs.incr obs ~by:merges "chase.egd.merges";
       match
         Limits.Monitor.check ~force:true monitor ~steps:!total_triggers
           ~facts:(Instance.cardinal instance)
@@ -136,7 +149,7 @@ let run ?(config = default_config) ~tgds ~egds db =
             ~elapsed:(Limits.Monitor.elapsed monitor)
         in
         let r =
-          Engine.run
+          Engine.run ~obs
             ~config:{ config with Engine.limits = round_limits }
             tgds (Instance.to_list instance)
         in

@@ -27,8 +27,16 @@ type result = {
 val default_config : Engine.config
 
 val run :
-  ?config:Engine.config -> tgds:Tgd.t list -> egds:Egd.t list -> Atom.t list -> result
-(** [config.variant] is ignored (always restricted). *)
+  ?config:Engine.config ->
+  ?obs:Chase_obs.Obs.t ->
+  tgds:Tgd.t list ->
+  egds:Egd.t list ->
+  Atom.t list ->
+  result
+(** [config.variant] is ignored (always restricted).  [obs] wraps each
+    TGD/EGD alternation in a [round] span (with an [egd-saturate] child
+    span), counts merges under [chase.egd.merges], and is threaded into
+    the inner {!Engine.run}s. *)
 
 val satisfies_egds : Egd.t list -> Instance.t -> bool
 

@@ -19,6 +19,7 @@
     structured {!Limits.Exhaustion.reason}. *)
 
 open Chase_logic
+module Obs = Chase_obs.Obs
 
 type config = {
   variant : Variant.t;
@@ -121,9 +122,18 @@ type resume = {
     derivation depth, the stamps of the nulls invented by the application
     and the facts it actually added (possibly none, under set semantics) —
     the hook behind {!Sequence} and the write-ahead journal.  [watchdog]
-    receives periodic progress snapshots (see {!Watchdog}). *)
-let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
+    receives periodic progress snapshots (see {!Watchdog}).
+
+    [obs] streams structured telemetry (see {!Chase_obs.Obs}): a [chase]
+    span over the whole run with per-trigger child spans, periodic
+    counter-track samples, and — into the metric registry — run totals
+    plus per-rule firings/nulls/probes/time breakdowns.  The default
+    {!Obs.disabled} reduces every instrumentation point to one flag
+    test. *)
+let run ?(config = default_config) ?(obs = Obs.disabled) ?resume ?on_trigger
+    ?watchdog rules db =
   let rules = Array.of_list rules in
+  let tracked = Obs.enabled obs in
   let instance = Instance.create () in
   List.iter (fun a -> ignore (Instance.add instance a)) db;
   let provenance = Atom.Tbl.create 1024 in
@@ -166,6 +176,26 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
           Hashtbl.replace seen key ()
         end)
       r.applied);
+  let rule_display i =
+    let n = Tgd.name rules.(i) in
+    if n = "" then Fmt.str "rule#%d" (i + 1) else n
+  in
+  (* Baselines for the run-total metrics reported at the end: a resumed
+     prefix was reinstated above and must not be double-counted, and the
+     matcher counters are process-wide. *)
+  let applied0 = !triggers_applied
+  and skipped0 = !triggers_skipped
+  and created0 = !atoms_created
+  and nulls0 = !null_counter in
+  let firings0 = Array.copy firings in
+  let hom0 = Hom.Stats.snapshot () in
+  let plan0 = Plan.Stats.snapshot () in
+  (* Per-rule profile accumulators, only paid for when observed. *)
+  let prof_n = if tracked then Array.length rules else 0 in
+  let prof_time = Array.make prof_n 0. in
+  let prof_match = Array.make prof_n 0. in
+  let prof_probes = Array.make prof_n 0 in
+  let prof_nulls = Array.make prof_n 0 in
   let enqueue tr =
     let key = key_of_trigger rules config.variant tr in
     if not (Hashtbl.mem seen key) then begin
@@ -186,9 +216,17 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
       (List.sort Subst.compare subs)
   in
   let enqueue_all_for_rule i =
+    let t0 = if tracked then Obs.now obs else 0. in
+    let c0 = if tracked then Hom.Stats.candidates_now () else 0 in
     let acc = ref [] in
     Hom.iter instance (Tgd.body rules.(i)) (fun sub -> acc := sub :: !acc);
-    enqueue_found i !acc
+    enqueue_found i !acc;
+    if tracked then begin
+      let dt = Obs.now obs -. t0 in
+      prof_match.(i) <- prof_match.(i) +. dt;
+      prof_time.(i) <- prof_time.(i) +. dt;
+      prof_probes.(i) <- prof_probes.(i) + (Hom.Stats.candidates_now () - c0)
+    end
   in
   let enqueue_seeded_for_rule i seed =
     let acc = ref [] in
@@ -196,7 +234,17 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
         acc := sub :: !acc);
     enqueue_found i !acc
   in
+  if tracked then
+    Obs.span_begin obs "chase"
+      ~args:
+        [
+          ("variant", Chase_obs.Jsonv.String (Fmt.str "%a" Variant.pp config.variant));
+          ("rules", Chase_obs.Jsonv.Int (Array.length rules));
+          ("db", Chase_obs.Jsonv.Int (List.length db));
+        ];
+  Obs.span_begin obs "seed";
   Array.iteri (fun i _ -> enqueue_all_for_rule i) rules;
+  Obs.span_end obs "seed";
   let atom_depth a =
     match Atom.Tbl.find_opt provenance a with
     | Some d -> Derivation.depth d
@@ -206,10 +254,16 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
     Hom.exists ~init:(Subst.restrict sub (Tgd.frontier r)) instance (Tgd.head r)
   in
   let apply tr =
+    let t_start = if tracked then Obs.now obs else 0. in
+    let c_start = if tracked then Hom.Stats.candidates_now () else 0 in
     let r = rules.(tr.t_rule) in
     incr step_counter;
     incr triggers_applied;
     firings.(tr.t_rule) <- firings.(tr.t_rule) + 1;
+    if tracked then
+      Obs.span_begin obs
+        ~args:[ ("step", Chase_obs.Jsonv.Int !step_counter) ]
+        (rule_display tr.t_rule);
     let created = ref [] in
     let sub' =
       Util.Sset.fold
@@ -247,10 +301,16 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
       (Tgd.head r);
     let added = List.rev !new_atoms in
     (* Semi-naive trigger discovery: only homomorphisms using a new fact
-       can be new. *)
+       can be new.  Its cost is attributed to the rule whose output
+       seeded it. *)
+    let m0 = if tracked then Obs.now obs else 0. in
+    Obs.span_begin obs "match";
     List.iter
       (fun fact -> Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
       added;
+    Obs.span_end obs "match";
+    if tracked then
+      prof_match.(tr.t_rule) <- prof_match.(tr.t_rule) +. (Obs.now obs -. m0);
     Watchdog.Window.observe null_window ~step:!triggers_applied !null_counter;
     (match watchdog with
     | Some w ->
@@ -260,15 +320,30 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
         ~queue:(Queue.length queue) ~nulls:!null_counter ~depth:!max_depth
         ~null_rate:(fun () -> Watchdog.Window.rate null_window)
     | None -> ());
+    if tracked then begin
+      prof_nulls.(tr.t_rule) <- prof_nulls.(tr.t_rule) + List.length created;
+      prof_probes.(tr.t_rule) <-
+        prof_probes.(tr.t_rule) + (Hom.Stats.candidates_now () - c_start);
+      prof_time.(tr.t_rule) <-
+        prof_time.(tr.t_rule) +. (Obs.now obs -. t_start);
+      (* the trigger span closes before the persistence hook runs, so
+         journal latency shows up in its own metrics, not under the
+         rule *)
+      Obs.span_end obs (rule_display tr.t_rule);
+      if !triggers_applied land 511 = 0 then
+        Obs.series obs "chase"
+          [
+            ("facts", float_of_int (Instance.cardinal instance));
+            ("queue", float_of_int (Queue.length queue));
+            ("nulls", float_of_int !null_counter);
+            ("depth", float_of_int !max_depth);
+          ]
+    end;
     match on_trigger with
     | Some f ->
       f ~step:!step_counter ~rule_index:tr.t_rule ~depth ~created_nulls:created
         r tr.t_sub added
     | None -> ()
-  in
-  let rule_display i =
-    let n = Tgd.name rules.(i) in
-    if n = "" then Fmt.str "rule#%d" (i + 1) else n
   in
   let firing_table () =
     Array.to_list (Array.mapi (fun i c -> (rule_display i, c)) firings)
@@ -301,6 +376,57 @@ let run ?(config = default_config) ?resume ?on_trigger ?watchdog rules db =
         loop ()
   in
   let status = loop () in
+  if tracked then begin
+    (* Run totals into the metric registry, as deltas against both the
+       resumed prefix and the process-wide matcher counters. *)
+    let dh = Hom.Stats.diff hom0 (Hom.Stats.snapshot ()) in
+    let dp = Plan.Stats.diff plan0 (Plan.Stats.snapshot ()) in
+    Obs.incr obs ~by:(!triggers_applied - applied0) "chase.triggers_applied";
+    Obs.incr obs ~by:(!triggers_skipped - skipped0) "chase.triggers_skipped";
+    Obs.incr obs ~by:(!atoms_created - created0) "chase.atoms_created";
+    Obs.incr obs ~by:(!null_counter - nulls0) "chase.nulls_created";
+    Obs.incr obs ~by:dh.Hom.Stats.probes "chase.hom.probes";
+    Obs.incr obs ~by:dh.Hom.Stats.full_scans "chase.hom.full_scans";
+    Obs.incr obs ~by:dh.Hom.Stats.candidates "chase.hom.candidates";
+    Obs.incr obs ~by:dh.Hom.Stats.matches "chase.hom.matches";
+    Obs.incr obs ~by:dh.Hom.Stats.planned_probe_cost
+      "chase.hom.planned_probe_cost";
+    Obs.incr obs ~by:dh.Hom.Stats.naive_probe_cost "chase.hom.naive_probe_cost";
+    Obs.incr obs ~by:dp.Plan.Stats.plans "chase.plan.plans";
+    Obs.incr obs ~by:dp.Plan.Stats.estimates "chase.plan.estimates";
+    Obs.set_gauge obs "chase.instance.facts"
+      (float_of_int (Instance.cardinal instance));
+    Obs.set_gauge obs "chase.queue.residual"
+      (float_of_int (Queue.length queue));
+    Obs.set_gauge obs "chase.max_depth" (float_of_int !max_depth);
+    List.iter
+      (fun (p, _) ->
+        Obs.observe obs "chase.instance.bucket_size"
+          (float_of_int (Instance.count_of_pred instance p)))
+      (Instance.predicates instance);
+    Array.iteri
+      (fun i _ ->
+        let label = rule_display i in
+        let df = firings.(i) - firings0.(i) in
+        if df > 0 || prof_time.(i) > 0. then begin
+          Obs.incr obs ~label ~by:df "chase.rule.firings";
+          Obs.incr obs ~label ~by:prof_nulls.(i) "chase.rule.nulls";
+          Obs.incr obs ~label ~by:prof_probes.(i) "chase.rule.probes";
+          Obs.observe obs ~label "chase.rule.match_s" prof_match.(i);
+          Obs.observe obs ~label "chase.rule.time_s" prof_time.(i)
+        end)
+      rules;
+    Obs.instant obs "chase.done"
+      ~args:
+        [
+          ( "status",
+            Chase_obs.Jsonv.String
+              (match status with
+              | Terminated -> "terminated"
+              | Exhausted _ -> "exhausted") );
+        ];
+    Obs.span_end obs "chase"
+  end;
   {
     instance;
     status;

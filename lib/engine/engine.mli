@@ -79,6 +79,7 @@ type resume = {
 
 val run :
   ?config:config ->
+  ?obs:Chase_obs.Obs.t ->
   ?resume:resume ->
   ?on_trigger:
     (step:int ->
@@ -103,7 +104,12 @@ val run :
     the stamps of the nulls the application invented, the full body
     homomorphism and the facts actually added (see {!Sequence} and the
     write-ahead journal of [Chase_persist]); [watchdog] receives periodic
-    progress snapshots (see {!Watchdog}). *)
+    progress snapshots (see {!Watchdog}).  [obs] streams structured
+    telemetry — a [chase] span with per-trigger child spans, periodic
+    counter samples, and run-total plus per-rule metrics
+    ([chase.rule.firings/nulls/probes/match_s/time_s], labelled by rule
+    display name) into its registry; the default {!Chase_obs.Obs.disabled}
+    reduces every instrumentation point to a flag test. *)
 
 val depth_of : result -> Atom.t -> int
 (** Chase depth of a fact; database facts have depth 0. *)

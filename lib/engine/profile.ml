@@ -1,0 +1,81 @@
+(** The [--profile] hot-spot table: per-rule firings, nulls, probes and
+    time, read back from the metric registry the engine filled.
+
+    Rows are sorted by firings (descending), ties by rule name — a
+    deterministic order pinned by the cram suite, unlike wall-clock
+    time.  The TOTAL row re-sums the columns, so the table is
+    self-checking against the run totals the engine prints. *)
+
+module Metrics = Chase_obs.Metrics
+
+type row = {
+  label : string;
+  firings : int;
+  nulls : int;
+  probes : int;
+  match_s : float;
+  time_s : float;
+}
+
+let hist_sum m ~label name =
+  match Metrics.hist_stats m ~label name with
+  | Some (_, sum, _, _, _, _, _) -> sum
+  | None -> 0.
+
+let rows m =
+  Metrics.labels_of m "chase.rule.firings"
+  |> List.map (fun label ->
+         {
+           label;
+           firings = Metrics.counter_value m ~label "chase.rule.firings";
+           nulls = Metrics.counter_value m ~label "chase.rule.nulls";
+           probes = Metrics.counter_value m ~label "chase.rule.probes";
+           match_s = hist_sum m ~label "chase.rule.match_s";
+           time_s = hist_sum m ~label "chase.rule.time_s";
+         })
+  |> List.sort (fun a b ->
+         match Int.compare b.firings a.firings with
+         | 0 -> String.compare a.label b.label
+         | c -> c)
+
+let pp fm m =
+  match rows m with
+  | [] -> Fmt.pf fm "profile: no rule activity recorded@."
+  | rows ->
+    let total =
+      List.fold_left
+        (fun acc r ->
+          {
+            acc with
+            firings = acc.firings + r.firings;
+            nulls = acc.nulls + r.nulls;
+            probes = acc.probes + r.probes;
+            match_s = acc.match_s +. r.match_s;
+            time_s = acc.time_s +. r.time_s;
+          })
+        {
+          label = "TOTAL";
+          firings = 0;
+          nulls = 0;
+          probes = 0;
+          match_s = 0.;
+          time_s = 0.;
+        }
+        rows
+    in
+    let w =
+      List.fold_left
+        (fun w r -> max w (String.length r.label))
+        (String.length total.label) rows
+    in
+    let share t = if total.time_s > 0. then 100. *. t /. total.time_s else 0. in
+    let line r =
+      Fmt.pf fm "%-*s %8d %8d %10d %10.2f %10.2f %5.1f%%@." w r.label r.firings
+        r.nulls r.probes (1000. *. r.match_s) (1000. *. r.time_s)
+        (share r.time_s)
+    in
+    Fmt.pf fm "per-rule profile:@.";
+    Fmt.pf fm "%-*s %8s %8s %10s %10s %10s %6s@." w "rule" "firings" "nulls"
+      "probes" "match-ms" "total-ms" "share";
+    List.iter line rows;
+    line total

@@ -1,0 +1,20 @@
+(** The [--profile] per-rule hot-spot table, rendered from the metric
+    registry an observed {!Engine.run} filled. *)
+
+type row = {
+  label : string;
+  firings : int;
+  nulls : int;
+  probes : int;  (** candidate facts examined while matching *)
+  match_s : float;  (** seconds matching (seed + seeded rediscovery) *)
+  time_s : float;  (** seconds applying triggers, matching included *)
+}
+
+val rows : Chase_obs.Metrics.t -> row list
+(** One row per rule that fired or matched, sorted by firings
+    descending, ties by name — deterministic, unlike time. *)
+
+val pp : Format.formatter -> Chase_obs.Metrics.t -> unit
+(** The table: rule / firings / nulls / probes / match-ms / total-ms /
+    share, with a TOTAL row re-summing the columns.  Prints a note when
+    no rule activity was recorded. *)

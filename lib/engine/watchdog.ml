@@ -113,6 +113,20 @@ let observe w ~step ~elapsed ~facts ~queue ~nulls ~depth ~null_rate =
     end
   end
 
+(* Structured view of a snapshot, in field order: the CLIs feed this to
+   an [Obs] series so progress becomes counter tracks in a trace. *)
+let fields s =
+  [
+    ("step", float_of_int s.step);
+    ("steps_per_sec", s.steps_per_sec);
+    ("facts", float_of_int s.facts);
+    ("queue", float_of_int s.queue_length);
+    ("nulls", float_of_int s.nulls);
+    ("null_rate", s.null_rate);
+    ("depth", float_of_int s.max_depth);
+    ("elapsed", s.elapsed);
+  ]
+
 let pp_snapshot fm s =
   Fmt.pf fm
     "[watchdog] step %d (%.0f/s) | facts %d | queue %d | nulls %d \

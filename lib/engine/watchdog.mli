@@ -52,4 +52,9 @@ val observe :
 val emitted : t -> int
 (** Snapshots emitted so far. *)
 
+val fields : snapshot -> (string * float) list
+(** The snapshot as named numeric fields, in stable order — the shape
+    [Chase_obs.Obs.series] wants, so progress snapshots become counter
+    tracks in a trace. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -40,6 +40,67 @@ let match_atom sub pat fact =
     go 0 sub
 
 (* ------------------------------------------------------------------ *)
+(* Search-effort accounting                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  (* Module-level counters, always on: each is one [int ref] increment
+     on its code path, cheap enough to leave unguarded.  They let the
+     engine and the benchmarks compare the work done by the planned and
+     naive matchers (index probes, candidate facts examined, emitted
+     matches) without plumbing state through every search. *)
+
+  type snapshot = {
+    probes : int;  (** index probes at a determined position *)
+    full_scans : int;  (** predicate scans with no position bound *)
+    candidates : int;  (** candidate facts examined by match loops *)
+    matches : int;  (** substitutions emitted by [iter]/[iter_seeded] *)
+    planned_probe_cost : int;
+        (** sum of chosen bucket sizes in best-index probes *)
+    naive_probe_cost : int;
+        (** what the same probes would have cost at the first determined
+            position — the naive policy's estimate *)
+  }
+
+  let probes = ref 0
+  let full_scans = ref 0
+  let candidates = ref 0
+  let matches = ref 0
+  let planned_probe_cost = ref 0
+  let naive_probe_cost = ref 0
+
+  let snapshot () =
+    {
+      probes = !probes;
+      full_scans = !full_scans;
+      candidates = !candidates;
+      matches = !matches;
+      planned_probe_cost = !planned_probe_cost;
+      naive_probe_cost = !naive_probe_cost;
+    }
+
+  let diff a b =
+    {
+      probes = b.probes - a.probes;
+      full_scans = b.full_scans - a.full_scans;
+      candidates = b.candidates - a.candidates;
+      matches = b.matches - a.matches;
+      planned_probe_cost = b.planned_probe_cost - a.planned_probe_cost;
+      naive_probe_cost = b.naive_probe_cost - a.naive_probe_cost;
+    }
+
+  let reset () =
+    probes := 0;
+    full_scans := 0;
+    candidates := 0;
+    matches := 0;
+    planned_probe_cost := 0;
+    naive_probe_cost := 0
+
+  let candidates_now () = !candidates
+end
+
+(* ------------------------------------------------------------------ *)
 (* Matcher selection                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -77,8 +138,12 @@ let candidates ins sub pat =
       | (Term.Const _ | Term.Null _) as t -> Some (i, t)
   in
   match find_bound 0 with
-  | Some (i, t) -> Instance.atoms_matching ins (Atom.pred pat) i t
-  | None -> Instance.atoms_of_pred ins (Atom.pred pat)
+  | Some (i, t) ->
+    Stats.probes := !Stats.probes + 1;
+    Instance.atoms_matching ins (Atom.pred pat) i t
+  | None ->
+    Stats.full_scans := !Stats.full_scans + 1;
+    Instance.atoms_of_pred ins (Atom.pred pat)
 
 exception Stop
 
@@ -91,6 +156,7 @@ let iter_naive ?(init = Subst.empty) ins pats f =
     | pat :: rest ->
       List.iter
         (fun fact ->
+          Stats.candidates := !Stats.candidates + 1;
           match match_atom sub pat fact with
           | Some sub' -> go rest sub'
           | None -> ())
@@ -120,6 +186,7 @@ let iter_seeded_naive ?(init = Subst.empty) ins pats ~seed f =
         else
           List.iter
             (fun fact ->
+              Stats.candidates := !Stats.candidates + 1;
               if i < pin && Atom.equal fact seed then ()
                 (* an earlier atom matching [seed] is handled by a smaller
                    [pin]; skip to avoid duplicates *)
@@ -142,6 +209,9 @@ let candidates_best ins sub pat =
   let p = Atom.pred pat in
   let n = Atom.arity pat in
   let best = ref None in
+  (* bucket size at the first determined position: what the naive
+     probe policy would have walked — kept for the probe accounting *)
+  let first = ref (-1) in
   for i = 0 to n - 1 do
     let t =
       match Atom.arg pat i with
@@ -151,14 +221,22 @@ let candidates_best ins sub pat =
     match t with
     | Some t ->
       let c = Instance.count_matching ins p i t in
+      if !first < 0 then first := c;
       (match !best with
       | Some (c0, _, _) when c0 <= c -> ()
       | Some _ | None -> best := Some (c, i, t))
     | None -> ()
   done;
   match !best with
-  | Some (_, i, t) -> Instance.atoms_matching ins p i t
-  | None -> Instance.atoms_of_pred ins p
+  | Some (c, i, t) ->
+    Stats.probes := !Stats.probes + 1;
+    Stats.planned_probe_cost := !Stats.planned_probe_cost + c;
+    Stats.naive_probe_cost :=
+      !Stats.naive_probe_cost + if !first >= 0 then !first else c;
+    Instance.atoms_matching ins p i t
+  | None ->
+    Stats.full_scans := !Stats.full_scans + 1;
+    Instance.atoms_of_pred ins p
 
 (* Below this instance size, planning and count probes cost more than the
    bucket walks they avoid: the planned matcher falls back to the naive
@@ -178,6 +256,7 @@ let run_plan ~skip_seed pats_arr plan ~from ins sub0 f =
       let pos = order.(k) in
       List.iter
         (fun fact ->
+          Stats.candidates := !Stats.candidates + 1;
           if skip_seed pos fact then ()
           else
             match match_atom sub pats_arr.(pos) fact with
@@ -201,6 +280,7 @@ let iter_planned ?(init = Subst.empty) ?plan ins pats f =
     (* single atom: nothing to order, but still probe the best index *)
     List.iter
       (fun fact ->
+        Stats.candidates := !Stats.candidates + 1;
         match match_atom init pat fact with Some s -> f s | None -> ())
       (candidates_best ins init pat)
   | _ ->
@@ -241,6 +321,10 @@ let iter_seeded_planned ?(init = Subst.empty) ins pats ~seed f =
 (** [iter ?init ins pats f] calls [f] on every substitution [s] extending
     [init] with [s pats ⊆ ins], through the selected matcher. *)
 let iter ?init ins pats f =
+  let f s =
+    Stats.matches := !Stats.matches + 1;
+    f s
+  in
   match matcher () with
   | Planned -> iter_planned ?init ins pats f
   | Naive -> iter_naive ?init ins pats f
@@ -249,6 +333,10 @@ let iter ?init ins pats f =
     substitutions in which at least one body atom is mapped to the fact
     [seed].  Each qualifying substitution is produced exactly once. *)
 let iter_seeded ?init ins pats ~seed f =
+  let f s =
+    Stats.matches := !Stats.matches + 1;
+    f s
+  in
   match matcher () with
   | Planned -> iter_seeded_planned ?init ins pats ~seed f
   | Naive -> iter_seeded_naive ?init ins pats ~seed f

@@ -17,6 +17,37 @@ val match_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
 (** [match_atom sub pattern fact] extends [sub] so that the pattern maps
     onto the fact; [None] if impossible. *)
 
+(** {1 Search-effort accounting}
+
+    Process-wide counters of matcher work, always on (each is a single
+    [int ref] increment on its code path).  The engine snapshots them
+    around each trigger search to attribute probe work to rules; the
+    benchmarks diff them across planned/naive runs. *)
+module Stats : sig
+  type snapshot = {
+    probes : int;  (** index probes at a determined position *)
+    full_scans : int;  (** predicate scans with no position bound *)
+    candidates : int;  (** candidate facts examined by match loops *)
+    matches : int;  (** substitutions emitted by [iter]/[iter_seeded] *)
+    planned_probe_cost : int;
+        (** sum of chosen bucket sizes in best-index probes *)
+    naive_probe_cost : int;
+        (** what the same probes would have cost at the first determined
+            position — the naive policy's estimate *)
+  }
+
+  val snapshot : unit -> snapshot
+
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff before after], componentwise. *)
+
+  val reset : unit -> unit
+
+  val candidates_now : unit -> int
+  (** The raw candidates counter — the engine's cheap per-trigger
+      delta. *)
+end
+
 (** {1 Matcher selection} *)
 
 type matcher =

@@ -25,6 +25,23 @@ type t = {
   order : int array;  (** order.(k) = original body index matched at step k *)
 }
 
+module Stats = struct
+  (* Always-on planning-effort counters, mirroring [Hom.Stats]. *)
+  let plans = ref 0
+  let estimates = ref 0
+
+  type snapshot = { plans : int; estimates : int }
+
+  let snapshot () = { plans = !plans; estimates = !estimates }
+
+  let diff (a : snapshot) (b : snapshot) =
+    { plans = b.plans - a.plans; estimates = b.estimates - a.estimates }
+
+  let reset () =
+    plans := 0;
+    estimates := 0
+end
+
 let order t = t.order
 let length t = Array.length t.order
 
@@ -46,6 +63,7 @@ let is_permutation t =
 (** Smallest candidate-count estimate for [a] over its determined
     positions, given [bound] variables; [count_of_pred] if none. *)
 let estimate ?(bound = Util.Sset.empty) ins a =
+  Stats.estimates := !Stats.estimates + 1;
   let p = Atom.pred a in
   let full = Instance.count_of_pred ins p in
   let best = ref full in
@@ -70,6 +88,7 @@ let vars_of a = Atom.var_set a
 (* Greedy selection over the remaining atoms; [fixed] indices are already
    placed (the seeded pin).  O(n²) estimate calls, all O(1). *)
 let plan_greedy ~bound ins body_arr placed =
+  Stats.plans := !Stats.plans + 1;
   let n = Array.length body_arr in
   if n - List.length placed <= 1 then
     (* nothing to order: the permutation is forced *)

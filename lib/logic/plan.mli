@@ -17,6 +17,17 @@
 type t
 (** A permutation of the body atoms of one rule, for one instance. *)
 
+(** Always-on planning-effort counters (see {!Hom.Stats} for the matcher
+    side): how many plans were built and how many single-atom cost
+    estimates they required. *)
+module Stats : sig
+  type snapshot = { plans : int; estimates : int }
+
+  val snapshot : unit -> snapshot
+  val diff : snapshot -> snapshot -> snapshot
+  val reset : unit -> unit
+end
+
 val make : ?bound:Util.Sset.t -> Instance.t -> Atom.t list -> t
 (** [make ?bound ins body] orders [body] by estimated selectivity against
     [ins].  [bound] are variables already determined by the initial

@@ -1,0 +1,30 @@
+(** Minimal JSON values shared by the observability sinks and the
+    trace/metrics checker.  Zero dependencies beyond [fmt]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization.  Always valid JSON: control characters are
+    escaped, NaN/infinite floats are emitted as [null]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parser: exactly one value, no trailing bytes, nesting depth
+    capped.  Never raises. *)
+
+val member : string -> t -> t option
+(** [member k v] is the value of field [k] when [v] is an object. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+(** [to_float_opt] accepts both [Int] and [Float]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,163 @@
+(** Metric registry: counters, gauges and log-bucket histograms.
+
+    A registry is a flat table keyed by metric name plus an optional
+    label (we use labels for per-rule breakdowns: the metric is
+    ["chase.rule.firings"], the label the rule display string).  All
+    operations are total — recording to a name that already exists with
+    a different kind is ignored rather than an error, because telemetry
+    must never take down the computation it observes.
+
+    Histograms use geometric buckets with ratio [sqrt 2] (two buckets
+    per octave), which bounds any quantile estimate by a factor of
+    [2**0.25 ≈ 1.19] while keeping the bucket array tiny and the record
+    path allocation-free.  Count, sum, min and max are tracked exactly. *)
+
+type histogram = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type kind =
+  | Counter of int ref
+  | Gauge of float ref
+  | Hist of histogram
+
+type t = { table : (string * string, kind) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let no_label = ""
+
+(* --- histogram geometry ------------------------------------------- *)
+
+(* Bucket [i] covers values in [ratio^(i-mid-1), ratio^(i-mid)) with
+   ratio = sqrt 2.  [mid] centres the range so that both sub-nanosecond
+   latencies (as seconds) and large byte counts fit; values at or below
+   zero land in bucket 0. *)
+let n_buckets = 132
+let mid = 66
+let half_log2 = 0.5 *. log 2.
+
+let bucket_of v =
+  if v <= 0. then 0
+  else
+    let i = mid + 1 + int_of_float (Float.floor (log v /. half_log2)) in
+    if i < 1 then 1 else if i > n_buckets - 1 then n_buckets - 1 else i
+
+(* Geometric midpoint of bucket [i]'s range; used for quantile
+   estimation.  Bucket 0 reports 0. *)
+let bucket_mid i =
+  if i <= 0 then 0.
+  else
+    let hi = exp (float_of_int (i - mid) *. half_log2) in
+    let lo = exp (float_of_int (i - mid - 1) *. half_log2) in
+    sqrt (lo *. hi)
+
+let new_hist () =
+  {
+    buckets = Array.make n_buckets 0;
+    h_count = 0;
+    h_sum = 0.;
+    h_min = infinity;
+    h_max = neg_infinity;
+  }
+
+(* --- recording ----------------------------------------------------- *)
+
+let find t name label = Hashtbl.find_opt t.table (name, label)
+
+let incr t ?(label = no_label) ?(by = 1) name =
+  match find t name label with
+  | Some (Counter r) -> r := !r + by
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.table (name, label) (Counter (ref by))
+
+let set_gauge t ?(label = no_label) name v =
+  match find t name label with
+  | Some (Gauge r) -> r := v
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.table (name, label) (Gauge (ref v))
+
+let observe t ?(label = no_label) name v =
+  let h =
+    match find t name label with
+    | Some (Hist h) -> Some h
+    | Some _ -> None
+    | None ->
+      let h = new_hist () in
+      Hashtbl.replace t.table (name, label) (Hist h);
+      Some h
+  in
+  match h with
+  | None -> ()
+  | Some h ->
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+
+(* --- reading ------------------------------------------------------- *)
+
+let counter_value t ?(label = no_label) name =
+  match find t name label with Some (Counter r) -> !r | _ -> 0
+
+let gauge_value t ?(label = no_label) name =
+  match find t name label with Some (Gauge r) -> Some !r | _ -> None
+
+let quantile h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = q *. float_of_int h.h_count in
+    let acc = ref 0. and i = ref 0 and found = ref (-1) in
+    while !found < 0 && !i < n_buckets do
+      acc := !acc +. float_of_int h.buckets.(!i);
+      if !acc >= rank then found := !i;
+      i := !i + 1
+    done;
+    let est = bucket_mid (if !found < 0 then n_buckets - 1 else !found) in
+    (* the exact extrema tighten the bucket estimate *)
+    Float.min h.h_max (Float.max h.h_min est)
+  end
+
+let hist_stats t ?(label = no_label) name =
+  match find t name label with
+  | Some (Hist h) when h.h_count > 0 ->
+    Some
+      ( h.h_count,
+        h.h_sum,
+        h.h_min,
+        h.h_max,
+        quantile h 0.5,
+        quantile h 0.9,
+        quantile h 0.99 )
+  | _ -> None
+
+type entry =
+  | E_counter of int
+  | E_gauge of float
+  | E_hist of histogram
+
+let dump t =
+  Hashtbl.fold
+    (fun (name, label) kind acc ->
+      let e =
+        match kind with
+        | Counter r -> E_counter !r
+        | Gauge r -> E_gauge !r
+        | Hist h -> E_hist h
+      in
+      (name, label, e) :: acc)
+    t.table []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) ->
+         match compare n1 n2 with 0 -> compare l1 l2 | c -> c)
+
+let labels_of t name =
+  Hashtbl.fold
+    (fun (n, label) _ acc -> if n = name then label :: acc else acc)
+    t.table []
+  |> List.sort_uniq compare

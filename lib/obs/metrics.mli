@@ -1,0 +1,49 @@
+(** Metric registry: counters, gauges and log-bucket histograms keyed by
+    name plus an optional label (used for per-rule breakdowns).
+
+    All recording operations are total: a name/label collision between
+    kinds is silently ignored — telemetry must never take down the
+    computation it observes. *)
+
+type t
+
+type histogram
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val incr : t -> ?label:string -> ?by:int -> string -> unit
+val set_gauge : t -> ?label:string -> string -> float -> unit
+
+val observe : t -> ?label:string -> string -> float -> unit
+(** Record a sample into a histogram with geometric buckets of ratio
+    [sqrt 2]; any quantile estimate is within a factor of about 1.19 of
+    the true sample quantile (and clamped to the exact min/max). *)
+
+(** {1 Reading} *)
+
+val counter_value : t -> ?label:string -> string -> int
+(** 0 when absent. *)
+
+val gauge_value : t -> ?label:string -> string -> float option
+
+val hist_stats :
+  t -> ?label:string -> string ->
+  (int * float * float * float * float * float * float) option
+(** [(count, sum, min, max, p50, p90, p99)]; [None] when absent or
+    empty. *)
+
+type entry =
+  | E_counter of int
+  | E_gauge of float
+  | E_hist of histogram
+
+val dump : t -> (string * string * entry) list
+(** All entries sorted by (name, label) — a deterministic summary
+    order. *)
+
+val labels_of : t -> string -> string list
+(** Sorted distinct labels recorded under [name]. *)
+
+val quantile : histogram -> float -> float

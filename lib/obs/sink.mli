@@ -1,0 +1,38 @@
+(** Event sinks: pluggable back-ends for the telemetry stream. *)
+
+type args = (string * Jsonv.t) list
+
+type event =
+  | Span_begin of { name : string; ts : float; args : args }
+  | Span_end of { name : string; ts : float }
+  | Instant of { name : string; ts : float; args : args }
+  | Series of { name : string; ts : float; values : (string * float) list }
+      (** A sampled set of gauges, rendered as Chrome counter tracks. *)
+
+type t = {
+  emit : event -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+val null : t
+(** Drops everything; all three closures are [ignore]. *)
+
+val tee : t list -> t
+(** Broadcast to several sinks. *)
+
+val filter : (event -> bool) -> t -> t
+
+val is_point : event -> bool
+(** True for [Instant] and [Series] — the events a metrics stream
+    wants; span begin/end are trace-file structure. *)
+
+val jsonl : ?flush:(unit -> unit) -> (string -> unit) -> t
+(** One JSON object per line with a ["type"] discriminator field
+    (["begin"], ["end"], ["instant"], ["series"]). *)
+
+val trace : ?flush:(unit -> unit) -> (string -> unit) -> t
+(** Chrome [trace_event] JSON array (phases B/E/i/C, timestamps in
+    microseconds) — loadable in Perfetto or about:tracing.  [close]
+    terminates the array; an empty stream still closes to valid
+    JSON. *)

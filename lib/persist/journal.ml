@@ -16,6 +16,7 @@
     append — through the {e real} write path. *)
 
 open Chase_logic
+module Obs = Chase_obs.Obs
 
 let magic = "CHJNL01\n"
 let version = 1
@@ -117,24 +118,35 @@ type writer = {
   mutable unsynced : int;
   mutable appended : int;  (** records appended through this writer *)
   fault : Chase_engine.Faults.write_fault option;
+  obs : Obs.t;  (** append/fsync latency telemetry *)
 }
 
 let fsync_oc oc =
   flush oc;
   try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
 
-let create ?(fsync_every = 64) ?fault path h =
+(* [fsync] through the writer: same call, with the latency observed. *)
+let fsync_w w =
+  if Obs.enabled w.obs then begin
+    let t0 = Obs.now w.obs in
+    fsync_oc w.oc;
+    Obs.observe w.obs "journal.fsync_s" (Obs.now w.obs -. t0);
+    Obs.incr w.obs "journal.fsyncs"
+  end
+  else fsync_oc w.oc
+
+let create ?(fsync_every = 64) ?fault ?(obs = Obs.disabled) path h =
   let oc = open_out_bin path in
   output_string oc magic;
   output_string oc (frame tag_header (encode_header h));
   fsync_oc oc;
-  { oc; fsync_every; unsynced = 0; appended = 0; fault }
+  { oc; fsync_every; unsynced = 0; appended = 0; fault; obs }
 
-let open_append ?(fsync_every = 64) ?fault path =
+let open_append ?(fsync_every = 64) ?fault ?(obs = Obs.disabled) path =
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
   in
-  { oc; fsync_every; unsynced = 0; appended = 0; fault }
+  { oc; fsync_every; unsynced = 0; appended = 0; fault; obs }
 
 let crash w msg =
   fsync_oc w.oc;
@@ -142,6 +154,8 @@ let crash w msg =
   raise (Chase_engine.Faults.Crash msg)
 
 let append w sr =
+  let tracked = Obs.enabled w.obs in
+  let t0 = if tracked then Obs.now w.obs else 0. in
   w.appended <- w.appended + 1;
   let fr = frame tag_step (Codec.encode_step sr) in
   (match w.fault with
@@ -155,16 +169,23 @@ let append w sr =
   flush w.oc;
   w.unsynced <- w.unsynced + 1;
   if w.fsync_every > 0 && w.unsynced >= w.fsync_every then begin
-    fsync_oc w.oc;
+    fsync_w w;
     w.unsynced <- 0
+  end;
+  if tracked then begin
+    (* includes a cadence fsync when this append triggered one — the
+       latency the chase actually saw *)
+    Obs.observe w.obs "journal.append_s" (Obs.now w.obs -. t0);
+    Obs.incr w.obs "journal.records";
+    Obs.incr w.obs ~by:(String.length fr) "journal.bytes"
   end
 
 let sync w =
-  fsync_oc w.oc;
+  fsync_w w;
   w.unsynced <- 0
 
 let close w =
-  fsync_oc w.oc;
+  fsync_w w;
   close_out_noerr w.oc
 
 (* ------------------------------------------------------------------ *)

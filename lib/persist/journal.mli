@@ -43,16 +43,20 @@ type writer
 val create :
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?obs:Chase_obs.Obs.t ->
   string ->
   header ->
   writer
 (** Truncate/create the file and write magic + header.  [fsync_every] is
     the number of appends between [fsync]s (default 64; 0 = only on
-    {!sync}/{!close}); every append is flushed to the OS regardless. *)
+    {!sync}/{!close}); every append is flushed to the OS regardless.
+    [obs] records append/fsync latency histograms ([journal.append_s],
+    [journal.fsync_s]) and record/byte counters. *)
 
 val open_append :
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?obs:Chase_obs.Obs.t ->
   string ->
   writer
 (** Append to an existing journal (validated beforehand by recovery). *)

@@ -15,6 +15,7 @@ type t = {
   header : Journal.header;
   snapshot : string option;
   snapshot_every : int;  (** records between snapshots; 0 = never *)
+  obs : Chase_obs.Obs.t;
   mutable history_rev : Codec.step_record list;
   mutable last_step : int;
   mutable since_snapshot : int;
@@ -23,27 +24,29 @@ type t = {
 let snapshot_path journal = journal ^ ".snap"
 
 let start ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64) ?fault
-    ~variant ~rules ~db () =
+    ?(obs = Chase_obs.Obs.disabled) ~variant ~rules ~db () =
   let header = Journal.header_of ~variant ~rules ~db in
-  let writer = Journal.create ~fsync_every ?fault journal header in
+  let writer = Journal.create ~fsync_every ?fault ~obs journal header in
   {
     writer;
     header;
     snapshot;
     snapshot_every;
+    obs;
     history_rev = [];
     last_step = 0;
     since_snapshot = 0;
   }
 
 let continue_ ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64)
-    ?fault (report : Recovery.report) =
-  let writer = Journal.open_append ~fsync_every ?fault journal in
+    ?fault ?(obs = Chase_obs.Obs.disabled) (report : Recovery.report) =
+  let writer = Journal.open_append ~fsync_every ?fault ~obs journal in
   {
     writer;
     header = report.Recovery.header;
     snapshot;
     snapshot_every;
+    obs;
     history_rev = List.rev report.Recovery.history;
     last_step = report.Recovery.resume.Chase_engine.Engine.next_step;
     since_snapshot = 0;
@@ -53,7 +56,7 @@ let write_snapshot t =
   match t.snapshot with
   | None -> ()
   | Some path ->
-    Snapshot.write path
+    Snapshot.write ~obs:t.obs path
       {
         Snapshot.header = t.header;
         last_step = t.last_step;

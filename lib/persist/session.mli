@@ -16,14 +16,16 @@ val start :
   ?snapshot_every:int ->
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?obs:Chase_obs.Obs.t ->
   variant:Chase_engine.Variant.t ->
   rules:Tgd.t list ->
   db:Atom.t list ->
   unit ->
   t
 (** Open a fresh journal (truncating any previous file) for a new run.
-    [snapshot_every] defaults to 0 (no snapshots); [fsync_every] to
-    64. *)
+    [snapshot_every] defaults to 0 (no snapshots); [fsync_every] to 64.
+    [obs] flows into the journal and snapshot writers (append/fsync and
+    snapshot-write telemetry). *)
 
 val continue_ :
   journal:string ->
@@ -31,6 +33,7 @@ val continue_ :
   ?snapshot_every:int ->
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?obs:Chase_obs.Obs.t ->
   Recovery.report ->
   t
 (** Append to a journal just validated (and repaired) by

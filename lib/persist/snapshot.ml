@@ -40,7 +40,10 @@ let fsync_oc oc =
   try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
 
 (** Write-to-temp + rename: the snapshot at [path] is always complete. *)
-let write path s =
+let write ?(obs = Chase_obs.Obs.disabled) path s =
+  let module Obs = Chase_obs.Obs in
+  let tracked = Obs.enabled obs in
+  let t0 = if tracked then Obs.now obs else 0. in
   let payload = encode s in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
@@ -52,7 +55,13 @@ let write path s =
   output_string oc payload;
   fsync_oc oc;
   close_out_noerr oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  if tracked then begin
+    Obs.observe obs "snapshot.write_s" (Obs.now obs -. t0);
+    Obs.observe obs "snapshot.bytes"
+      (float_of_int (String.length magic + 8 + String.length payload));
+    Obs.incr obs "snapshot.writes"
+  end
 
 let read path =
   if not (Sys.file_exists path) then

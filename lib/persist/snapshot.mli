@@ -9,8 +9,10 @@ type t = {
   records : Codec.step_record list;  (** steps 1..last_step, in order *)
 }
 
-val write : string -> t -> unit
-(** Atomic: write-to-temp, [fsync], [rename]. *)
+val write : ?obs:Chase_obs.Obs.t -> string -> t -> unit
+(** Atomic: write-to-temp, [fsync], [rename].  [obs] records the write
+    latency and size ([snapshot.write_s], [snapshot.bytes]) and a write
+    counter. *)
 
 val read : string -> (t, string) result
 (** [Error] on a missing file, bad magic, wrong length, checksum

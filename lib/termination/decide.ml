@@ -58,20 +58,43 @@ let sufficient_acyclicity ~variant rules =
               chase terminate on every database")
     else None
 
-let check ?standard ?budget ?limits ?watchdog ~variant rules =
+let check ?standard ?budget ?limits ?watchdog ?(obs = Chase_obs.Obs.disabled)
+    ~variant rules =
+  let module Obs = Chase_obs.Obs in
+  (* Each procedure runs under a [decide:<proc>] span with its wall time
+     recorded per procedure — the per-theorem-check timing surfaced by
+     [--metrics]. *)
+  let timed proc f =
+    if Obs.enabled obs then begin
+      Obs.incr obs ~label:proc "decide.dispatch";
+      let t0 = Obs.now obs in
+      let v = Obs.with_span obs ("decide:" ^ proc) f in
+      Obs.observe obs ~label:proc "decide.check_s" (Obs.now obs -. t0);
+      v
+    end
+    else f ()
+  in
   match (variant : Variant.t) with
   | Restricted ->
     (* §4 territory: sufficient conditions, generic-instance refutation,
        and the single-head linear probe. *)
-    Restricted.check ?budget ?limits rules
+    timed "restricted" (fun () -> Restricted.check ?budget ?limits ~obs rules)
   | Oblivious | Semi_oblivious -> (
     match Classify.classify rules with
-    | Classify.Simple_linear -> Sl.check ~variant rules
-    | Classify.Linear -> Linear.check ?standard ~variant rules
-    | Classify.Guarded -> Guarded.check ?standard ?budget ?limits ~variant rules
+    | Classify.Simple_linear ->
+      timed "simple-linear" (fun () -> Sl.check ~variant rules)
+    | Classify.Linear ->
+      timed "linear" (fun () -> Linear.check ?standard ~variant rules)
+    | Classify.Guarded ->
+      timed "guarded" (fun () ->
+          Guarded.check ?standard ?budget ?limits ~obs ~variant rules)
     | Classify.Unguarded -> (
-      match sufficient_acyclicity ~variant rules with
+      match
+        timed "acyclicity" (fun () -> sufficient_acyclicity ~variant rules)
+      with
       | Some v -> v
       | None ->
-        (Simulation.check ?standard ?budget ?limits ?watchdog ~variant rules)
-          .verdict))
+        timed "simulation" (fun () ->
+            (Simulation.check ?standard ?budget ?limits ?watchdog ~obs
+               ~variant rules)
+              .verdict)))

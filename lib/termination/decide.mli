@@ -13,10 +13,14 @@ val check :
   ?budget:int ->
   ?limits:Chase_engine.Limits.t ->
   ?watchdog:Chase_engine.Watchdog.t ->
+  ?obs:Chase_obs.Obs.t ->
   variant:Chase_engine.Variant.t ->
   Chase_logic.Tgd.t list ->
   Verdict.t
 (** [limits] overrides the budget-derived defaults of every budgeted
     procedure (adding e.g. a wall-clock deadline or a cancellation
     token); [watchdog] streams progress snapshots of the
-    chase-simulation fallback. *)
+    chase-simulation fallback.  [obs] wraps the chosen procedure in a
+    [decide:<proc>] span, records its wall time per procedure
+    ([decide.check_s]), and flows into the budgeted procedures' chase
+    runs and the guarded pump search. *)

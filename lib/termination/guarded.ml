@@ -215,7 +215,9 @@ let deepest_facts provenance k =
   let sorted = List.sort (fun (d1, _) (d2, _) -> Int.compare d2 d1) all in
   List.filteri (fun i _ -> i < k) sorted |> List.map snd
 
-let find_pump ?(min_occurrences = 3) ?(tips = 8) (result : Engine.result) =
+let find_pump ?(min_occurrences = 3) ?(tips = 8)
+    ?(obs = Chase_obs.Obs.disabled) (result : Engine.result) =
+  let module Obs = Chase_obs.Obs in
   let ins = result.Engine.instance in
   let provenance = result.Engine.provenance in
   let const_atoms =
@@ -228,6 +230,10 @@ let find_pump ?(min_occurrences = 3) ?(tips = 8) (result : Engine.result) =
     | [] -> None
     | tip :: rest -> (
       let chain = guard_chain provenance tip in
+      if Obs.enabled obs then begin
+        Obs.incr obs "guarded.pump.chains";
+        Obs.incr obs ~by:(List.length chain) "guarded.pump.nodes"
+      end;
       match
         pump_on_chain ins ~const_atoms ~births ~provenance ~min_occurrences
           chain
@@ -243,7 +249,8 @@ let find_pump ?(min_occurrences = 3) ?(tips = 8) (result : Engine.result) =
 
 let default_budget = 20_000
 
-let check ?(standard = true) ?(budget = default_budget) ?limits ~variant rules =
+let check ?(standard = true) ?(budget = default_budget) ?limits
+    ?(obs = Chase_obs.Obs.disabled) ~variant rules =
   require_guarded rules;
   if Chase_classes.Classify.is_full rules then
     Verdict.terminates ~procedure:"guarded-types"
@@ -256,7 +263,7 @@ let check ?(standard = true) ?(budget = default_budget) ?limits ~variant rules =
       match limits with Some l -> l | None -> Limits.of_budget budget
     in
     let config = { Engine.variant; limits } in
-    let result = Engine.run ~config rules (Instance.to_list crit) in
+    let result = Engine.run ~config ~obs rules (Instance.to_list crit) in
     match result.Engine.status with
     | Engine.Terminated ->
       Verdict.terminates ~procedure:"guarded-types"
@@ -267,7 +274,10 @@ let check ?(standard = true) ?(budget = default_budget) ?limits ~variant rules =
              Variant.pp variant result.Engine.triggers_applied
              (Instance.cardinal result.Engine.instance))
     | Engine.Exhausted reason -> (
-      match find_pump result with
+      match
+        Chase_obs.Obs.with_span obs "pump-search" (fun () ->
+            find_pump ~obs result)
+      with
       | Some pump ->
         let shown = List.filteri (fun i _ -> i < 4) pump.occurrences in
         let elided = List.length pump.occurrences - List.length shown in

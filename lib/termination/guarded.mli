@@ -18,17 +18,25 @@ type pump = {
   chain_length : int;
 }
 
-val find_pump : ?min_occurrences:int -> ?tips:int -> Engine.result -> pump option
+val find_pump :
+  ?min_occurrences:int ->
+  ?tips:int ->
+  ?obs:Chase_obs.Obs.t ->
+  Engine.result ->
+  pump option
 (** Search the derivation forest of a chase run for a recurring-type pump
-    along the guard chains of the deepest facts. *)
+    along the guard chains of the deepest facts.  [obs] counts chains
+    examined and chain nodes walked ([guarded.pump.chains/nodes]). *)
 
 val check :
   ?standard:bool ->
   ?budget:int ->
   ?limits:Limits.t ->
+  ?obs:Chase_obs.Obs.t ->
   variant:Variant.t ->
   Tgd.t list ->
   Verdict.t
 (** [limits] overrides the budget-derived defaults (deadline,
-    cancellation, …).
+    cancellation, …); [obs] flows into the critical-instance chase and
+    the pump search.
     @raise Invalid_argument if the set is not guarded. *)

@@ -14,11 +14,17 @@ val default_budget : int
 val probe :
   ?budget:int ->
   ?limits:Limits.t ->
+  ?obs:Chase_obs.Obs.t ->
   Chase_logic.Tgd.t list ->
   Chase_logic.Atom.t list ->
   Engine.result
 (** A restricted-chase run on an explicit database. *)
 
-val check : ?budget:int -> ?limits:Limits.t -> Chase_logic.Tgd.t list -> Verdict.t
+val check :
+  ?budget:int ->
+  ?limits:Limits.t ->
+  ?obs:Chase_obs.Obs.t ->
+  Chase_logic.Tgd.t list ->
+  Verdict.t
 (** [limits] overrides the budget-derived defaults of the generic-instance
-    probe. *)
+    probe; [obs] flows into it. *)

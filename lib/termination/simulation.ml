@@ -30,14 +30,16 @@ let default_budget = 50_000
 (** [check ?standard ?budget ?limits ?watchdog ~variant rules] chases
     crit(Σ).  [limits] overrides the budget-derived defaults; [watchdog]
     streams progress snapshots of the simulation run. *)
-let check ?(standard = true) ?(budget = default_budget) ?limits ?watchdog
+let check ?(standard = true) ?(budget = default_budget) ?limits ?watchdog ?obs
     ~variant rules =
   let crit = Critical.of_rules ~standard rules in
   let limits =
     match limits with Some l -> l | None -> Limits.of_budget budget
   in
   let config = { Engine.variant; limits } in
-  let result = Engine.run ~config ?watchdog rules (Instance.to_list crit) in
+  let result =
+    Engine.run ~config ?obs ?watchdog rules (Instance.to_list crit)
+  in
   let verdict =
     match result.Engine.status with
     | Engine.Terminated ->

@@ -19,12 +19,14 @@ val check :
   ?budget:int ->
   ?limits:Limits.t ->
   ?watchdog:Watchdog.t ->
+  ?obs:Chase_obs.Obs.t ->
   variant:Variant.t ->
   Chase_logic.Tgd.t list ->
   outcome
 (** [limits] overrides the budget-derived defaults (adding e.g. a
     wall-clock deadline or a cancellation token); [watchdog] streams
-    progress snapshots of the simulation run. *)
+    progress snapshots of the simulation run; [obs] flows into the
+    simulation's {!Engine.run}. *)
 
 val presume :
   ?standard:bool -> ?budget:int -> variant:Variant.t -> Chase_logic.Tgd.t list -> bool

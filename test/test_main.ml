@@ -24,4 +24,5 @@ let () =
       ("lint", Test_lint.suite);
       ("reductions", Test_reductions.suite);
       ("model-theory", Test_model_theory.suite);
+      ("obs", Test_obs.suite);
     ]
