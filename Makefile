@@ -1,6 +1,6 @@
 # Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test check-naive smoke obs-smoke lint fmt fmt-ml check clean
+.PHONY: all build test check-naive smoke obs-smoke soak lint fmt fmt-ml check clean
 
 all: build
 
@@ -30,6 +30,17 @@ obs-smoke: build
 	  --metrics _build/obs_smoke.metrics.jsonl
 	dune exec bin/obs_check.exe -- --trace _build/obs_smoke.trace.json \
 	  --metrics _build/obs_smoke.metrics.jsonl
+
+# process-level chaos soak: SIGKILL loops against a real chased with
+# concurrent durable traffic, then boot recovery, byte-parity replay and
+# a graceful life whose metrics file must validate.  Wall-clock bounded;
+# CI runs SOAK_SECONDS=60.
+SOAK_SECONDS ?= 20
+soak: build
+	dune exec test/soak/soak.exe -- \
+	  --daemon _build/default/bin/chased.exe \
+	  --seconds $(SOAK_SECONDS) --dir _build/soak
+	dune exec bin/obs_check.exe -- --metrics _build/soak/metrics.jsonl
 
 # static diagnostics over the shipped corpus: errors or warnings fail
 lint: build

@@ -53,42 +53,9 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-(* [parse_program] with source locations kept: same error string for
-   EGDs, and the located statements feed the arity preflight and
-   [--lint]. *)
-let parse_located_program src =
-  match Parser.parse_located src with
-  | Error _ as e -> e
-  | Ok p -> (
-    match p.Parser.legds with
-    | (_, line) :: _ ->
-      Error
-        (Fmt.str
-           "line %d: unexpected EGD: use parse_program_full for programs \
-            with EGDs"
-           line)
-    | [] -> Ok p)
-
-(* The arity preflight ([E001]) guards every code path that builds the
-   joint schema (the critical instance, the engine indexes); with
-   [--lint] the whole static battery runs and errors are fatal. *)
-let preflight ~file ~lint (p : Parser.located_program) =
-  if lint then begin
-    let report = Lint.analyze (Lint.of_program p) in
-    List.iter
-      (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d)
-      report.Lint.diagnostics;
-    Lint.errors report = 0
-  end
-  else
-    match
-      Schema_check.check ~rules:p.Parser.lrules ~facts:p.Parser.lfacts ()
-    with
-    | [] -> true
-    | diags ->
-      List.iter (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d) diags;
-      false
-
+(* The whole run lives in {!Chase.Driver.chase}, shared byte-for-byte
+   with the service daemon; this executable only parses argv and reads
+   the file. *)
 let run file variant budget max_atoms timeout progress critical standard quiet
     naive journal snapshot_every journal_sync resume lint trace metrics
     profile =
@@ -97,109 +64,14 @@ let run file variant budget max_atoms timeout progress critical standard quiet
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
     1
-  | Ok src -> (
-    match parse_located_program src with
-    | Error msg ->
-      Fmt.epr "parse error: %s@." msg;
-      1
-    | Ok p when not (preflight ~file ~lint p) -> 2
-    | Ok p ->
-      let rules = List.map fst p.Parser.lrules
-      and facts = List.map fst p.Parser.lfacts in
-      let db =
-        if critical then Instance.to_list (Critical.of_rules ~standard rules)
-        else facts
-      in
-      if db = [] then begin
-        Fmt.epr "no database: give facts in the file or pass --critical@.";
-        1
-      end
-      else begin
-        match Obs.files ?trace ?metrics ~force:profile () with
-        | Error msg ->
-          Fmt.epr "error: %s@." msg;
-          1
-        | Ok (obs, obs_close) -> (
-          let limits =
-            Limits.make ~max_triggers:budget ~max_atoms ?timeout ()
-          in
-          let config = { Engine.variant; limits } in
-          let watchdog =
-            if progress then
-              Some
-                (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
-                     Obs.series obs "watchdog" (Watchdog.fields s);
-                     Obs.flush obs;
-                     Fmt.epr "%a@." Watchdog.pp_snapshot s;
-                     (* explicit channel flush: a kill mid-interval must
-                        not eat buffered progress lines *)
-                     flush stderr))
-            else None
-          in
-          (* Durability wiring: a fresh journal, a resumed one, or none. *)
-          let durability =
-            match resume with
-            | Some jpath -> (
-              let snapshot = Session.snapshot_path jpath in
-              match
-                Recovery.recover ~snapshot ~journal:jpath ~variant ~rules ~db
-                  ()
-              with
-              | Error msg -> Error msg
-              | Ok report ->
-                (match report.Recovery.torn with
-                | Some (off, why) ->
-                  Fmt.epr "journal: truncated torn tail at byte %d (%s)@." off
-                    why
-                | None -> ());
-                Fmt.epr "resuming at step %d (%d journal records%s)@."
-                  report.Recovery.resume.Engine.next_step
-                  (List.length report.Recovery.history)
-                  (if report.Recovery.snapshot_step > 0 then
-                     Fmt.str ", snapshot through step %d"
-                       report.Recovery.snapshot_step
-                   else "");
-                let s =
-                  Session.continue_ ~obs ~journal:jpath ~snapshot
-                    ~snapshot_every ~fsync_every:journal_sync report
-                in
-                Ok (Some s, Some report.Recovery.resume))
-            | None -> (
-              match journal with
-              | Some jpath ->
-                let snapshot = Session.snapshot_path jpath in
-                Ok
-                  ( Some
-                      (Session.start ~obs ~journal:jpath ~snapshot
-                         ~snapshot_every ~fsync_every:journal_sync ~variant
-                         ~rules ~db ()),
-                    None )
-              | None -> Ok (None, None))
-          in
-          match durability with
-          | Error msg ->
-            obs_close ();
-            Fmt.epr "cannot resume: %s@." msg;
-            2
-          | Ok (session, resume) -> (
-            let on_trigger = Option.map Session.on_trigger session in
-            let result =
-              Engine.run ~config ~obs ?resume ?on_trigger ?watchdog rules db
-            in
-            Option.iter Session.finish session;
-            obs_close ();
-            if not quiet then
-              List.iter
-                (fun a -> Fmt.pr "%a.@." Atom.pp a)
-                (Instance.to_sorted_list result.Engine.instance);
-            Fmt.pr "%a@." Engine.pp_result result;
-            if profile then Fmt.pr "%a@." Profile.pp (Obs.metrics obs);
-            match result.Engine.status with
-            | Engine.Terminated -> 0
-            | Engine.Exhausted reason ->
-              Fmt.epr "%a@." Limits.Exhaustion.pp reason;
-              2))
-      end)
+  | Ok src ->
+    let o =
+      Driver.chase_opts ~variant ~budget ~max_atoms ?timeout ~progress
+        ~critical ~standard ~quiet ?journal ~snapshot_every ~journal_sync
+        ?resume ~lint ?trace ?metrics ~profile ()
+    in
+    Driver.chase o ~file ~src ~out:Format.std_formatter
+      ~err:Format.err_formatter
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"

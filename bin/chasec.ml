@@ -1,0 +1,144 @@
+(** [chasec] — client for the chase daemon.
+
+    Sends one request to a running [chased] and relays the result: the
+    response's stdout/stderr are printed verbatim (byte-identical to
+    what the [chase] / [chase-termination] / [chase-lint] binaries
+    would print — the daemon runs the same {!Chase.Driver}) and the
+    op's exit code is this process's exit code.
+
+    Transport failures follow the retry contract of {!Chase.Client}:
+    connection errors, torn responses and [overloaded] answers retry
+    with exponential backoff + jitter; exhausted retries exit 75
+    (EX_TEMPFAIL), a definitive server rejection exits 70
+    (EX_SOFTWARE). *)
+
+open Cmdliner
+open Chase
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+let run socket op_s file variant budget timeout quiet durable standard query
+    attempts seed verbose =
+  match Proto.op_of_string op_s with
+  | None ->
+    Fmt.epr "chasec: unknown op %S@." op_s;
+    64 (* EX_USAGE *)
+  | Some op -> (
+    let program =
+      match (file, op) with
+      | Some f, _ -> read_file f
+      | None, (Proto.Ping | Proto.Stats | Proto.Shutdown) -> Ok ""
+      | None, _ -> Error "an input FILE is required for this op"
+    in
+    match program with
+    | Error msg ->
+      Fmt.epr "chasec: %s@." msg;
+      66 (* EX_NOINPUT *)
+    | Ok program -> (
+      let req =
+        Proto.request ?file ~program ?variant ?budget ?timeout_s:timeout
+          ~quiet ~durable ~standard ?query op
+      in
+      let on_retry ~attempt ~delay msg =
+        if verbose then
+          Fmt.epr "chasec: attempt %d failed (%s); retrying in %.3fs@."
+            (attempt + 1) msg delay
+      in
+      match Client.call_retry ~attempts ~seed ~on_retry ~socket req with
+      | Ok (Proto.Ok_response r) ->
+        print_string r.Proto.stdout;
+        prerr_string r.Proto.stderr;
+        flush stdout;
+        flush stderr;
+        if verbose && r.Proto.cached then Fmt.epr "chasec: (cached)@.";
+        r.Proto.exit_code
+      | Ok _ -> assert false (* call_retry only returns Ok_response *)
+      | Error (Client.Gave_up msg) ->
+        Fmt.epr "chasec: giving up: %s@." msg;
+        75 (* EX_TEMPFAIL *)
+      | Error (Client.Rejected resp) ->
+        Fmt.epr "chasec: %a@." Proto.pp_response resp;
+        70 (* EX_SOFTWARE *)))
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "s"; "socket" ] ~docv:"SOCKET"
+           ~doc:"Unix-domain socket of the daemon.")
+
+let op_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
+       ~doc:"Operation: ping, decide, chase, lint, query, stats or \
+             shutdown.")
+
+let file_arg =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE"
+       ~doc:"Input program/rule file (required for decide, chase, lint \
+             and query).")
+
+let variant_arg =
+  Arg.(value & opt (some string) None
+       & info [ "v"; "variant" ] ~docv:"VARIANT"
+           ~doc:"Chase variant: oblivious, semi-oblivious or restricted \
+                 (per-op default when absent).")
+
+let budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "b"; "budget" ] ~docv:"N"
+           ~doc:"Requested trigger budget (the server may grant less \
+                 under load).")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline (server default when absent).")
+
+let quiet_arg =
+  Arg.(value & flag
+       & info [ "q"; "quiet" ] ~doc:"chase: only print run statistics.")
+
+let durable_arg =
+  Arg.(value & flag
+       & info [ "durable" ]
+           ~doc:"chase: spool + journal the run server-side; once \
+                 acknowledged it survives daemon kills.")
+
+let standard_arg =
+  Arg.(value & opt bool true
+       & info [ "standard" ] ~docv:"BOOL"
+           ~doc:"decide/lint: standard databases (constants 0 and 1).")
+
+let query_arg =
+  Arg.(value & opt (some string) None
+       & info [ "query" ] ~docv:"RULE"
+           ~doc:"query op: one rule whose head is the answer atom, e.g. \
+                 'e(X,Y), e(Y,Z) -> ans(X,Z).'")
+
+let attempts_arg =
+  Arg.(value & opt int 8
+       & info [ "attempts" ] ~docv:"N" ~doc:"Retry attempts before giving \
+                                             up.")
+
+let seed_arg =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"N" ~doc:"Jitter seed (reproducible \
+                                         backoff).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Report retries on stderr.")
+
+let cmd =
+  let doc = "send one request to a running chased" in
+  Cmd.v
+    (Cmd.info "chasec" ~doc)
+    Cmdliner.Term.(
+      const run $ socket_arg $ op_arg $ file_arg $ variant_arg $ budget_arg
+      $ timeout_arg $ quiet_arg $ durable_arg $ standard_arg $ query_arg
+      $ attempts_arg $ seed_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

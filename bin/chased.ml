@@ -1,0 +1,156 @@
+(** [chased] — the chase daemon.
+
+    Serves decide / chase / lint / query requests on a Unix-domain
+    socket, speaking the length-prefixed JSON frame protocol of
+    {!Chase.Proto} (see the README's "Running the daemon").  Requests
+    from concurrent clients are admission-controlled (bounded queue;
+    overload is answered with a structured [overloaded] response
+    carrying [retry_after_s], never silently dropped), budgeted from a
+    shared trigger-credit pool, deduplicated by idempotency key
+    (single-flight + verdict cache), and — with [--spool DIR] —
+    durable: an acknowledged [durable] chase survives any kill and is
+    completed by boot recovery on the next start.
+
+    SIGINT/SIGTERM stop gracefully: drain the queue, answer everything
+    accepted, write final metric summaries.
+
+    The [--chaos-*] flags arm deliberate service faults (accept-loop
+    death, mid-response connection drops, slow chunked responses) for
+    the crash-drill harness; they have no place in production. *)
+
+open Cmdliner
+open Chase
+
+let pair_conv name =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> Ok (a, b)
+      | _ -> Error (`Msg (Fmt.str "%s expects K:N, got %S" name s)))
+    | _ -> Error (`Msg (Fmt.str "%s expects K:N, got %S" name s))
+  in
+  Arg.conv (parse, fun fm (a, b) -> Fmt.pf fm "%d:%d" a b)
+
+let run socket workers queue_cap pool_total per_request_cap min_grant
+    cache_capacity spool_dir default_timeout read_timeout metrics
+    chaos_kill_accept chaos_drop chaos_slow =
+  let faults =
+    (match chaos_kill_accept with
+    | Some n -> [ Faults.Kill_accept_after n ]
+    | None -> [])
+    @ List.map (fun (k, b) -> Faults.Drop_response_after (k, b)) chaos_drop
+    @ List.map (fun (k, c) -> Faults.Slow_response (k, c)) chaos_slow
+  in
+  let cfg =
+    Server.config ~workers ~queue_cap ~pool_total ~per_request_cap ~min_grant
+      ~cache_capacity ?spool_dir ~default_timeout ~read_timeout ?metrics
+      ~faults socket
+  in
+  match Server.start cfg with
+  | exception Unix.Unix_error (e, _, arg) ->
+    Fmt.epr "chased: cannot listen on %s: %s %s@." socket
+      (Unix.error_message e) arg;
+    1
+  | server ->
+    let stop_once = ref false in
+    let graceful _ =
+      if not !stop_once then begin
+        stop_once := true;
+        (* stop from a fresh thread: signal handlers must not block *)
+        ignore (Thread.create (fun () -> Server.stop server) ())
+      end
+    in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful)
+     with Invalid_argument _ -> ());
+    Fmt.epr "chased: listening on %s@." socket;
+    Server.wait server;
+    0
+
+let socket_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
+       ~doc:"Unix-domain socket path to listen on.")
+
+let workers_arg =
+  Arg.(value & opt int 4
+       & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")
+
+let queue_cap_arg =
+  Arg.(value & opt int 16
+       & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission queue capacity; a full queue sheds with a \
+                 structured overloaded response.")
+
+let pool_total_arg =
+  Arg.(value & opt int 400_000
+       & info [ "pool" ] ~docv:"N"
+           ~doc:"Total trigger credits shared by all concurrent runs.")
+
+let per_request_cap_arg =
+  Arg.(value & opt int 100_000
+       & info [ "per-request" ] ~docv:"N"
+           ~doc:"Largest budget grant for a single request.")
+
+let min_grant_arg =
+  Arg.(value & opt int 1_000
+       & info [ "min-grant" ] ~docv:"N"
+           ~doc:"Smallest grant worth running with; below it the worker \
+                 waits for credits (backpressure).")
+
+let cache_capacity_arg =
+  Arg.(value & opt int 256
+       & info [ "cache" ] ~docv:"N" ~doc:"Retained results (FIFO eviction).")
+
+let spool_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spool" ] ~docv:"DIR"
+           ~doc:"Durable request spool: acknowledged durable requests \
+                 survive kills and are completed by boot recovery.")
+
+let default_timeout_arg =
+  Arg.(value & opt float 30.
+       & info [ "default-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline when the request carries none.")
+
+let read_timeout_arg =
+  Arg.(value & opt float 10.
+       & info [ "read-timeout" ] ~docv:"SECONDS"
+           ~doc:"Mid-frame stall bound per connection (slow-loris \
+                 defence).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write JSONL metric events and final summaries to $(docv).")
+
+let chaos_kill_accept_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chaos-kill-accept" ] ~docv:"N"
+           ~doc:"Chaos: the accept loop dies after the $(docv)-th \
+                 connection.")
+
+let chaos_drop_arg =
+  Arg.(value & opt_all (pair_conv "--chaos-drop-response") []
+       & info [ "chaos-drop-response" ] ~docv:"K:BYTES"
+           ~doc:"Chaos: cut the $(i,K)-th response after $(i,BYTES) bytes \
+                 and drop the connection (repeatable).")
+
+let chaos_slow_arg =
+  Arg.(value & opt_all (pair_conv "--chaos-slow-response") []
+       & info [ "chaos-slow-response" ] ~docv:"K:CHUNK"
+           ~doc:"Chaos: dribble the $(i,K)-th response out $(i,CHUNK) \
+                 bytes at a time (repeatable).")
+
+let cmd =
+  let doc = "serve chase decide/chase/lint/query requests on a socket" in
+  Cmd.v
+    (Cmd.info "chased" ~doc)
+    Cmdliner.Term.(
+      const run $ socket_arg $ workers_arg $ queue_cap_arg $ pool_total_arg
+      $ per_request_cap_arg $ min_grant_arg $ cache_capacity_arg $ spool_arg
+      $ default_timeout_arg $ read_timeout_arg $ metrics_arg
+      $ chaos_kill_accept_arg $ chaos_drop_arg $ chaos_slow_arg)
+
+let () = exit (Cmd.eval' cmd)

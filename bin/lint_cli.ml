@@ -36,40 +36,29 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-type format =
-  | Human
-  | Json_format
-
 let format_conv =
   let parse = function
-    | "human" -> Ok Human
-    | "json" -> Ok Json_format
+    | "human" -> Ok Driver.Human
+    | "json" -> Ok Driver.Json_format
     | s -> Error (`Msg (Fmt.str "unknown format %S (human or json)" s))
   in
   let print fm = function
-    | Human -> Fmt.string fm "human"
-    | Json_format -> Fmt.string fm "json"
+    | Driver.Human -> Fmt.string fm "human"
+    | Driver.Json_format -> Fmt.string fm "json"
   in
   Arg.conv (parse, print)
 
+(* The lint run lives in {!Chase.Driver.lint_one}, shared byte-for-byte
+   with the service daemon. *)
 let lint_file ~format ~explain ~standard ~budget file =
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
     2
-  | Ok src -> (
-    match Parser.parse_located src with
-    | Error msg ->
-      Fmt.epr "%s: parse error: %s@." file msg;
-      2
-    | Ok program ->
-      let report =
-        Lint.analyze ~explain ~standard ~budget (Lint.of_program program)
-      in
-      (match format with
-      | Human -> Fmt.pr "%a" (Lint.pp_human ~file) report
-      | Json_format -> Fmt.pr "%s@." (Json.to_string (Lint.to_json ~file report)));
-      Lint.exit_code report)
+  | Ok src ->
+    let o = Driver.lint_opts ~format ~explain ~budget ~standard () in
+    Driver.lint_one o ~file ~src ~out:Format.std_formatter
+      ~err:Format.err_formatter
 
 let run files format explain budget standard naive =
   if naive then Hom.set_matcher Hom.Naive;

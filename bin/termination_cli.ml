@@ -43,44 +43,9 @@ let variant_conv =
   in
   Arg.conv (parse, Variant.pp)
 
-(* [parse_rules] with source locations kept: same error strings for
-   statements of the wrong kind, and the located rules feed the arity
-   preflight and [--lint]. *)
-let parse_located_rules src =
-  match Parser.parse_located src with
-  | Error _ as e -> e
-  | Ok p -> (
-    match p.Parser.legds with
-    | (_, line) :: _ ->
-      Error
-        (Fmt.str
-           "line %d: unexpected EGD: use parse_program_full for programs \
-            with EGDs"
-           line)
-    | [] -> (
-      match p.Parser.lfacts with
-      | (_, line) :: _ ->
-        Error (Fmt.str "line %d: unexpected fact in a rule file" line)
-      | [] -> Ok p.Parser.lrules))
-
-(* The arity preflight ([E001]) guards every code path that builds the
-   joint schema; with [--lint] the whole static battery runs and errors
-   are fatal. *)
-let preflight ~file ~lint lrules =
-  if lint then begin
-    let report = Lint.analyze { Lint.rules = lrules; egds = []; facts = [] } in
-    List.iter
-      (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d)
-      report.Lint.diagnostics;
-    Lint.errors report = 0
-  end
-  else
-    match Schema_check.check ~rules:lrules ~facts:[] () with
-    | [] -> true
-    | diags ->
-      List.iter (fun d -> Fmt.epr "%a@." (Diagnostic.pp ~file) d) diags;
-      false
-
+(* The whole run lives in {!Chase.Driver.decide}, shared byte-for-byte
+   with the service daemon; this executable only parses argv and reads
+   the file. *)
 let run file variant budget standard timeout progress naive report lint trace
     metrics profile =
   if naive then Hom.set_matcher Hom.Naive;
@@ -88,57 +53,13 @@ let run file variant budget standard timeout progress naive report lint trace
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
     1
-  | Ok src -> (
-    match parse_located_rules src with
-    | Error msg ->
-      Fmt.epr "parse error: %s@." msg;
-      1
-    | Ok lrules when not (preflight ~file ~lint lrules) -> 2
-    | Ok lrules ->
-      let rules = List.map fst lrules in
-      if report then begin
-        Fmt.pr "%a@." Report.pp (Report.build ~budget rules);
-        0
-      end
-      else begin
-        match Obs.files ?trace ?metrics ~force:profile () with
-        | Error msg ->
-          Fmt.epr "error: %s@." msg;
-          1
-        | Ok (obs, obs_close) -> (
-          Fmt.pr "class: %a@." Classify.pp_cls (Classify.classify rules);
-          let limits =
-            match timeout with
-            | None -> None
-            | Some t ->
-              Some
-                (Limits.make ~max_triggers:budget ~max_atoms:(4 * budget)
-                   ~timeout:t ())
-          in
-          let watchdog =
-            if progress then
-              Some
-                (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
-                     Obs.series obs "watchdog" (Watchdog.fields s);
-                     Obs.flush obs;
-                     Fmt.epr "%a@." Watchdog.pp_snapshot s;
-                     (* explicit channel flush: a kill mid-interval must
-                        not eat buffered progress lines *)
-                     flush stderr))
-            else None
-          in
-          let v =
-            Decide.check ~standard ~budget ?limits ?watchdog ~obs ~variant
-              rules
-          in
-          obs_close ();
-          Fmt.pr "%a@." Verdict.pp v;
-          if profile then Fmt.pr "%a@." Profile.pp (Obs.metrics obs);
-          match Verdict.answer v with
-          | Verdict.Terminates -> 0
-          | Verdict.Diverges -> 2
-          | Verdict.Unknown -> 3)
-      end)
+  | Ok src ->
+    let o =
+      Driver.decide_opts ~variant ~budget ~standard ?timeout ~progress ~report
+        ~lint ?trace ?metrics ~profile ()
+    in
+    Driver.decide o ~file ~src ~out:Format.std_formatter
+      ~err:Format.err_formatter
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"

@@ -1,0 +1,66 @@
+The chase daemon serves decide/chase/lint/query over a Unix-domain
+socket; the client relays byte-identical output and the op's exit code.
+
+  $ cat > prog.chase <<'EOF'
+  > emp(N, D) -> dept(D, M).
+  > dept(D, M) -> works(M, D).
+  > emp(ada, cs).
+  > EOF
+
+  $ ../bin/chased.exe ./d.sock --spool spool --metrics m.jsonl 2> daemon.log &
+  $ DPID=$!
+  $ for i in $(seq 1 100); do [ -S ./d.sock ] && break; sleep 0.1; done
+
+A ping proves liveness.
+
+  $ ../bin/chasec.exe -s ./d.sock ping
+  pong
+
+The daemon's chase bytes are identical to a single-shot chase_cli run
+with the same grant (the daemon derives --max-atoms as 4x the budget).
+
+  $ ../bin/chase_cli.exe prog.chase -b 50000 --max-atoms 200000 > one.out 2> one.err; echo "exit $?"
+  exit 0
+  $ ../bin/chasec.exe -s ./d.sock chase prog.chase -b 50000 > two.out 2> two.err; echo "exit $?"
+  exit 0
+  $ cmp one.out two.out && cmp one.err two.err && echo identical
+  identical
+
+A repeat of the same request is served from the cache — the client can
+prove it — and the bytes still match.
+
+  $ ../bin/chasec.exe -s ./d.sock chase prog.chase -b 50000 --verbose > three.out 2> three.err
+  $ grep -c cached three.err
+  1
+  $ cmp one.out three.out && echo identical
+  identical
+
+A durable chase is acknowledged through the spool.
+
+  $ ../bin/chasec.exe -s ./d.sock chase prog.chase -b 50000 -q --durable
+  oblivious chase: terminated
+  facts: 3 (created 2)
+  triggers: 2 applied
+  nulls: 1
+  max depth: 2
+
+The query op answers conjunctive queries against the universal model
+(certain answers only: rows with labelled nulls are not certain).
+
+  $ ../bin/chasec.exe -s ./d.sock query prog.chase --query 'emp(N, D), dept(D, M) -> ans(N, D).'
+  ans(ada, cs).
+
+Unknown ops are a usage error, client-side.
+
+  $ ../bin/chasec.exe -s ./d.sock frobnicate prog.chase
+  chasec: unknown op "frobnicate"
+  [64]
+
+Shutdown is graceful: in-flight work drains, then the daemon exits and
+its metrics file validates.
+
+  $ ../bin/chasec.exe -s ./d.sock shutdown
+  bye
+  $ wait $DPID
+  $ ../bin/obs_check.exe --metrics m.jsonl
+  metrics OK: m.jsonl (12 lines)

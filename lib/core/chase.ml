@@ -17,7 +17,9 @@
     - static diagnostics (Σ-lint): {!Diagnostic}, {!Schema_check},
       {!Rule_lint}, {!Graph_lint}, {!Explain}, {!Lint}, {!Json};
     - reductions: {!Looping}, {!Entailment};
-    - workloads: {!Families}, {!Random_tgds}.
+    - workloads: {!Families}, {!Random_tgds};
+    - service: {!Proto}, {!Driver}, {!Pool}, {!Cache}, {!Admission},
+      {!Spool}, {!Server}, {!Client}.
 
     Quick start:
 
@@ -105,3 +107,13 @@ module Entailment = Chase_reductions.Entailment
 (* Workloads *)
 module Families = Chase_generators.Families
 module Random_tgds = Chase_generators.Random_tgds
+
+(* Service: the daemon, its client, and their shared run driver *)
+module Proto = Chase_service.Proto
+module Driver = Chase_service.Driver
+module Pool = Chase_service.Pool
+module Cache = Chase_service.Cache
+module Admission = Chase_service.Admission
+module Spool = Chase_service.Spool
+module Server = Chase_service.Server
+module Client = Chase_service.Client

@@ -38,10 +38,67 @@ type write_fault =
       (** [Torn_write (k, bytes)]: write only the first [bytes] bytes of
           record [k]'s frame, then die — a torn append, leaving a
           corrupt tail *)
+  | Fsync_fail of int
+      (** the [k]-th [fsync] through the writer fails fatally — a dying
+          disk rather than a dying process *)
 
 let pp_write_fault fm = function
   | Kill_after_record k -> Fmt.pf fm "kill-after-record %d" k
   | Torn_write (k, b) -> Fmt.pf fm "torn-write(%d, %d bytes)" k b
+  | Fsync_fail k -> Fmt.pf fm "fsync-fail %d" k
+
+(* ------------------------------------------------------------------ *)
+(* Per-path write-fault arming                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Independent fault arming per journal path, so a chaos harness can
+    target one session among many: writers consult the registry for
+    their own path at open time and combine what they find with any
+    explicitly passed faults.  [Kill_after_record] and [Torn_write]
+    compose freely — each stream carries a {e list} of armed faults. *)
+module Writes = struct
+  let mu = Mutex.create ()
+  let tbl : (string, write_fault list) Hashtbl.t = Hashtbl.create 7
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+  let arm path faults =
+    locked (fun () -> Hashtbl.replace tbl path faults)
+
+  let disarm path = locked (fun () -> Hashtbl.remove tbl path)
+
+  let armed_for path =
+    locked (fun () -> Option.value ~default:[] (Hashtbl.find_opt tbl path))
+
+  let reset () = locked (fun () -> Hashtbl.reset tbl)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Service-level faults                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Faults of the request/response plane of the chase service — the
+    vocabulary [Chase_service.Server] consumes.  Like the write faults,
+    they act through the real code paths: the accept loop really exits,
+    the response socket is really closed mid-write. *)
+type service_fault =
+  | Kill_accept_after of int
+      (** the accept loop exits after the [n]-th accepted connection *)
+  | Drop_response_after of int * int
+      (** [Drop_response_after (k, bytes)]: the [k]-th response written
+          by the server is cut after [bytes] bytes and the connection
+          closed — a mid-response drop *)
+  | Slow_response of int * int
+      (** [Slow_response (k, chunk)]: the [k]-th response is written
+          [chunk] bytes at a time, yielding between chunks — slow-loris
+          partial writes *)
+
+let pp_service_fault fm = function
+  | Kill_accept_after n -> Fmt.pf fm "kill-accept-after %d" n
+  | Drop_response_after (k, b) -> Fmt.pf fm "drop-response(%d, %d bytes)" k b
+  | Slow_response (k, c) -> Fmt.pf fm "slow-response(%d, %d-byte chunks)" k c
 
 let pp_injection fm = function
   | Expire_deadline -> Fmt.string fm "expire-deadline"

@@ -25,8 +25,41 @@ type write_fault =
   | Torn_write of int * int
       (** [Torn_write (k, bytes)]: write only the first [bytes] bytes of
           record [k]'s frame, then die — a torn append *)
+  | Fsync_fail of int
+      (** the [k]-th [fsync] through the writer fails fatally — a dying
+          disk rather than a dying process *)
 
 val pp_write_fault : Format.formatter -> write_fault -> unit
+
+(** Independent write-fault arming per journal path: writers look up
+    their own path at open time and combine the armed faults with any
+    passed explicitly, so a chaos harness can target one session among
+    many — and [Kill_after_record] + [Torn_write] compose on one
+    stream.  All operations are thread-safe. *)
+module Writes : sig
+  val arm : string -> write_fault list -> unit
+  (** Replace the faults armed for a path. *)
+
+  val disarm : string -> unit
+  val armed_for : string -> write_fault list
+  val reset : unit -> unit
+  (** Disarm every path (test teardown). *)
+end
+
+(** Faults of the request/response plane of the chase service (consumed
+    by [Chase_service.Server]): the accept loop really exits, the
+    response socket is really closed or throttled mid-write. *)
+type service_fault =
+  | Kill_accept_after of int
+      (** the accept loop exits after the [n]-th accepted connection *)
+  | Drop_response_after of int * int
+      (** the [k]-th response is cut after [bytes] bytes and the
+          connection closed — a mid-response drop *)
+  | Slow_response of int * int
+      (** the [k]-th response is written [chunk] bytes at a time,
+          yielding between chunks — slow-loris partial writes *)
+
+val pp_service_fault : Format.formatter -> service_fault -> unit
 
 type t
 

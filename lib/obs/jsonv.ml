@@ -84,9 +84,13 @@ let to_string v =
 
 exception Bad of string
 
-let max_depth = 512
+let default_max_depth = 512
 
-let of_string s =
+(* Duplicate object keys are deliberately preserved in [Obj] (source
+   order); [member] resolves to the first binding.  The depth cap is the
+   defense against adversarial nesting — the parser is recursive, so an
+   unbounded [[[[… input would otherwise exhaust the stack. *)
+let of_string ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in

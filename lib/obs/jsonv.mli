@@ -16,12 +16,24 @@ val to_string : t -> string
 
 val to_buffer : Buffer.t -> t -> unit
 
-val of_string : string -> (t, string) result
+val default_max_depth : int
+(** The default nesting-depth cap, 512. *)
+
+val of_string : ?max_depth:int -> string -> (t, string) result
 (** Strict parser: exactly one value, no trailing bytes, nesting depth
-    capped.  Never raises. *)
+    capped at [max_depth] (default {!default_max_depth}; adversarial
+    inputs like [\[\[\[\[…] fail with a depth error instead of
+    overflowing the stack).  Never raises.
+
+    Duplicate object keys are {e preserved}: every [(key, value)] pair
+    appears in [Obj], in source order, and {!member} returns the
+    {e first} binding — RFC 8259 leaves the behavior undefined, so
+    consumers that care must inspect the full pair list. *)
 
 val member : string -> t -> t option
-(** [member k v] is the value of field [k] when [v] is an object. *)
+(** [member k v] is the value of field [k] when [v] is an object.  When
+    the object carries duplicate keys, the first binding wins (see
+    {!of_string}). *)
 
 val to_string_opt : t -> string option
 val to_float_opt : t -> float option

@@ -117,7 +117,8 @@ type writer = {
   fsync_every : int;  (** records between [fsync]s; 0 = only on close *)
   mutable unsynced : int;
   mutable appended : int;  (** records appended through this writer *)
-  fault : Chase_engine.Faults.write_fault option;
+  mutable fsyncs : int;  (** [fsync]s performed through this writer *)
+  faults : Chase_engine.Faults.write_fault list;
   obs : Obs.t;  (** append/fsync latency telemetry *)
 }
 
@@ -125,8 +126,21 @@ let fsync_oc oc =
   flush oc;
   try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
 
-(* [fsync] through the writer: same call, with the latency observed. *)
+let crash w msg =
+  fsync_oc w.oc;
+  close_out_noerr w.oc;
+  raise (Chase_engine.Faults.Crash msg)
+
+(* [fsync] through the writer: same call, with the latency observed and
+   an armed [Fsync_fail] honoured (the k-th sync dies fatally). *)
 let fsync_w w =
+  w.fsyncs <- w.fsyncs + 1;
+  if
+    List.exists
+      (function
+        | Chase_engine.Faults.Fsync_fail k -> w.fsyncs = k | _ -> false)
+      w.faults
+  then crash w (Fmt.str "fsync %d failed" w.fsyncs);
   if Obs.enabled w.obs then begin
     let t0 = Obs.now w.obs in
     fsync_oc w.oc;
@@ -135,37 +149,72 @@ let fsync_w w =
   end
   else fsync_oc w.oc
 
-let create ?(fsync_every = 64) ?fault ?(obs = Obs.disabled) path h =
+(* Explicitly passed faults compose with whatever the per-path registry
+   has armed for this file — the hook that lets a chaos harness target
+   one session among many without threading options through. *)
+let armed_faults ?fault ?(faults = []) path =
+  Option.to_list fault @ faults @ Chase_engine.Faults.Writes.armed_for path
+
+let create ?(fsync_every = 64) ?fault ?faults ?(obs = Obs.disabled) path h =
   let oc = open_out_bin path in
   output_string oc magic;
   output_string oc (frame tag_header (encode_header h));
   fsync_oc oc;
-  { oc; fsync_every; unsynced = 0; appended = 0; fault; obs }
+  {
+    oc;
+    fsync_every;
+    unsynced = 0;
+    appended = 0;
+    fsyncs = 0;
+    faults = armed_faults ?fault ?faults path;
+    obs;
+  }
 
-let open_append ?(fsync_every = 64) ?fault ?(obs = Obs.disabled) path =
+let open_append ?(fsync_every = 64) ?fault ?faults ?(obs = Obs.disabled) path =
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
   in
-  { oc; fsync_every; unsynced = 0; appended = 0; fault; obs }
-
-let crash w msg =
-  fsync_oc w.oc;
-  close_out_noerr w.oc;
-  raise (Chase_engine.Faults.Crash msg)
+  {
+    oc;
+    fsync_every;
+    unsynced = 0;
+    appended = 0;
+    fsyncs = 0;
+    faults = armed_faults ?fault ?faults path;
+    obs;
+  }
 
 let append w sr =
   let tracked = Obs.enabled w.obs in
   let t0 = if tracked then Obs.now w.obs else 0. in
   w.appended <- w.appended + 1;
   let fr = frame tag_step (Codec.encode_step sr) in
-  (match w.fault with
-  | Some (Chase_engine.Faults.Kill_after_record k) when w.appended = k ->
-    output_string w.oc fr;
-    crash w (Fmt.str "killed after journal record %d" k)
-  | Some (Chase_engine.Faults.Torn_write (k, bytes)) when w.appended = k ->
+  (* A torn write at this record beats a kill at this record: both can
+     be armed on one stream, and the torn partial frame is the stronger
+     (corrupting) injection. *)
+  let torn =
+    List.find_map
+      (function
+        | Chase_engine.Faults.Torn_write (k, bytes) when w.appended = k ->
+          Some bytes
+        | _ -> None)
+      w.faults
+  and killed =
+    List.exists
+      (function
+        | Chase_engine.Faults.Kill_after_record k -> w.appended = k
+        | _ -> false)
+      w.faults
+  in
+  (match torn with
+  | Some bytes ->
     output_string w.oc (String.sub fr 0 (min bytes (String.length fr)));
-    crash w (Fmt.str "torn write at journal record %d (%d bytes)" k bytes)
-  | _ -> output_string w.oc fr);
+    crash w (Fmt.str "torn write at journal record %d (%d bytes)" w.appended
+               bytes)
+  | None ->
+    output_string w.oc fr;
+    if killed then
+      crash w (Fmt.str "killed after journal record %d" w.appended));
   flush w.oc;
   w.unsynced <- w.unsynced + 1;
   if w.fsync_every > 0 && w.unsynced >= w.fsync_every then begin

@@ -43,6 +43,7 @@ type writer
 val create :
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?faults:Chase_engine.Faults.write_fault list ->
   ?obs:Chase_obs.Obs.t ->
   string ->
   header ->
@@ -50,12 +51,16 @@ val create :
 (** Truncate/create the file and write magic + header.  [fsync_every] is
     the number of appends between [fsync]s (default 64; 0 = only on
     {!sync}/{!close}); every append is flushed to the OS regardless.
-    [obs] records append/fsync latency histograms ([journal.append_s],
+    [fault]/[faults] arm simulated write faults; they compose with any
+    faults armed for this path in {!Chase_engine.Faults.Writes}, so a
+    harness can target one journal among many by path alone.  [obs]
+    records append/fsync latency histograms ([journal.append_s],
     [journal.fsync_s]) and record/byte counters. *)
 
 val open_append :
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?faults:Chase_engine.Faults.write_fault list ->
   ?obs:Chase_obs.Obs.t ->
   string ->
   writer

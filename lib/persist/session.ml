@@ -24,9 +24,11 @@ type t = {
 let snapshot_path journal = journal ^ ".snap"
 
 let start ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64) ?fault
-    ?(obs = Chase_obs.Obs.disabled) ~variant ~rules ~db () =
+    ?faults ?(obs = Chase_obs.Obs.disabled) ~variant ~rules ~db () =
   let header = Journal.header_of ~variant ~rules ~db in
-  let writer = Journal.create ~fsync_every ?fault ~obs journal header in
+  let writer =
+    Journal.create ~fsync_every ?fault ?faults ~obs journal header
+  in
   {
     writer;
     header;
@@ -39,8 +41,8 @@ let start ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64) ?fault
   }
 
 let continue_ ~journal ?snapshot ?(snapshot_every = 0) ?(fsync_every = 64)
-    ?fault ?(obs = Chase_obs.Obs.disabled) (report : Recovery.report) =
-  let writer = Journal.open_append ~fsync_every ?fault ~obs journal in
+    ?fault ?faults ?(obs = Chase_obs.Obs.disabled) (report : Recovery.report) =
+  let writer = Journal.open_append ~fsync_every ?fault ?faults ~obs journal in
   {
     writer;
     header = report.Recovery.header;

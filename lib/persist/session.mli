@@ -16,6 +16,7 @@ val start :
   ?snapshot_every:int ->
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?faults:Chase_engine.Faults.write_fault list ->
   ?obs:Chase_obs.Obs.t ->
   variant:Chase_engine.Variant.t ->
   rules:Tgd.t list ->
@@ -33,6 +34,7 @@ val continue_ :
   ?snapshot_every:int ->
   ?fsync_every:int ->
   ?fault:Chase_engine.Faults.write_fault ->
+  ?faults:Chase_engine.Faults.write_fault list ->
   ?obs:Chase_obs.Obs.t ->
   Recovery.report ->
   t

@@ -1,0 +1,27 @@
+(** Bounded-queue admission in front of a fixed worker pool, with
+    load-shedding: a full queue answers [`Shed retry_after] (an EWMA
+    estimate of when capacity returns) — never a silent drop. *)
+
+type t
+
+val create : queue_cap:int -> workers:int -> unit -> t
+
+val submit :
+  t -> run:(unit -> unit) -> abandon:(unit -> unit) -> [ `Accepted | `Shed of float ]
+(** [run] executes in a worker thread.  [abandon] is invoked (once, not
+    in a worker) if the job is dropped by [stop ~drain:false] — use it
+    to resolve whatever the job owed (its cache flight, its client). *)
+
+val depth : t -> int
+(** Queued, not yet running. *)
+
+val busy : t -> int
+val shed_count : t -> int
+val completed : t -> int
+val ewma_service_s : t -> float
+
+val stop : ?drain:bool -> t -> unit
+(** Stop accepting and join the workers.  [drain] (default [true])
+    finishes the queue first; [~drain:false] abandons it (each job's
+    [abandon] fires).  Jobs already running always complete — cancel
+    their tokens first if they must die fast. *)

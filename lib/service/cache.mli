@@ -1,0 +1,34 @@
+(** Request-key → result cache with single-flight deduplication.
+    Identical concurrent requests run once: the first caller leads,
+    the rest join and block until the leader publishes.  Thread-safe;
+    see the implementation header for the leadership-promotion
+    protocol. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained results (FIFO eviction; default 256). *)
+
+type role =
+  | Hit of Proto.result  (** served from cache or a joined flight —
+                             [cached] is set *)
+  | Lead  (** the caller must run the work and {!publish} *)
+
+val take : t -> string -> role
+(** May block (joining an in-flight request).  A [Lead] caller is
+    {e obliged} to eventually {!publish} or {!abort} — leaking a
+    flight blocks all future takers of the key (until {!close}). *)
+
+val publish : t -> string -> Proto.result option -> retain:bool -> unit
+(** Resolve the flight: [Some r] hands [r] to the joiners ([retain]
+    additionally caches it); [None] aborts, promoting a joiner to
+    leader. *)
+
+val abort : t -> string -> unit
+(** [abort t k = publish t k None ~retain:false]. *)
+
+val close : t -> unit
+(** Abort every flight, wake every joiner (they receive leadership of
+    a dead cache and must handle the work themselves). *)
+
+val retained : t -> int

@@ -1,0 +1,124 @@
+(** Client side of the chase service: connect, call, and the retry
+    loop the protocol contract expects.
+
+    Retryable failures — connection refused (daemon restarting), EOF or
+    a torn frame mid-response (daemon killed, chaos-dropped
+    connection), and structured [overloaded] responses — are retried
+    with exponential backoff plus deterministic jitter; the server's
+    [retry_after_s] hint is honoured when it is larger.  [bad-request]
+    and [bad-frame] are {e not} retried: resending bytes the server
+    already rejected cannot help.
+
+    Safe because requests are idempotent by key: a retry of a request
+    whose response was lost deduplicates server-side (cache,
+    single-flight, durable spool). *)
+
+type t = { fd : Unix.file_descr; mutable stash : (string * Proto.response) list }
+
+let connect ~socket =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; stash = [] }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Fmt.str "cannot connect to %s: %s" socket (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  match Proto.write_frame t.fd (Proto.encode_request req) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Fmt.str "send failed: %s" (Unix.error_message e))
+
+(* Receive the response for [id]; responses for other in-flight ids on
+   this connection are stashed for their own callers. *)
+let recv t ~id =
+  let rec loop () =
+    match List.assoc_opt id t.stash with
+    | Some resp ->
+      t.stash <- List.remove_assoc id t.stash;
+      Ok resp
+    | None -> (
+      match Proto.read_frame t.fd with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Fmt.str "recv failed: %s" (Unix.error_message e))
+      | `Closed -> Error "connection closed before response"
+      | `Bad msg -> Error (Fmt.str "bad response frame: %s" msg)
+      | `Frame payload -> (
+        match Proto.decode_response payload with
+        | Error msg -> Error (Fmt.str "undecodable response: %s" msg)
+        | Ok (rid, resp) ->
+          if rid = id then Ok resp
+          else begin
+            t.stash <- t.stash @ [ (rid, resp) ];
+            loop ()
+          end))
+  in
+  loop ()
+
+let call t req =
+  match send t req with
+  | Error _ as e -> e
+  | Ok () -> recv t ~id:req.Proto.id
+
+(* Deterministic jitter: a tiny LCG seeded per retry loop, so tests
+   replay exactly and the fleet still spreads out. *)
+let jitter_state seed = ref (seed land 0x3FFFFFFF)
+
+let next_jitter st =
+  st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+  float_of_int (!st mod 1000) /. 1000.
+
+type failure =
+  | Rejected of Proto.response  (** definitive: bad-request / error *)
+  | Gave_up of string  (** attempts exhausted; last retryable error *)
+
+let pp_failure fm = function
+  | Rejected r -> Proto.pp_response fm r
+  | Gave_up msg -> Fmt.pf fm "gave up: %s" msg
+
+(* One-shot call with retries: fresh connection per attempt (the
+   previous one may be half-dead), exponential backoff with jitter,
+   the server's retry_after honoured as a floor. *)
+let call_retry ?(attempts = 8) ?(base_delay = 0.05) ?(max_delay = 2.0)
+    ?(seed = 0) ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) ~socket req =
+  let st = jitter_state (seed + Hashtbl.hash req.Proto.id) in
+  let rec go attempt last_err =
+    if attempt >= attempts then Error (Gave_up last_err)
+    else begin
+      let backoff () =
+        let d =
+          Float.min max_delay
+            (base_delay *. Float.pow 2.0 (float_of_int attempt))
+        in
+        d *. (0.5 +. next_jitter st)
+      in
+      let retry ?after msg =
+        let delay =
+          match after with Some a -> Float.max a (backoff ()) | None -> backoff ()
+        in
+        on_retry ~attempt ~delay msg;
+        Thread.delay delay;
+        go (attempt + 1) msg
+      in
+      match connect ~socket with
+      | Error msg -> retry msg
+      | Ok conn -> (
+        let r = call conn req in
+        close conn;
+        match r with
+        | Error msg -> retry msg
+        | Ok (Proto.Overloaded after) ->
+          retry ~after (Fmt.str "overloaded (retry after %.3fs)" after)
+        | Ok (Proto.Ok_response _ as resp) -> Ok resp
+        | Ok ((Proto.Bad_request _ | Proto.Server_error _ | Proto.Bad_frame _) as resp)
+          ->
+          (* bad-frame on a fresh, well-formed send means the server
+             considers the stream broken: not retryable either *)
+          Error (Rejected resp))
+    end
+  in
+  go 0 "no attempt made"

@@ -1,0 +1,38 @@
+(** Client side of the chase service.  {!call_retry} implements the
+    protocol's retry contract: connection failures, torn responses and
+    [overloaded] answers are retried with exponential backoff plus
+    deterministic jitter (honouring the server's [retry_after_s] as a
+    floor); [bad-request] / [error] / [bad-frame] are definitive.
+    Retries are safe because requests deduplicate server-side by
+    idempotency key. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+val close : t -> unit
+
+val call : t -> Proto.request -> (Proto.response, string) result
+(** Send one request and wait for its response on this connection
+    (responses to other pipelined ids are stashed, not lost).  The
+    error case means the connection is unusable. *)
+
+val send : t -> Proto.request -> (unit, string) result
+val recv : t -> id:string -> (Proto.response, string) result
+
+type failure =
+  | Rejected of Proto.response  (** definitive server answer *)
+  | Gave_up of string  (** attempts exhausted; last retryable error *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val call_retry :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?seed:int ->
+  ?on_retry:(attempt:int -> delay:float -> string -> unit) ->
+  socket:string ->
+  Proto.request ->
+  (Proto.response, failure) result
+(** Fresh connection per attempt.  [Ok] is always an
+    [Proto.Ok_response].  [seed] makes the jitter reproducible. *)

@@ -1,0 +1,28 @@
+(** The server-wide budget pool: a pot of trigger credits shared by all
+    workers.  Grants shrink under load (never below [min_grant]), then
+    block until credits return or the deadline passes — the service's
+    backpressure.  Thread-safe. *)
+
+type t
+
+val create : ?per_request_cap:int -> ?min_grant:int -> total:int -> unit -> t
+(** [per_request_cap] bounds a single grant (default: unbounded);
+    [min_grant] is the smallest grant worth running with (default 1) —
+    below it, {!acquire} waits instead of granting a sliver. *)
+
+val acquire : t -> want:int -> ?deadline:float -> unit -> int option
+(** [acquire t ~want ?deadline ()] blocks until at least
+    [min min_grant want] credits are free, then grants
+    [min want per_request_cap available].  [None] once [deadline]
+    (absolute, {!Unix.gettimeofday} scale) passes or the pool closes. *)
+
+val try_acquire : t -> want:int -> int option
+(** Non-blocking {!acquire}. *)
+
+val release : t -> int -> unit
+(** Return a grant to the pot (clamped so accounting bugs cannot
+    inflate the pool). *)
+
+val available : t -> int
+val close : t -> unit
+(** Wake every waiter with [None]; subsequent acquires fail. *)

@@ -1,0 +1,311 @@
+(** The wire protocol of the chase service.
+
+    Frames are length-prefixed: an ASCII decimal byte count, a newline,
+    then exactly that many payload bytes.  The payload is one JSON
+    object ({!Chase_obs.Jsonv} both ways — the zero-dependency parser,
+    hardened with a nesting-depth cap, is the only JSON machinery the
+    daemon trusts).  The framing is deliberately trivial to speak from
+    any language — and deliberately trivial to corrupt from the chaos
+    harness.
+
+    Requests and responses both carry a client-chosen [id], so several
+    requests may be in flight on one connection; the server answers in
+    completion order. *)
+
+module Jsonv = Chase_obs.Jsonv
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_frame = 4 * 1024 * 1024
+
+(* Write in a loop: [Unix.write] may be short on sockets. *)
+let write_all fd bytes pos len =
+  let pos = ref pos and remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write fd bytes !pos !remaining in
+    pos := !pos + n;
+    remaining := !remaining - n
+  done
+
+let write_frame fd payload =
+  let header = Bytes.of_string (Printf.sprintf "%d\n" (String.length payload)) in
+  write_all fd header 0 (Bytes.length header);
+  write_all fd (Bytes.of_string payload) 0 (String.length payload)
+
+let frame_string payload =
+  Printf.sprintf "%d\n%s" (String.length payload) payload
+
+(* The length line is at most 20 bytes of digits; anything longer, any
+   non-digit, or a declared length beyond [max_len] is a bad frame —
+   the stream is desynchronized and the connection must be dropped. *)
+let read_frame ?(max_len = default_max_frame) fd =
+  let one = Bytes.create 1 in
+  let rec read_len acc digits =
+    match Unix.read fd one 0 1 with
+    | 0 -> if digits = 0 then `Closed else `Bad "eof inside frame header"
+    | _ -> (
+      match Bytes.get one 0 with
+      | '\n' ->
+        if digits = 0 then `Bad "empty frame header" else `Len acc
+      | '0' .. '9' when digits < 20 ->
+        let d = Char.code (Bytes.get one 0) - Char.code '0' in
+        if acc > (max_int - d) / 10 then `Bad "frame length overflows"
+        else read_len ((acc * 10) + d) (digits + 1)
+      | _ -> `Bad "non-numeric frame header")
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      `Bad "read timeout inside frame header"
+    | exception Unix.Unix_error ((ECONNRESET | ECONNABORTED | EPIPE), _, _) ->
+      `Bad "connection reset inside frame header"
+  in
+  match read_len 0 0 with
+  | `Closed -> `Closed
+  | `Bad msg -> `Bad msg
+  | `Len len ->
+    if len > max_len then
+      `Bad (Printf.sprintf "frame of %d bytes exceeds limit %d" len max_len)
+    else begin
+      let buf = Bytes.create len in
+      let rec fill pos =
+        if pos = len then `Frame (Bytes.to_string buf)
+        else
+          match Unix.read fd buf pos (len - pos) with
+          | 0 -> `Bad "eof inside frame payload"
+          | n -> fill (pos + n)
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            `Bad "read timeout inside frame payload"
+          | exception Unix.Unix_error ((ECONNRESET | ECONNABORTED | EPIPE), _, _)
+            ->
+            `Bad "connection reset inside frame payload"
+      in
+      fill 0
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Ping
+  | Decide
+  | Chase
+  | Lint
+  | Query
+  | Stats
+  | Shutdown
+
+let op_to_string = function
+  | Ping -> "ping"
+  | Decide -> "decide"
+  | Chase -> "chase"
+  | Lint -> "lint"
+  | Query -> "query"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let op_of_string = function
+  | "ping" -> Some Ping
+  | "decide" -> Some Decide
+  | "chase" -> Some Chase
+  | "lint" -> Some Lint
+  | "query" -> Some Query
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+let pp_op fm o = Fmt.string fm (op_to_string o)
+
+type request = {
+  id : string;
+  op : op;
+  file : string;  (** display name used in diagnostics *)
+  program : string;  (** rule/program source text *)
+  variant : string option;  (** per-op default when absent *)
+  budget : int option;
+  timeout_s : float option;
+  quiet : bool;
+  durable : bool;  (** chase only: spool + journal the run *)
+  standard : bool;  (** decide: standard databases *)
+  query : string option;  (** query op: one rule, head = answer atom *)
+}
+
+let request ?(id = "0") ?(file = "<request>") ?(program = "") ?variant ?budget
+    ?timeout_s ?(quiet = false) ?(durable = false) ?(standard = true) ?query op
+    =
+  {
+    id;
+    op;
+    file;
+    program;
+    variant;
+    budget;
+    timeout_s;
+    quiet;
+    durable;
+    standard;
+    query;
+  }
+
+let encode_request r =
+  let opt f = function None -> [] | Some v -> [ f v ] in
+  Jsonv.to_string
+    (Jsonv.Obj
+       ([
+          ("id", Jsonv.String r.id);
+          ("op", Jsonv.String (op_to_string r.op));
+          ("file", Jsonv.String r.file);
+          ("program", Jsonv.String r.program);
+        ]
+       @ opt (fun v -> ("variant", Jsonv.String v)) r.variant
+       @ opt (fun b -> ("budget", Jsonv.Int b)) r.budget
+       @ opt (fun t -> ("timeout_s", Jsonv.Float t)) r.timeout_s
+       @ [
+           ("quiet", Jsonv.Bool r.quiet);
+           ("durable", Jsonv.Bool r.durable);
+           ("standard", Jsonv.Bool r.standard);
+         ]
+       @ opt (fun q -> ("query", Jsonv.String q)) r.query))
+
+let get_string k v = Option.bind (Jsonv.member k v) Jsonv.to_string_opt
+
+let get_bool ~default k v =
+  match Jsonv.member k v with Some (Jsonv.Bool b) -> b | _ -> default
+
+let get_int k v =
+  match Jsonv.member k v with Some (Jsonv.Int i) -> Some i | _ -> None
+
+let decode_request payload =
+  match Jsonv.of_string payload with
+  | Error msg -> Error (Fmt.str "invalid JSON: %s" msg)
+  | Ok v -> (
+    match v with
+    | Jsonv.Obj _ -> (
+      match get_string "op" v with
+      | None -> Error "missing \"op\" field"
+      | Some op_s -> (
+        match op_of_string op_s with
+        | None -> Error (Fmt.str "unknown op %S" op_s)
+        | Some op ->
+          Ok
+            {
+              id = Option.value ~default:"0" (get_string "id" v);
+              op;
+              file = Option.value ~default:"<request>" (get_string "file" v);
+              program = Option.value ~default:"" (get_string "program" v);
+              variant = get_string "variant" v;
+              budget = get_int "budget" v;
+              timeout_s =
+                Option.bind (Jsonv.member "timeout_s" v) Jsonv.to_float_opt;
+              quiet = get_bool ~default:false "quiet" v;
+              durable = get_bool ~default:false "durable" v;
+              standard = get_bool ~default:true "standard" v;
+              query = get_string "query" v;
+            }))
+    | _ -> Error "request is not a JSON object")
+
+(** The idempotency key: everything that determines the result bytes —
+    and nothing that does not ([id] and the deadline are excluded, so a
+    retried request with a fresh deadline deduplicates against the
+    original). *)
+let request_key r =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            op_to_string r.op;
+            r.file;
+            Option.value ~default:"" r.variant;
+            (match r.budget with None -> "" | Some b -> string_of_int b);
+            (if r.quiet then "q" else "");
+            (if r.durable then "d" else "");
+            (if r.standard then "s" else "");
+            Digest.to_hex (Digest.string r.program);
+            Digest.to_hex (Digest.string (Option.value ~default:"" r.query));
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  exit_code : int;
+  stdout : string;
+  stderr : string;
+  cached : bool;  (** served from the verdict cache or a joined flight *)
+}
+
+type response =
+  | Ok_response of result
+  | Overloaded of float  (** seconds to wait before retrying *)
+  | Bad_frame of string  (** framing broke; the connection is closing *)
+  | Bad_request of string  (** well-framed but unintelligible or invalid *)
+  | Server_error of string
+
+let encode_response ~id resp =
+  let base = [ ("id", Jsonv.String id) ] in
+  Jsonv.to_string
+    (Jsonv.Obj
+       (match resp with
+       | Ok_response r ->
+         base
+         @ [
+             ("status", Jsonv.String "ok");
+             ("exit", Jsonv.Int r.exit_code);
+             ("stdout", Jsonv.String r.stdout);
+             ("stderr", Jsonv.String r.stderr);
+             ("cached", Jsonv.Bool r.cached);
+           ]
+       | Overloaded retry_after ->
+         base
+         @ [
+             ("status", Jsonv.String "overloaded");
+             ("retry_after_s", Jsonv.Float retry_after);
+           ]
+       | Bad_frame msg ->
+         base
+         @ [ ("status", Jsonv.String "bad-frame"); ("error", Jsonv.String msg) ]
+       | Bad_request msg ->
+         base
+         @ [
+             ("status", Jsonv.String "bad-request"); ("error", Jsonv.String msg);
+           ]
+       | Server_error msg ->
+         base
+         @ [ ("status", Jsonv.String "error"); ("error", Jsonv.String msg) ]))
+
+let decode_response payload =
+  match Jsonv.of_string payload with
+  | Error msg -> Error (Fmt.str "invalid JSON: %s" msg)
+  | Ok v -> (
+    let id = Option.value ~default:"0" (get_string "id" v) in
+    let err ~default = Option.value ~default (get_string "error" v) in
+    match get_string "status" v with
+    | Some "ok" ->
+      Ok
+        ( id,
+          Ok_response
+            {
+              exit_code = Option.value ~default:0 (get_int "exit" v);
+              stdout = Option.value ~default:"" (get_string "stdout" v);
+              stderr = Option.value ~default:"" (get_string "stderr" v);
+              cached = get_bool ~default:false "cached" v;
+            } )
+    | Some "overloaded" ->
+      let ra =
+        Option.value ~default:0.1
+          (Option.bind (Jsonv.member "retry_after_s" v) Jsonv.to_float_opt)
+      in
+      Ok (id, Overloaded ra)
+    | Some "bad-frame" -> Ok (id, Bad_frame (err ~default:"bad frame"))
+    | Some "bad-request" -> Ok (id, Bad_request (err ~default:"bad request"))
+    | Some "error" -> Ok (id, Server_error (err ~default:"server error"))
+    | Some s -> Error (Fmt.str "unknown response status %S" s)
+    | None -> Error "missing \"status\" field")
+
+let pp_response fm = function
+  | Ok_response r -> Fmt.pf fm "ok (exit %d)" r.exit_code
+  | Overloaded ra -> Fmt.pf fm "overloaded (retry after %.3fs)" ra
+  | Bad_frame m -> Fmt.pf fm "bad-frame: %s" m
+  | Bad_request m -> Fmt.pf fm "bad-request: %s" m
+  | Server_error m -> Fmt.pf fm "error: %s" m

@@ -1,0 +1,101 @@
+(** The wire protocol of the chase service: length-prefixed JSON frames
+    (an ASCII decimal byte count, ['\n'], then the payload — one JSON
+    object via the hardened {!Chase_obs.Jsonv}) carrying requests and
+    responses.  Both sides carry a client-chosen [id], so requests may
+    pipeline on one connection.
+
+    Error codes (the [status] field of a response): [ok], [overloaded]
+    (with [retry_after_s] — the admission controller shed the request),
+    [bad-frame] (framing broke; the server closes the connection),
+    [bad-request] (well-framed but invalid), [error] (internal). *)
+
+(** {1 Frames} *)
+
+val default_max_frame : int
+(** 4 MiB. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** May raise [Unix.Unix_error] (e.g. [EPIPE] on a dropped peer). *)
+
+val frame_string : string -> string
+(** The exact bytes {!write_frame} would send — for tests and for
+    corrupting on purpose. *)
+
+val read_frame :
+  ?max_len:int ->
+  Unix.file_descr ->
+  [ `Frame of string | `Closed | `Bad of string ]
+(** [`Closed] only at a clean frame boundary; a declared length beyond
+    [max_len], a malformed header, a read timeout, or EOF mid-frame is
+    [`Bad] — the stream is desynchronized and must be dropped. *)
+
+(** {1 Requests} *)
+
+type op =
+  | Ping
+  | Decide
+  | Chase
+  | Lint
+  | Query
+  | Stats
+  | Shutdown
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+val pp_op : Format.formatter -> op -> unit
+
+type request = {
+  id : string;
+  op : op;
+  file : string;  (** display name used in diagnostics *)
+  program : string;  (** rule/program source text *)
+  variant : string option;  (** per-op default when absent *)
+  budget : int option;
+  timeout_s : float option;
+  quiet : bool;
+  durable : bool;  (** chase only: spool + journal the run *)
+  standard : bool;  (** decide: standard databases *)
+  query : string option;  (** query op: one rule, head = answer atom *)
+}
+
+val request :
+  ?id:string ->
+  ?file:string ->
+  ?program:string ->
+  ?variant:string ->
+  ?budget:int ->
+  ?timeout_s:float ->
+  ?quiet:bool ->
+  ?durable:bool ->
+  ?standard:bool ->
+  ?query:string ->
+  op ->
+  request
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val request_key : request -> string
+(** The idempotency key: an MD5 hex over everything that determines the
+    result bytes, excluding [id] and [timeout_s] — so a retried request
+    with a fresh deadline deduplicates against the original. *)
+
+(** {1 Responses} *)
+
+type result = {
+  exit_code : int;
+  stdout : string;
+  stderr : string;
+  cached : bool;  (** served from the verdict cache or a joined flight *)
+}
+
+type response =
+  | Ok_response of result
+  | Overloaded of float  (** seconds to wait before retrying *)
+  | Bad_frame of string  (** framing broke; the connection is closing *)
+  | Bad_request of string  (** well-framed but unintelligible or invalid *)
+  | Server_error of string
+
+val encode_response : id:string -> response -> string
+val decode_response : string -> (string * response, string) Stdlib.result
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,29 @@
+(** Durable request spool: per idempotency key, the acknowledged
+    request bytes, the run's journal path, and the finished response
+    bytes.  All visible writes are write-temp / fsync / rename — a kill
+    leaves [.tmp] litter, never a torn file.  {!pending} is the boot
+    recovery work list: acknowledged requests with no response yet. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] if missing. *)
+
+val dir : t -> string
+val req_path : t -> key:string -> string
+val jnl_path : t -> key:string -> string
+(** Where a durable run's write-ahead journal lives (the [.snap]
+    convention of {!Chase_persist.Session} applies on top). *)
+
+val resp_path : t -> key:string -> string
+val put_request : t -> key:string -> string -> unit
+val put_response : t -> key:string -> string -> unit
+val get_request : t -> key:string -> string option
+val get_response : t -> key:string -> string option
+val has_response : t -> key:string -> bool
+
+val pending : t -> string list
+(** Keys with a request but no response, sorted. *)
+
+val remove : t -> key:string -> unit
+(** Delete every artifact of the key. *)

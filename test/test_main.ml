@@ -25,4 +25,6 @@ let () =
       ("reductions", Test_reductions.suite);
       ("model-theory", Test_model_theory.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
+      ("service-chaos", Test_service_chaos.suite);
     ]

@@ -138,6 +138,78 @@ let test_edge_inputs () =
       ^ ").";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* The service's JSON layer rides the same discipline: arbitrary bytes
+   must come back as [Ok] or [Error], never an exception, and the
+   nesting-depth cap must hold against adversarial [[[[… input. *)
+
+module Jsonv = Chase_obs.Jsonv
+
+let jsonv_structured src =
+  match Jsonv.of_string src with
+  | Ok _ | Error _ -> true
+  | exception e ->
+    QCheck.Test.fail_reportf "Jsonv.of_string raised %s on %S"
+      (Printexc.to_string e) src
+
+let fuzz_jsonv_random_bytes =
+  qcheck ~count:1000 "random bytes never crash Jsonv"
+    (QCheck.make ~print:(Fmt.str "%S") random_bytes_gen)
+    jsonv_structured
+
+let json_soup_gen =
+  QCheck.Gen.(
+    let token =
+      oneofl
+        [ "{"; "}"; "["; "]"; ","; ":"; "\""; "null"; "true"; "false";
+          "0"; "-1"; "1e9"; "3.14"; "\"k\""; "\"v\\n\""; "\\u00"; " "; "\n" ]
+    in
+    map (String.concat "") (list_size (int_range 0 40) token))
+
+let fuzz_jsonv_token_soup =
+  qcheck ~count:1000 "JSON token soup never crashes Jsonv"
+    (QCheck.make ~print:(Fmt.str "%S") json_soup_gen)
+    jsonv_structured
+
+let test_jsonv_depth_cap () =
+  let nested n = String.make n '[' ^ "0" ^ String.make n ']' in
+  (* at the cap: fine; one past it: a structured error, not a stack
+     overflow *)
+  let cap = Jsonv.default_max_depth in
+  Alcotest.(check bool) "boundary depth parses" true
+    (Result.is_ok (Jsonv.of_string (nested cap)));
+  Alcotest.(check bool) "past the cap is an Error" true
+    (Result.is_error (Jsonv.of_string (nested (cap + 1))));
+  Alcotest.(check bool) "way past the cap is an Error" true
+    (Result.is_error (Jsonv.of_string (nested 100_000)));
+  (* unclosed adversarial nesting too — no closing brackets at all *)
+  Alcotest.(check bool) "unclosed deep nesting is an Error" true
+    (Result.is_error (Jsonv.of_string (String.make 100_000 '[')));
+  Alcotest.(check bool) "deep objects are capped too" true
+    (Result.is_error
+       (Jsonv.of_string
+          (String.concat "" (List.init 100_000 (fun _ -> "{\"a\":")))));
+  (* a custom, tighter cap is honored *)
+  Alcotest.(check bool) "custom cap honored" true
+    (Result.is_error (Jsonv.of_string ~max_depth:4 (nested 5)));
+  Alcotest.(check bool) "custom cap admits its boundary" true
+    (Result.is_ok (Jsonv.of_string ~max_depth:4 (nested 4)))
+
+let test_jsonv_duplicate_keys () =
+  match Jsonv.of_string {|{"k": 1, "j": true, "k": 2}|} with
+  | Error e -> Alcotest.failf "duplicate keys rejected: %s" e
+  | Ok v ->
+    (* every binding is preserved in source order… *)
+    (match v with
+    | Jsonv.Obj pairs ->
+      Alcotest.(check (list string)) "all bindings preserved"
+        [ "k"; "j"; "k" ] (List.map fst pairs)
+    | _ -> Alcotest.fail "not an object");
+    (* …and member resolves to the first one *)
+    (match Jsonv.member "k" v with
+    | Some (Jsonv.Int 1) -> ()
+    | _ -> Alcotest.fail "member must return the first binding")
+
 let suite =
   [
     fuzz_random_bytes;
@@ -145,4 +217,9 @@ let suite =
     fuzz_mutated_corpora;
     Alcotest.test_case "edge inputs give structured errors" `Quick
       test_edge_inputs;
+    fuzz_jsonv_random_bytes;
+    fuzz_jsonv_token_soup;
+    Alcotest.test_case "Jsonv nesting-depth cap" `Quick test_jsonv_depth_cap;
+    Alcotest.test_case "Jsonv duplicate keys: first binding wins" `Quick
+      test_jsonv_duplicate_keys;
   ]

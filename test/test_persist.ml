@@ -455,6 +455,196 @@ let test_resume_counters_exact () =
       cleanup path)
     [ 1; 17; 83; 164; 165 ]
 
+(* ------------------------------------------------------------------ *)
+(* Recovery racing a concurrent snapshot: the kill lands while the
+   snapshot writer is mid-temp-file and the journal has advanced past
+   the last complete snapshot.  The atomic write-temp/rename discipline
+   means the visible [.snap] is always either a previous complete
+   snapshot or absent — what a kill leaves behind is [.snap.tmp] litter
+   (and, on a dying disk, possibly a scribbled [.snap]).  Twenty kill
+   points, cycling the litter shapes; recovery must pick the best valid
+   prefix every time and never trip over the litter. *)
+
+let scribble path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let truncate_file path frac =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let keep = in_channel_length ic * frac / 100 in
+    let blob = really_input_string ic keep in
+    close_in ic;
+    scribble path blob
+  end
+
+let test_snapshot_race () =
+  let rules = rules () and db = db () in
+  let baseline = chase rules db in
+  let total = baseline.Engine.triggers_applied in
+  for i = 0 to 19 do
+    let k = 5 + (8 * i) in
+    Alcotest.(check bool) "kill point within the run" true (k < total);
+    let path = tmp_journal () in
+    let spath = Session.snapshot_path path in
+    let tmp = spath ^ ".tmp" in
+    (match
+       run_journaled ~snapshot_every:8 ~fsync_every:1
+         ~fault:(Faults.Kill_after_record k) path rules db
+     with
+    | _ -> Alcotest.fail "armed crash did not fire"
+    | exception Faults.Crash _ -> ());
+    (match i mod 4 with
+    | 0 ->
+      (* killed mid-temp-write: torn [.snap.tmp], [.snap] intact *)
+      scribble tmp "CHSNAPSH torn half-way through"
+    | 1 ->
+      (* killed before the first snapshot ever completed *)
+      if Sys.file_exists spath then Sys.remove spath;
+      scribble tmp "x"
+    | 2 ->
+      (* a dying disk scribbled over the visible snapshot *)
+      truncate_file spath 33;
+      scribble tmp ""
+    | _ -> () (* the rename happened; no litter at all *));
+    let report =
+      recover_exn ~snapshot:spath ~variant:Variant.Oblivious path rules db
+    in
+    (* the journal held every record (fsync_every:1), so the best valid
+       prefix is all k of them regardless of what the snapshot said *)
+    Alcotest.(check int)
+      (Fmt.str "i=%d k=%d: best valid prefix" i k)
+      k
+      (List.length report.Recovery.history);
+    let resumed =
+      Engine.run ~config:(config Variant.Oblivious)
+        ~resume:report.Recovery.resume rules db
+    in
+    Alcotest.(check bool) (Fmt.str "i=%d k=%d: terminated" i k) true
+      (resumed.Engine.status = Engine.Terminated);
+    check_isomorphic
+      (Fmt.str "i=%d k=%d" i k)
+      baseline.Engine.instance resumed.Engine.instance;
+    if Sys.file_exists tmp then Sys.remove tmp;
+    cleanup path
+  done
+
+let test_snapshot_race_ahead () =
+  (* the complement: the snapshot is complete and AHEAD of a torn
+     journal, with temp litter on top — recovery must prefer the
+     snapshot's longer prefix and still ignore the litter *)
+  let rules = rules () and db = db () in
+  let baseline = chase rules db in
+  let path = tmp_journal () in
+  let spath = Session.snapshot_path path in
+  let _ = run_journaled ~snapshot_every:10 path rules db in
+  Journal.truncate_at path 200;
+  scribble (spath ^ ".tmp") "CHSNAPSH litter from a later racing write";
+  let report =
+    recover_exn ~snapshot:spath ~variant:Variant.Oblivious path rules db
+  in
+  Alcotest.(check int) "snapshot prefix wins" 165
+    (List.length report.Recovery.history);
+  let resumed =
+    Engine.run ~config:(config Variant.Oblivious)
+      ~resume:report.Recovery.resume rules db
+  in
+  check_isomorphic "snapshot-ahead race" baseline.Engine.instance
+    resumed.Engine.instance;
+  Sys.remove (spath ^ ".tmp");
+  cleanup path
+
+(* ------------------------------------------------------------------ *)
+(* Write-fault composition: independent arming per journal path          *)
+
+let test_faults_compose_same_record () =
+  let rules = rules () and db = db () in
+  let p1 = tmp_journal () and p2 = tmp_journal () in
+  (* Kill_after_record and Torn_write armed together on one stream,
+     same record: the torn write must win (the kill would have written
+     record 5 in full first, which a torn append precludes) *)
+  Faults.Writes.arm p1
+    [ Faults.Kill_after_record 5; Faults.Torn_write (5, 4) ];
+  Alcotest.(check int) "both faults armed" 2
+    (List.length (Faults.Writes.armed_for p1));
+  (match run_journaled ~fsync_every:1 p1 rules db with
+  | _ -> Alcotest.fail "armed faults did not fire"
+  | exception Faults.Crash _ -> ());
+  let report = recover_exn ~variant:Variant.Oblivious p1 rules db in
+  Alcotest.(check int) "torn beats kill: prefix is 4" 4
+    (List.length report.Recovery.history);
+  Alcotest.(check bool) "torn tail detected" true
+    (report.Recovery.torn <> None);
+  (* a second session on an unarmed path is untouched by p1's faults *)
+  let r2 = run_journaled ~fsync_every:1 p2 rules db in
+  Alcotest.(check bool) "unarmed path unaffected" true
+    (r2.Engine.status = Engine.Terminated);
+  Faults.Writes.reset ();
+  Alcotest.(check int) "reset disarms" 0
+    (List.length (Faults.Writes.armed_for p1));
+  cleanup p1;
+  cleanup p2
+
+let test_faults_compose_ordered () =
+  let rules = rules () and db = db () in
+  let path = tmp_journal () in
+  (* different records: whichever comes first fires; the other never
+     gets the chance *)
+  Faults.Writes.arm path
+    [ Faults.Torn_write (12, 6); Faults.Kill_after_record 7 ];
+  (match run_journaled ~fsync_every:1 path rules db with
+  | _ -> Alcotest.fail "armed faults did not fire"
+  | exception Faults.Crash _ -> ());
+  Faults.Writes.reset ();
+  let report = recover_exn ~variant:Variant.Oblivious path rules db in
+  Alcotest.(check int) "kill at 7 fired first" 7
+    (List.length report.Recovery.history);
+  Alcotest.(check bool) "no torn tail" true (report.Recovery.torn = None);
+  cleanup path
+
+let test_faults_registry_merges_explicit () =
+  let rules = rules () and db = db () in
+  let path = tmp_journal () in
+  (* registry faults combine with the explicitly passed one *)
+  Faults.Writes.arm path [ Faults.Torn_write (6, 2) ];
+  (match
+     run_journaled ~fsync_every:1 ~fault:(Faults.Kill_after_record 20) path
+       rules db
+   with
+  | _ -> Alcotest.fail "merged faults did not fire"
+  | exception Faults.Crash _ -> ());
+  Faults.Writes.reset ();
+  let report = recover_exn ~variant:Variant.Oblivious path rules db in
+  Alcotest.(check int) "registry torn fired before explicit kill" 5
+    (List.length report.Recovery.history);
+  Alcotest.(check bool) "torn detected" true (report.Recovery.torn <> None);
+  cleanup path
+
+let test_fsync_fail () =
+  let rules = rules () and db = db () in
+  let baseline = chase rules db in
+  let path = tmp_journal () in
+  (* a dying disk: the k-th fsync through the writer fails fatally;
+     whatever reached the platters before it must still recover *)
+  (match
+     run_journaled ~fsync_every:1 ~fault:(Faults.Fsync_fail 3) path rules db
+   with
+  | _ -> Alcotest.fail "fsync fault did not fire"
+  | exception Faults.Crash _ -> ());
+  let report = recover_exn ~variant:Variant.Oblivious path rules db in
+  Alcotest.(check bool) "some prefix survived" true
+    (List.length report.Recovery.history >= 1);
+  let resumed =
+    Engine.run ~config:(config Variant.Oblivious)
+      ~resume:report.Recovery.resume rules db
+  in
+  Alcotest.(check int) "resumed to the full run"
+    baseline.Engine.triggers_applied resumed.Engine.triggers_applied;
+  check_isomorphic "fsync-fail recovery" baseline.Engine.instance
+    resumed.Engine.instance;
+  cleanup path
+
 let test_recover_wrong_program () =
   let rules = rules () and db = db () in
   let path = tmp_journal () in
@@ -525,4 +715,16 @@ let suite =
       test_recover_wrong_program;
     Alcotest.test_case "replay rejects tampered histories" `Quick
       test_replay_rejects_tampering;
+    Alcotest.test_case "recovery races a killed snapshot (20 kill points)"
+      `Slow test_snapshot_race;
+    Alcotest.test_case "snapshot ahead of torn journal, with temp litter"
+      `Quick test_snapshot_race_ahead;
+    Alcotest.test_case "composed faults on one stream: torn beats kill"
+      `Quick test_faults_compose_same_record;
+    Alcotest.test_case "composed faults fire in record order" `Quick
+      test_faults_compose_ordered;
+    Alcotest.test_case "registry faults merge with explicit ones" `Quick
+      test_faults_registry_merges_explicit;
+    Alcotest.test_case "failed fsync loses nothing already synced" `Quick
+      test_fsync_fail;
   ]

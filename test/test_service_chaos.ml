@@ -1,0 +1,396 @@
+(** Chaos soak for the chase service, in process: repeated simulated
+    SIGKILLs of the daemon with durable requests in flight, a malformed
+    / dropped-connection frame storm running {e concurrently} with
+    hundreds of client requests against a deliberately undersized
+    server, armed service faults (torn and dribbled responses, a dying
+    accept loop), and a final graceful life whose metrics file must be
+    valid JSONL.
+
+    The acceptance numbers are asserted, not aspirational: ≥ 10 kills,
+    ≥ 100 malformed frames, ≥ 200 concurrent requests, zero lost
+    acknowledged durable requests, and every completed response
+    byte-identical to what the single-shot CLIs print. *)
+
+open Chase
+
+let kill_cycles = 12
+let attack_kinds = 6
+let attack_rounds = 20 (* 120 malformed / dropped frames *)
+let storm_threads = 24
+let storm_requests_each = 10 (* 240 concurrent requests *)
+
+(* Tallies, guarded by one lock: threads everywhere. *)
+let mu = Mutex.create ()
+let kills = ref 0
+let malformed = ref 0
+let requests_sent = ref 0
+let sheds_seen = ref 0
+let parity_checked = ref 0
+
+let bump r n =
+  Mutex.lock mu;
+  r := !r + n;
+  Mutex.unlock mu
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: deterministic programs with expected bytes precomputed via
+   the same Driver the CLIs run.                                       *)
+
+let cycle_graph n =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "tc: e(X, Y), e(Y, Z) -> e(X, Z).\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Fmt.str "e(n%d, n%d).\n" i ((i + 1) mod n))
+  done;
+  Buffer.contents b
+
+let path_program = "tc: e(X, Y), e(Y, Z) -> e(X, Z).\ne(a,b). e(b,c). e(c,d).\n"
+let guarded_rules = "tc: e(X, Y), e(Y, Z) -> e(X, Z)."
+
+(* The kill-drill workload: big enough (18³ = 5832 triggers, ~100 ms)
+   that a kill 5–25 ms in lands mid-run, yet terminating within budget —
+   exhaustion diagnostics embed wall-clock time and so can never be
+   byte-reproducible. *)
+let drill_budget = 8_000
+let drill_program = cycle_graph 18
+
+type expected = { req : Proto.request; code : int; out : string; err : string }
+
+let expect op ~program ~budget ~quiet ~durable =
+  let code, out, err =
+    Test_service.driver_bytes op ~budget ~src:program ~quiet
+  in
+  let req =
+    Proto.request ~file:"t.chase" ~program ~budget ~quiet ~durable op
+  in
+  { req; code; out; err }
+
+let check_parity name exp (r : Proto.result) =
+  Alcotest.(check int) (name ^ ": exit") exp.code r.Proto.exit_code;
+  Alcotest.(check string) (name ^ ": stdout") exp.out r.Proto.stdout;
+  Alcotest.(check string) (name ^ ": stderr") exp.err r.Proto.stderr;
+  bump parity_checked 1
+
+(* built lazily so suite listing stays cheap *)
+let corpus =
+  lazy
+    [
+      expect Proto.Chase ~program:drill_program ~budget:drill_budget
+        ~quiet:true ~durable:true;
+      expect Proto.Chase ~program:path_program ~budget:10_000 ~quiet:true
+        ~durable:true;
+      expect Proto.Chase ~program:path_program ~budget:10_000 ~quiet:false
+        ~durable:false;
+      expect Proto.Decide ~program:guarded_rules ~budget:10_000 ~quiet:false
+        ~durable:false;
+      expect Proto.Lint ~program:path_program ~budget:10_000 ~quiet:false
+        ~durable:false;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Phase A: kill/restart drill with durable requests in flight          *)
+
+let drill ~socket ~spool_dir =
+  let corpus = Lazy.force corpus in
+  let n = List.length corpus in
+  for cycle = 0 to kill_cycles - 1 do
+    let server =
+      Server.start (Server.config ~workers:3 ~spool_dir socket)
+    in
+    let threads =
+      List.init 4 (fun i ->
+          Thread.create
+            (fun () ->
+              let exp = List.nth corpus ((cycle + i) mod n) in
+              bump requests_sent 1;
+              (* the kill races this call: losing is expected, losing an
+                 *acknowledged* durable request is not — phase B audits *)
+              ignore
+                (Client.call_retry ~attempts:2 ~base_delay:0.01 ~socket
+                   exp.req))
+            ())
+    in
+    (* vary where the kill lands: connect, spool, mid-run, post-reply *)
+    Thread.delay (0.004 +. (0.005 *. float_of_int (cycle mod 5)));
+    Server.kill server;
+    Server.wait server;
+    bump kills 1;
+    List.iter Thread.join threads
+  done
+
+(* Phase B: boot recovery must finish every acknowledged request, and
+   replays must be byte-identical to single-shot runs.                 *)
+
+let recover_and_audit ~socket ~spool_dir ~metrics =
+  let spool = Spool.create ~dir:spool_dir in
+  let server =
+    Server.start (Server.config ~workers:3 ~spool_dir ~metrics socket)
+  in
+  let rec drain n =
+    match Spool.pending spool with
+    | [] -> ()
+    | pending ->
+      if n = 0 then
+        Alcotest.failf "lost acknowledged requests: %s"
+          (String.concat ", " pending)
+      else begin
+        Thread.delay 0.05;
+        drain (n - 1)
+      end
+  in
+  drain 200;
+  (* every durable program in the corpus: ask again, compare bytes *)
+  List.iter
+    (fun exp ->
+      if exp.req.Proto.durable then begin
+        bump requests_sent 1;
+        match Client.call_retry ~attempts:5 ~socket exp.req with
+        | Ok (Proto.Ok_response r) -> check_parity "replay" exp r
+        | Ok resp ->
+          Alcotest.failf "replay rejected: %a" Proto.pp_response resp
+        | Error f -> Alcotest.failf "replay failed: %a" Client.pp_failure f
+      end)
+    (Lazy.force corpus);
+  (* graceful life: stop must flush final metric summaries *)
+  Server.stop server;
+  Server.wait server;
+  let ic = open_in metrics in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match Jsonv.of_string line with
+       | Ok _ -> ()
+       | Error msg -> Alcotest.failf "bad metrics line %d: %s" !lines msg
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check bool) "metrics non-empty" true (!lines > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Phase C: malformed-frame storm concurrent with a request storm       *)
+(* against an undersized server — sheds must be structured.             *)
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  ignore (Unix.write fd b 0 (Bytes.length b))
+
+let attack ~socket kind =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try
+       Unix.connect fd (Unix.ADDR_UNIX socket);
+       (match kind with
+       | 0 -> write_raw fd "@@@@@\n" (* junk header *)
+       | 1 -> () (* connect, say nothing, hang up *)
+       | 2 -> write_raw fd "123456789\n" (* oversize declared length *)
+       | 3 -> write_raw fd "20\nshort" (* EOF mid-payload *)
+       | 4 -> Proto.write_frame fd {|{"op":|} (* framed garbage JSON *)
+       | _ -> write_raw fd "99999999999999999999999\n" (* overflow *));
+       (* read whatever diagnosis comes back (or the close), briefly *)
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5;
+       ignore (Proto.read_frame fd)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    bump malformed 1
+
+let storm ~socket =
+  let corpus = Lazy.force corpus in
+  let fast = List.filter (fun e -> not e.req.Proto.durable) corpus in
+  let nfast = List.length fast in
+  let attackers =
+    List.init attack_kinds (fun kind ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to attack_rounds do
+              attack ~socket kind
+            done)
+          ())
+  in
+  let requesters =
+    List.init storm_threads (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 1 to storm_requests_each do
+              bump requests_sent 1;
+              if i < storm_threads / 2 then begin
+                (* cacheable corpus work: whatever completes must be
+                   byte-perfect, shed or join-the-flight both fine *)
+                let exp = List.nth fast ((i + j) mod nfast) in
+                match Client.connect ~socket with
+                | Error _ -> Alcotest.fail "storm: connect refused"
+                | Ok conn ->
+                  (match Client.call conn exp.req with
+                  | Ok (Proto.Ok_response r) -> check_parity "storm" exp r
+                  | Ok (Proto.Overloaded ra) ->
+                    Alcotest.(check bool) "retry_after > 0" true (ra > 0.);
+                    bump sheds_seen 1
+                  | Ok resp ->
+                    Alcotest.failf "storm: unexpected %a" Proto.pp_response
+                      resp
+                  | Error msg -> Alcotest.failf "storm: transport: %s" msg);
+                  Client.close conn
+              end
+              else begin
+                (* unique slow work: defeats the cache, forces queueing *)
+                let program =
+                  Fmt.str "g%d_%d: e(X, Y) -> e(Y, W).\ne(a,b).\n" i j
+                in
+                let req =
+                  Proto.request ~file:"t.chase" ~program ~budget:20_000
+                    ~quiet:true Proto.Chase
+                in
+                match Client.connect ~socket with
+                | Error _ -> Alcotest.fail "storm: connect refused"
+                | Ok conn ->
+                  (match Client.call conn req with
+                  | Ok (Proto.Ok_response r) ->
+                    Alcotest.(check int) "divergent exhausts" 2
+                      r.Proto.exit_code
+                  | Ok (Proto.Overloaded ra) ->
+                    Alcotest.(check bool) "retry_after > 0" true (ra > 0.);
+                    bump sheds_seen 1
+                  | Ok resp ->
+                    Alcotest.failf "storm: unexpected %a" Proto.pp_response
+                      resp
+                  | Error msg -> Alcotest.failf "storm: transport: %s" msg);
+                  Client.close conn
+              end
+            done)
+          ())
+  in
+  List.iter Thread.join attackers;
+  List.iter Thread.join requesters
+
+let phase_storm () =
+  let socket = Test_service.tmp_name ".sock" in
+  let server =
+    Server.start (Server.config ~workers:1 ~queue_cap:2 socket)
+  in
+  storm ~socket;
+  (* the server survived 120 attacks: it must still answer *)
+  (match Client.call_retry ~attempts:5 ~socket (Proto.request Proto.Ping) with
+  | Ok (Proto.Ok_response r) ->
+    Alcotest.(check string) "alive after the storm" "pong\n" r.Proto.stdout
+  | _ -> Alcotest.fail "server died during the storm");
+  (* attacker threads have joined (bytes written, sockets closed), but
+     the server may still be mid-diagnosis on the last few connections:
+     poll the stat to convergence before asserting *)
+  let bad_frames () =
+    try List.assoc "bad_frames" (Server.stats server) with Not_found -> 0
+  in
+  let need = (attack_kinds - 2) * attack_rounds in
+  let rec settle n = if bad_frames () < need && n > 0 then (Thread.delay 0.05; settle (n - 1)) in
+  settle 60;
+  Alcotest.(check bool)
+    (Fmt.str "server diagnosed bad frames (%d)" (bad_frames ()))
+    true
+    (bad_frames () >= need);
+  Server.stop server;
+  Server.wait server
+
+(* ------------------------------------------------------------------ *)
+(* Phase D: armed response faults — torn and dribbled responses must be
+   absorbed by the client retry contract, bytes intact.                *)
+
+let phase_response_faults () =
+  let socket = Test_service.tmp_name ".sock" in
+  let faults =
+    (* every odd response is cut after 3 bytes; the 2nd and 6th are
+       dribbled out 5 bytes at a time *)
+    List.init 10 (fun i -> Faults.Drop_response_after ((2 * i) + 1, 3))
+    @ [ Faults.Slow_response (2, 5); Faults.Slow_response (6, 5) ]
+  in
+  let server = Server.start (Server.config ~workers:2 ~faults socket) in
+  let corpus = Lazy.force corpus in
+  let fast = List.filter (fun e -> not e.req.Proto.durable) corpus in
+  let torn = ref 0 in
+  List.iteri
+    (fun i exp ->
+      bump requests_sent 1;
+      match
+        Client.call_retry ~attempts:8 ~base_delay:0.01 ~seed:i
+          ~on_retry:(fun ~attempt:_ ~delay:_ _ -> incr torn)
+          ~socket exp.req
+      with
+      | Ok (Proto.Ok_response r) -> check_parity "faulted" exp r
+      | Ok resp -> Alcotest.failf "faulted: %a" Proto.pp_response resp
+      | Error f -> Alcotest.failf "faulted: %a" Client.pp_failure f)
+    (fast @ fast @ fast);
+  (* the cut responses really happened and really were retried *)
+  Alcotest.(check bool) (Fmt.str "saw torn responses (%d)" !torn) true
+    (!torn >= 3);
+  bump malformed !torn;
+  Server.stop server;
+  Server.wait server
+
+(* Phase E: the accept loop dies mid-life — already-accepted clients
+   finish, and shutdown must not wedge on the dead loop.               *)
+
+let phase_accept_death () =
+  let socket = Test_service.tmp_name ".sock" in
+  let server =
+    Server.start
+      (Server.config ~faults:[ Faults.Kill_accept_after 3 ] socket)
+  in
+  for _ = 1 to 2 do
+    bump requests_sent 1;
+    match Client.call_retry ~attempts:3 ~socket (Proto.request Proto.Ping) with
+    | Ok (Proto.Ok_response r) ->
+      Alcotest.(check string) "served before death" "pong\n" r.Proto.stdout
+    | _ -> Alcotest.fail "ping before accept death"
+  done;
+  (* the third connection is the sacrifice: the accept loop dies with
+     it, and from then on clients must fail structurally, not hang *)
+  bump requests_sent 1;
+  (match
+     Client.call_retry ~attempts:2 ~base_delay:0.01 ~socket
+       (Proto.request Proto.Ping)
+   with
+  | Error (Client.Gave_up _) -> bump malformed 1 (* dropped connection *)
+  | Ok _ -> Alcotest.fail "accept loop should be dead"
+  | Error (Client.Rejected _) -> Alcotest.fail "expected a transport failure");
+  (* accept loop is dead now; stop must still converge *)
+  let stopped = ref false in
+  let t =
+    Thread.create
+      (fun () ->
+        Server.stop server;
+        Server.wait server;
+        stopped := true)
+      ()
+  in
+  Thread.join t;
+  Alcotest.(check bool) "shutdown survives a dead accept loop" true !stopped;
+  bump kills 1
+
+(* ------------------------------------------------------------------ *)
+
+let test_soak () =
+  let socket = Test_service.tmp_name ".sock" in
+  let spool_dir = Test_service.tmp_name ".spool" in
+  let metrics = Test_service.tmp_name ".jsonl" in
+  drill ~socket ~spool_dir;
+  recover_and_audit ~socket ~spool_dir ~metrics;
+  phase_storm ();
+  phase_response_faults ();
+  phase_accept_death ();
+  (* the acceptance numbers, asserted *)
+  Alcotest.(check bool) (Fmt.str "kills %d >= 10" !kills) true (!kills >= 10);
+  Alcotest.(check bool)
+    (Fmt.str "malformed frames %d >= 100" !malformed)
+    true (!malformed >= 100);
+  Alcotest.(check bool)
+    (Fmt.str "requests %d >= 200" !requests_sent)
+    true
+    (!requests_sent >= 200);
+  Alcotest.(check bool)
+    (Fmt.str "sheds answered structurally (%d)" !sheds_seen)
+    true (!sheds_seen >= 1);
+  Alcotest.(check bool)
+    (Fmt.str "parity checks ran (%d)" !parity_checked)
+    true
+    (!parity_checked >= 1)
+
+let suite = [ Alcotest.test_case "soak" `Slow test_soak ]
