@@ -1,6 +1,6 @@
 # Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test check-naive smoke obs-smoke soak lint fmt fmt-ml check clean
+.PHONY: all build test check-naive smoke obs-smoke soak soak-failover lint fmt fmt-ml check clean
 
 all: build
 
@@ -41,6 +41,17 @@ soak: build
 	  --daemon _build/default/bin/chased.exe \
 	  --seconds $(SOAK_SECONDS) --dir _build/soak
 	dune exec bin/obs_check.exe -- --metrics _build/soak/metrics.jsonl
+
+# replicated failover soak: a real primary/standby chased pair, SIGKILL
+# loops against the primary with durable traffic in flight, a wire-level
+# promotion by the failover client, zero-lost-acks + byte-parity audit,
+# and the standby receiver's metrics file (replication lag histograms
+# included) validated by obs_check.  CI runs SOAK_SECONDS=60.
+soak-failover: build
+	dune exec test/soak/soak_failover.exe -- \
+	  --daemon _build/default/bin/chased.exe \
+	  --seconds $(SOAK_SECONDS) --dir _build/soak-failover
+	dune exec bin/obs_check.exe -- --metrics _build/soak-failover/metrics.jsonl
 
 # static diagnostics over the shipped corpus: errors or warnings fail
 lint: build

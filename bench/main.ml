@@ -800,6 +800,176 @@ let e13 quick =
   record "E13" "enabled_overhead_ratio" (jfloat (t_on /. t_off))
 
 (* ------------------------------------------------------------------ *)
+(* E14 — replication: takeover latency and lag under wide-body load    *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let has_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
+(* Pull ["key":<number>] out of a one-line JSON metrics summary; the
+   emitter's formatting is fixed, so no JSON dependency is needed. *)
+let scan_num line key =
+  let marker = Fmt.str "%S:" key in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then begin
+      let j = ref (i + m) in
+      while !j < n && line.[!j] <> ',' && line.[!j] <> '}' do
+        incr j
+      done;
+      float_of_string_opt (String.sub line (i + m) (!j - i - m))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let e14 quick =
+  section
+    "E14  Replication: takeover latency + ship lag (wide-body workload)";
+  (* The E12 star-join workload, printed back to program text and run as
+     a durable request through a live primary/standby pair. *)
+  let width = 4 in
+  let hubs = if quick then 300 else 800 in
+  let program =
+    let rules = Families.wide_body ~width in
+    let db = Families.wide_body_db ~hubs ~fanout:3 in
+    String.concat "\n"
+      (List.map (fun r -> Tgd.to_string r ^ ".") rules
+      @ List.map (fun a -> Atom.to_string a ^ ".") db)
+  in
+  let req =
+    Proto.request ~file:"e14.chase" ~program ~budget:200_000 ~quiet:true
+      ~durable:true Proto.Chase
+  in
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "chase_e14_%d%s" (Unix.getpid ()) suffix)
+  in
+  let a = tmp ".a.sock" and b = tmp ".b.sock" and ship = tmp ".ship.sock" in
+  let spool_p = tmp ".p.spool" and spool_s = tmp ".s.spool" in
+  let metrics = tmp ".metrics.jsonl" in
+  List.iter rm_rf [ a; b; ship; spool_p; spool_s; metrics ];
+  let standby =
+    Standby.start
+      (Standby.config ~cert_interval:0.2 ~metrics
+         ~server:(Server.config ~workers:2 ~spool_dir:spool_s b)
+         ~ship_socket:ship ())
+  in
+  let shipper =
+    Shipper.start
+      (Shipper.config ~sync_timeout:2.0 ~poll_interval:0.02
+         ~connect_retry:0.02 ~spool_dir:spool_p ~ship_socket:ship ())
+  in
+  let server =
+    Server.start
+      (Server.config ~workers:2 ~spool_dir:spool_p
+         ~on_durable:(Shipper.on_durable shipper) a)
+  in
+  (* the acknowledged durable request the promoted standby must honour *)
+  let t0 = Unix.gettimeofday () in
+  let primary =
+    match Client.call_retry ~attempts:5 ~base_delay:0.05 ~socket:a req with
+    | Ok (Proto.Ok_response r) -> r
+    | Ok resp -> Fmt.failwith "E14 primary rejected: %a" Proto.pp_response resp
+    | Error f -> Fmt.failwith "E14 primary: %a" Client.pp_failure f
+  in
+  let primary_seconds = Unix.gettimeofday () -. t0 in
+  let shipped = Shipper.quiesce shipper ~timeout:30.0 in
+  (* kill the primary mid-fleet; the failover client walks the server
+     list, discovers the standby, promotes it over the wire and
+     re-sends.  Takeover = kill to first standby-served response. *)
+  let t_kill = Unix.gettimeofday () in
+  Server.kill server;
+  Shipper.stop shipper;
+  let outcome =
+    match
+      Failover.call ~attempts_per_server:2 ~base_delay:0.05 ~servers:[ a; b ]
+        req
+    with
+    | Ok o -> o
+    | Error f -> Fmt.failwith "E14 failover: %a" Failover.pp_failure f
+  in
+  let takeover = Unix.gettimeofday () -. t_kill in
+  let standby_r =
+    match outcome.Failover.response with
+    | Proto.Ok_response r -> r
+    | resp -> Fmt.failwith "E14 standby: %a" Proto.pp_response resp
+  in
+  let parity =
+    standby_r.Proto.exit_code = primary.Proto.exit_code
+    && String.equal standby_r.Proto.stdout primary.Proto.stdout
+    && String.equal standby_r.Proto.stderr primary.Proto.stderr
+  in
+  (* steady state: the promoted standby serves without another vote *)
+  let t2 = Unix.gettimeofday () in
+  let warm_ok =
+    match Failover.call ~servers:[ a; b ] req with
+    | Ok o -> String.equal o.Failover.server b && not o.Failover.promoted
+    | Error _ -> false
+  in
+  let warm_seconds = Unix.gettimeofday () -. t2 in
+  Standby.stop standby;
+  (* promotion closed the receiver's observer, flushing its metrics
+     file; the repl.lag histogram there is frames-behind-head at apply
+     time — the replication lag of the drill. *)
+  let lag_line =
+    if not (Sys.file_exists metrics) then None
+    else begin
+      let ic = open_in metrics in
+      let rec find acc =
+        match input_line ic with
+        | line ->
+          find (if has_sub line "\"repl.lag\"" then Some line else acc)
+        | exception End_of_file -> acc
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> find None)
+    end
+  in
+  Fmt.pr
+    "primary chase (width %d, %d hubs): %a   shipped before kill: %b@." width
+    hubs pp_time primary_seconds shipped;
+  Fmt.pr
+    "takeover (kill -> standby response): %a   promoted by client: %b   \
+     byte parity: %b@."
+    pp_time takeover outcome.Failover.promoted parity;
+  Fmt.pr "warm standby re-serve: %a (no re-promotion: %b)@." pp_time
+    warm_seconds warm_ok;
+  record "E14" "width" (jint width);
+  record "E14" "hubs" (jint hubs);
+  record "E14" "primary_seconds" (jfloat primary_seconds);
+  record "E14" "shipped_before_kill" (jbool shipped);
+  record "E14" "takeover_seconds" (jfloat takeover);
+  record "E14" "promoted_by_client" (jbool outcome.Failover.promoted);
+  record "E14" "failovers" (jint outcome.Failover.failovers);
+  record "E14" "standby_parity" (jbool parity);
+  record "E14" "warm_standby_ok" (jbool warm_ok);
+  record "E14" "warm_seconds" (jfloat warm_seconds);
+  (match lag_line with
+  | None -> Fmt.pr "no repl.lag histogram found in %s@." metrics
+  | Some line ->
+    let get k = Option.value ~default:(-1.) (scan_num line k) in
+    Fmt.pr
+      "replication lag (frames behind head): applied %.0f   p50 %.1f   p99 \
+       %.1f   max %.0f@."
+      (get "count") (get "p50") (get "p99") (get "max");
+    record "E14" "lag_frames_applied" (jint (int_of_float (get "count")));
+    record "E14" "lag_frames_p50" (jfloat (get "p50"));
+    record "E14" "lag_frames_p99" (jfloat (get "p99"));
+    record "E14" "lag_frames_max" (jint (int_of_float (get "max"))));
+  List.iter rm_rf [ a; b; ship; spool_p; spool_s; metrics ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -895,6 +1065,7 @@ let () =
   e11 (if quick then 10 else 50);
   e12 quick;
   e13 quick;
+  e14 quick;
   microbenches ();
   record "harness" "quick" (jbool quick);
   write_results "BENCH_results.json";

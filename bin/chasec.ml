@@ -10,7 +10,15 @@
     connection errors, torn responses and [overloaded] answers retry
     with exponential backoff + jitter; exhausted retries exit 75
     (EX_TEMPFAIL), a definitive server rejection exits 70
-    (EX_SOFTWARE). *)
+    (EX_SOFTWARE).
+
+    [--servers A,B] enables failover: servers are tried in order, a
+    dead one falls through to the next, and a standby's structured
+    refusal triggers promotion followed by a re-send — the promoted
+    standby re-derives byte-identical responses (see the README's
+    "Replication and failover").  [--stream] interleaves progress
+    frames (printed to stderr) before the final response of a long
+    chase; the final bytes are identical either way. *)
 
 open Cmdliner
 open Chase
@@ -23,8 +31,16 @@ let read_file path =
       (fun () -> Ok (really_input_string ic (in_channel_length ic)))
   with Sys_error msg -> Error msg
 
-let run socket op_s file variant budget timeout quiet durable standard query
-    attempts seed verbose =
+let print_result verbose (r : Proto.result) =
+  print_string r.Proto.stdout;
+  prerr_string r.Proto.stderr;
+  flush stdout;
+  flush stderr;
+  if verbose && r.Proto.cached then Fmt.epr "chasec: (cached)@.";
+  r.Proto.exit_code
+
+let run socket servers op_s file variant budget timeout quiet durable
+    standard query stream attempts seed verbose =
   match Proto.op_of_string op_s with
   | None ->
     Fmt.epr "chasec: unknown op %S@." op_s;
@@ -33,7 +49,8 @@ let run socket op_s file variant budget timeout quiet durable standard query
     let program =
       match (file, op) with
       | Some f, _ -> read_file f
-      | None, (Proto.Ping | Proto.Stats | Proto.Shutdown) -> Ok ""
+      | None, (Proto.Ping | Proto.Stats | Proto.Shutdown | Proto.Promote) ->
+        Ok ""
       | None, _ -> Error "an input FILE is required for this op"
     in
     match program with
@@ -43,38 +60,82 @@ let run socket op_s file variant budget timeout quiet durable standard query
     | Ok program -> (
       let req =
         Proto.request ?file ~program ?variant ?budget ?timeout_s:timeout
-          ~quiet ~durable ~standard ?query op
+          ~quiet ~durable ~standard ?query ~stream op
       in
-      let on_retry ~attempt ~delay msg =
-        if verbose then
-          Fmt.epr "chasec: attempt %d failed (%s); retrying in %.3fs@."
-            (attempt + 1) msg delay
+      let on_progress =
+        if stream then
+          Some (fun p -> Fmt.epr "chasec: %a@." Proto.pp_progress p)
+        else None
       in
-      match Client.call_retry ~attempts ~seed ~on_retry ~socket req with
-      | Ok (Proto.Ok_response r) ->
-        print_string r.Proto.stdout;
-        prerr_string r.Proto.stderr;
-        flush stdout;
-        flush stderr;
-        if verbose && r.Proto.cached then Fmt.epr "chasec: (cached)@.";
-        r.Proto.exit_code
-      | Ok _ -> assert false (* call_retry only returns Ok_response *)
-      | Error (Client.Gave_up msg) ->
-        Fmt.epr "chasec: giving up: %s@." msg;
-        75 (* EX_TEMPFAIL *)
-      | Error (Client.Rejected resp) ->
-        Fmt.epr "chasec: %a@." Proto.pp_response resp;
-        70 (* EX_SOFTWARE *)))
+      match servers with
+      | Some (_ :: _ :: _ as servers) -> (
+        (* failover across a replicated pair (or chain) *)
+        let on_event msg = if verbose then Fmt.epr "chasec: %s@." msg in
+        match
+          Failover.call ~attempts_per_server:attempts ~seed ?on_progress
+            ~on_event ~servers req
+        with
+        | Ok { Failover.response = Proto.Ok_response r; server; promoted; _ } ->
+          if verbose && promoted then Fmt.epr "chasec: promoted %s@." server;
+          print_result verbose r
+        | Ok _ -> assert false (* Failover.call only returns Ok_response *)
+        | Error (Failover.Rejected _ as f) ->
+          Fmt.epr "chasec: %a@." Failover.pp_failure f;
+          70 (* EX_SOFTWARE *)
+        | Error (Failover.All_down _ as f) ->
+          Fmt.epr "chasec: %a@." Failover.pp_failure f;
+          75 (* EX_TEMPFAIL *))
+      | Some [] | Some [ _ ] | None -> (
+        let socket =
+          match (servers, socket) with
+          | Some (s :: _), _ -> Some s
+          | _, other -> other
+        in
+        match socket with
+        | None ->
+          Fmt.epr "chasec: give --socket or --servers@.";
+          64
+        | Some socket ->
+          (
+          let on_retry ~attempt ~delay msg =
+            if verbose then
+              Fmt.epr "chasec: attempt %d failed (%s); retrying in %.3fs@."
+                (attempt + 1) msg delay
+          in
+          match
+            Client.call_retry ~attempts ~seed ~on_retry ?on_progress ~socket
+              req
+          with
+          | Ok (Proto.Ok_response r) -> print_result verbose r
+          | Ok _ -> assert false (* call_retry only returns Ok_response *)
+          | Error (Client.Gave_up _ as f) ->
+            Fmt.epr "chasec: %a@." Client.pp_failure f;
+            75 (* EX_TEMPFAIL *)
+          | Error (Client.Rejected resp) ->
+            Fmt.epr "chasec: %a@." Proto.pp_response resp;
+            70 (* EX_SOFTWARE *)))))
 
 let socket_arg =
-  Arg.(required & opt (some string) None
+  Arg.(value & opt (some string) None
        & info [ "s"; "socket" ] ~docv:"SOCKET"
-           ~doc:"Unix-domain socket of the daemon.")
+           ~doc:"Unix-domain socket of the daemon (or use --servers).")
+
+let servers_arg =
+  let servers_conv =
+    Arg.conv
+      ( (fun s ->
+          Ok (String.split_on_char ',' s |> List.filter (fun x -> x <> ""))),
+        Fmt.(list ~sep:comma string) )
+  in
+  Arg.(value & opt (some servers_conv) None
+       & info [ "servers" ] ~docv:"A,B"
+           ~doc:"Failover list: try each socket in order; promote the \
+                 first live standby when the primary is dead.")
 
 let op_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"OP"
-       ~doc:"Operation: ping, decide, chase, lint, query, stats or \
-             shutdown.")
+       ~doc:"Operation: ping, decide, chase, lint, query, stats, \
+             promote or shutdown.")
 
 let file_arg =
   Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE"
@@ -119,6 +180,13 @@ let query_arg =
            ~doc:"query op: one rule whose head is the answer atom, e.g. \
                  'e(X,Y), e(Y,Z) -> ans(X,Z).'")
 
+let stream_arg =
+  Arg.(value & flag
+       & info [ "stream" ]
+           ~doc:"chase: interleave progress frames (printed to stderr) \
+                 before the final response; the final bytes are \
+                 identical either way.")
+
 let attempts_arg =
   Arg.(value & opt int 8
        & info [ "attempts" ] ~docv:"N" ~doc:"Retry attempts before giving \
@@ -137,8 +205,8 @@ let cmd =
   Cmd.v
     (Cmd.info "chasec" ~doc)
     Cmdliner.Term.(
-      const run $ socket_arg $ op_arg $ file_arg $ variant_arg $ budget_arg
-      $ timeout_arg $ quiet_arg $ durable_arg $ standard_arg $ query_arg
-      $ attempts_arg $ seed_arg $ verbose_arg)
+      const run $ socket_arg $ servers_arg $ op_arg $ file_arg $ variant_arg
+      $ budget_arg $ timeout_arg $ quiet_arg $ durable_arg $ standard_arg
+      $ query_arg $ stream_arg $ attempts_arg $ seed_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

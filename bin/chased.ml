@@ -14,6 +14,15 @@
     SIGINT/SIGTERM stop gracefully: drain the queue, answer everything
     accepted, write final metric summaries.
 
+    Replication (see the README's "Replication and failover"):
+    [--ship-to SOCK] makes this daemon a primary that streams its
+    durable state to the standby receiver listening on SOCK, blocking
+    each durable acknowledgement for up to [--sync-timeout] until the
+    standby confirms; [--standby-of SOCK] makes it a standby that
+    binds SOCK, soaks up the primary's state, continuously re-certifies
+    it, and serves control ops only until a [promote] request turns it
+    into an ordinary primary via boot recovery.
+
     The [--chaos-*] flags arm deliberate service faults (accept-loop
     death, mid-response connection drops, slow chunked responses) for
     the crash-drill harness; they have no place in production. *)
@@ -32,9 +41,23 @@ let pair_conv name =
   in
   Arg.conv (parse, fun fm (a, b) -> Fmt.pf fm "%d:%d" a b)
 
+let install_stop_signals stop =
+  let stop_once = ref false in
+  let graceful _ =
+    if not !stop_once then begin
+      stop_once := true;
+      (* stop from a fresh thread: signal handlers must not block *)
+      ignore (Thread.create stop ())
+    end
+  in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful)
+   with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful)
+  with Invalid_argument _ -> ()
+
 let run socket workers queue_cap pool_total per_request_cap min_grant
-    cache_capacity spool_dir default_timeout read_timeout metrics
-    chaos_kill_accept chaos_drop chaos_slow =
+    cache_capacity spool_dir default_timeout read_timeout metrics ship_to
+    sync_timeout standby_of chaos_kill_accept chaos_drop chaos_slow =
   let faults =
     (match chaos_kill_accept with
     | Some n -> [ Faults.Kill_accept_after n ]
@@ -42,32 +65,71 @@ let run socket workers queue_cap pool_total per_request_cap min_grant
     @ List.map (fun (k, b) -> Faults.Drop_response_after (k, b)) chaos_drop
     @ List.map (fun (k, c) -> Faults.Slow_response (k, c)) chaos_slow
   in
-  let cfg =
-    Server.config ~workers ~queue_cap ~pool_total ~per_request_cap ~min_grant
-      ~cache_capacity ?spool_dir ~default_timeout ~read_timeout ?metrics
-      ~faults socket
-  in
-  match Server.start cfg with
-  | exception Unix.Unix_error (e, _, arg) ->
-    Fmt.epr "chased: cannot listen on %s: %s %s@." socket
-      (Unix.error_message e) arg;
-    1
-  | server ->
-    let stop_once = ref false in
-    let graceful _ =
-      if not !stop_once then begin
-        stop_once := true;
-        (* stop from a fresh thread: signal handlers must not block *)
-        ignore (Thread.create (fun () -> Server.stop server) ())
-      end
-    in
-    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful)
-     with Invalid_argument _ -> ());
-    (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful)
-     with Invalid_argument _ -> ());
-    Fmt.epr "chased: listening on %s@." socket;
-    Server.wait server;
-    0
+  if Option.is_some ship_to && Option.is_some standby_of then begin
+    Fmt.epr "chased: --ship-to and --standby-of are mutually exclusive@.";
+    64 (* EX_USAGE *)
+  end
+  else if (Option.is_some ship_to || Option.is_some standby_of)
+          && Option.is_none spool_dir then begin
+    Fmt.epr "chased: replication ships the durable spool: --spool is \
+             required with --ship-to / --standby-of@.";
+    64
+  end
+  else
+    match standby_of with
+    | Some ship_socket -> (
+      (* standby: the receiver owns the metrics file; the server this
+         becomes on promotion runs without one (one file, one owner) *)
+      let cfg =
+        Server.config ~workers ~queue_cap ~pool_total ~per_request_cap
+          ~min_grant ~cache_capacity ?spool_dir ~default_timeout
+          ~read_timeout ~faults socket
+      in
+      match Standby.start (Standby.config ?metrics ~server:cfg ~ship_socket ()) with
+      | exception Unix.Unix_error (e, _, arg) ->
+        Fmt.epr "chased: cannot listen on %s: %s %s@." socket
+          (Unix.error_message e) arg;
+        1
+      | standby ->
+        install_stop_signals (fun () -> Standby.stop standby);
+        Fmt.epr "chased: standby on %s (ship frames on %s)@." socket
+          ship_socket;
+        Standby.wait standby;
+        0)
+    | None -> (
+      let shipper =
+        Option.map
+          (fun ship_socket ->
+            Shipper.start
+              (Shipper.config ~sync_timeout
+                 ~spool_dir:(Option.get spool_dir) ~ship_socket ()))
+          ship_to
+      in
+      let cfg =
+        Server.config ~workers ~queue_cap ~pool_total ~per_request_cap
+          ~min_grant ~cache_capacity ?spool_dir ~default_timeout
+          ~read_timeout ?metrics ~faults
+          ?on_durable:(Option.map Shipper.on_durable shipper) socket
+      in
+      match Server.start cfg with
+      | exception Unix.Unix_error (e, _, arg) ->
+        Option.iter Shipper.stop shipper;
+        Fmt.epr "chased: cannot listen on %s: %s %s@." socket
+          (Unix.error_message e) arg;
+        1
+      | server ->
+        install_stop_signals (fun () -> Server.stop server);
+        (match ship_to with
+        | Some s -> Fmt.epr "chased: listening on %s (shipping to %s)@." socket s
+        | None -> Fmt.epr "chased: listening on %s@." socket);
+        Server.wait server;
+        Option.iter
+          (fun sh ->
+            (* drain what the standby has not confirmed, then let go *)
+            ignore (Shipper.quiesce sh ~timeout:2.0);
+            Shipper.stop sh)
+          shipper;
+        0)
 
 let socket_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
@@ -125,6 +187,25 @@ let metrics_arg =
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write JSONL metric events and final summaries to $(docv).")
 
+let ship_to_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ship-to" ] ~docv:"SOCKET"
+           ~doc:"Replicate: stream the durable spool to the standby \
+                 receiver listening on $(docv) (requires --spool).")
+
+let sync_timeout_arg =
+  Arg.(value & opt float 0.25
+       & info [ "sync-timeout" ] ~docv:"SECONDS"
+           ~doc:"How long a durable acknowledgement waits for the \
+                 standby's confirmation before degrading to \
+                 asynchronous shipping; 0 never waits.")
+
+let standby_of_arg =
+  Arg.(value & opt (some string) None
+       & info [ "standby-of" ] ~docv:"SOCKET"
+           ~doc:"Run as a standby: bind $(docv) for the primary's ship \
+                 frames, refuse work until promoted (requires --spool).")
+
 let chaos_kill_accept_arg =
   Arg.(value & opt (some int) None
        & info [ "chaos-kill-accept" ] ~docv:"N"
@@ -150,7 +231,8 @@ let cmd =
     Cmdliner.Term.(
       const run $ socket_arg $ workers_arg $ queue_cap_arg $ pool_total_arg
       $ per_request_cap_arg $ min_grant_arg $ cache_capacity_arg $ spool_arg
-      $ default_timeout_arg $ read_timeout_arg $ metrics_arg
-      $ chaos_kill_accept_arg $ chaos_drop_arg $ chaos_slow_arg)
+      $ default_timeout_arg $ read_timeout_arg $ metrics_arg $ ship_to_arg
+      $ sync_timeout_arg $ standby_of_arg $ chaos_kill_accept_arg
+      $ chaos_drop_arg $ chaos_slow_arg)
 
 let () = exit (Cmd.eval' cmd)

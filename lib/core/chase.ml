@@ -19,7 +19,9 @@
     - reductions: {!Looping}, {!Entailment};
     - workloads: {!Families}, {!Random_tgds};
     - service: {!Proto}, {!Driver}, {!Pool}, {!Cache}, {!Admission},
-      {!Spool}, {!Server}, {!Client}.
+      {!Spool}, {!Server}, {!Client};
+    - replication: {!Shipframe}, {!Shipper}, {!Receiver}, {!Standby},
+      {!Failover}.
 
     Quick start:
 
@@ -117,3 +119,10 @@ module Admission = Chase_service.Admission
 module Spool = Chase_service.Spool
 module Server = Chase_service.Server
 module Client = Chase_service.Client
+
+(* Replication: primary/standby shipping, promotion, client failover *)
+module Shipframe = Chase_replica.Shipframe
+module Shipper = Chase_replica.Shipper
+module Receiver = Chase_replica.Receiver
+module Standby = Chase_replica.Standby
+module Failover = Chase_replica.Failover

@@ -100,6 +100,38 @@ let pp_service_fault fm = function
   | Drop_response_after (k, b) -> Fmt.pf fm "drop-response(%d, %d bytes)" k b
   | Slow_response (k, c) -> Fmt.pf fm "slow-response(%d, %d-byte chunks)" k c
 
+(* ------------------------------------------------------------------ *)
+(* Replication-plane faults                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Faults of the primary→standby shipping plane, consumed by
+    [Chase_replica.Shipper].  As everywhere else they act through the
+    real code paths: the connection is really cut (a network
+    partition), the frame really goes out twice (an at-least-once
+    retransmit), the shipped bytes are really corrupted (the standby's
+    CRC check must catch them), the send is really delayed (replication
+    lag).  Counting is by ship frame, 1-based, within one shipper. *)
+type replica_fault =
+  | Cut_ship_after of int
+      (** partition: the shipping connection drops after the [k]-th
+          frame has been sent; the shipper must reconnect and resync *)
+  | Dup_ship of int
+      (** the [k]-th ship frame is sent twice — the standby must apply
+          it idempotently and keep its cumulative ack monotone *)
+  | Corrupt_ship of int
+      (** the [k]-th ship frame's payload is corrupted in flight (one
+          hex digit flipped, declared CRC left intact) — the standby
+          must reject it structurally and force a resync *)
+  | Delay_ship of int * float
+      (** the [k]-th ship frame is delayed by the given seconds —
+          deterministic replication lag *)
+
+let pp_replica_fault fm = function
+  | Cut_ship_after k -> Fmt.pf fm "cut-ship-after %d" k
+  | Dup_ship k -> Fmt.pf fm "dup-ship %d" k
+  | Corrupt_ship k -> Fmt.pf fm "corrupt-ship %d" k
+  | Delay_ship (k, s) -> Fmt.pf fm "delay-ship(%d, %.3fs)" k s
+
 let pp_injection fm = function
   | Expire_deadline -> Fmt.string fm "expire-deadline"
   | Cancel why -> Fmt.pf fm "cancel(%s)" why

@@ -61,6 +61,23 @@ type service_fault =
 
 val pp_service_fault : Format.formatter -> service_fault -> unit
 
+(** Faults of the primary→standby replication plane (consumed by
+    [Chase_replica.Shipper]): the shipping connection is really cut, a
+    frame really goes out twice, the shipped bytes are really corrupted
+    in flight, a send is really delayed.  Frame counting is 1-based
+    within one shipper. *)
+type replica_fault =
+  | Cut_ship_after of int
+      (** partition after the [k]-th shipped frame; reconnect + resync *)
+  | Dup_ship of int  (** the [k]-th frame is sent twice *)
+  | Corrupt_ship of int
+      (** the [k]-th frame's payload is corrupted, CRC left intact —
+          the standby must reject it structurally *)
+  | Delay_ship of int * float
+      (** the [k]-th frame is delayed by the given seconds *)
+
+val pp_replica_fault : Format.formatter -> replica_fault -> unit
+
 type t
 
 val create : (int * injection) list -> t

@@ -345,4 +345,59 @@ let rewrite path h records =
   let w = create ~fsync_every:0 tmp h in
   List.iter (append w) records;
   close w;
-  Sys.rename tmp path
+  Fsutil.rename_durable tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Tailing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The replication shipper follows a journal that is still being
+   written: [tail] returns the raw bytes of every {e complete} frame
+   past [offset] — never a torn tail, so shipped byte ranges always
+   end on a frame boundary and the standby's copy is a valid journal
+   prefix at all times.  [offset = 0] includes the magic and the header
+   frame, so the standby's file is byte-identical to the primary's
+   prefix. *)
+let tail path ~offset =
+  if not (Sys.file_exists path) then Error (Fmt.str "no such journal: %s" path)
+  else begin
+    match read_file path with
+    | exception Sys_error m -> Error (Fmt.str "cannot read journal %s: %s" path m)
+    | data ->
+      let mlen = String.length magic in
+      if String.length data < mlen || String.sub data 0 mlen <> magic then
+        Error (Fmt.str "%s is not a chase journal (bad magic)" path)
+      else begin
+        let start = if offset = 0 then 0 else offset in
+        if start > String.length data then
+          Error (Fmt.str "journal %s shrank below offset %d" path offset)
+        else begin
+          (* walk complete frames from the first frame at-or-after
+             [start]; [start] must itself be a frame boundary (or 0) —
+             tail offsets only ever come from a previous [tail] *)
+          let rec skip_to pos =
+            (* frames begin right after the magic *)
+            if pos >= start then pos
+            else
+              match parse_frame data pos with
+              | `Frame (_, _, next) -> skip_to next
+              | `Eof | `Torn _ -> pos
+          in
+          let first = skip_to mlen in
+          if first <> max start mlen then
+            Error (Fmt.str "offset %d is not a frame boundary of %s" offset path)
+          else begin
+            let rec last_good pos =
+              match parse_frame data pos with
+              | `Frame (_, _, next) -> last_good next
+              | `Eof | `Torn _ -> pos
+            in
+            let stop = last_good first in
+            (* offset 0 ships the magic too: the standby's file is then
+               a byte-identical journal prefix *)
+            let from = if offset = 0 then 0 else first in
+            Ok (String.sub data from (stop - from), stop)
+          end
+        end
+      end
+  end

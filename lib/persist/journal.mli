@@ -97,5 +97,14 @@ val truncate_at : string -> int -> unit
 
 val rewrite : string -> header -> Codec.step_record list -> unit
 (** Atomically replace the journal with exactly the given history
-    (write-to-temp + rename) — used when recovery's best history does not
-    coincide with the journal's valid prefix. *)
+    (write-to-temp + rename + directory fsync) — used when recovery's
+    best history does not coincide with the journal's valid prefix. *)
+
+val tail : string -> offset:int -> (string * int, string) result
+(** [tail path ~offset] follows a journal that may still be growing:
+    the raw bytes of every {e complete} frame past [offset] (never a
+    torn tail), plus the new offset to resume from.  [offset = 0]
+    includes the magic and header frame, so the concatenation of
+    successive tails is a byte-identical, always-valid journal prefix —
+    the unit the replication shipper sends.  [offset] must be 0 or a
+    value returned by a previous [tail]. *)

@@ -55,7 +55,8 @@ let write ?(obs = Chase_obs.Obs.disabled) path s =
   output_string oc payload;
   fsync_oc oc;
   close_out_noerr oc;
-  Sys.rename tmp path;
+  (* durable publish: the rename itself must survive a power loss *)
+  Fsutil.rename_durable tmp path;
   if tracked then begin
     Obs.observe obs "snapshot.write_s" (Obs.now obs -. t0);
     Obs.observe obs "snapshot.bytes"

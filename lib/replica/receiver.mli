@@ -1,0 +1,38 @@
+(** The standby side of replication: accepts one shipper at a time,
+    validates every frame structurally (sequencing, name hygiene, CRC)
+    and applies it idempotently to its own spool — duplicates are
+    re-acked without re-applying, anything corrupt or out of order
+    draws a structured nack (which is the re-request: the shipper
+    answers with a full-resync session).  A background thread
+    continuously re-certifies every received journal through
+    {!Chase_persist.Recovery} (repair disabled) against its shipped
+    [.req] program, and each frame's [head - seq] lands in the
+    [repl.lag] metric histogram. *)
+
+type config = {
+  spool_dir : string;
+  socket : string;
+  cert_interval : float;  (** certification cadence; 0 disables *)
+  metrics : string option;  (** JSONL metrics file (chase-metrics/1) *)
+}
+
+val config :
+  ?cert_interval:float ->
+  ?metrics:string ->
+  spool_dir:string ->
+  socket:string ->
+  unit ->
+  config
+
+type t
+
+val start : config -> t
+val stop : t -> unit
+(** Close everything and write final metric summaries. *)
+
+val last_error : t -> string option
+(** The most recent nack reason or certification failure. *)
+
+val stats : t -> (string * int) list
+(** [applied], [cert_fails], [certified], [dups], [nacks], [sessions]
+    — sorted by name. *)

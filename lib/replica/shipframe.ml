@@ -1,0 +1,185 @@
+(** The replication wire vocabulary: what a primary ships to its
+    standby, and what the standby answers.  Framing reuses the service
+    protocol's length-prefixed JSON ({!Chase_service.Proto}); this
+    module is only the payload codec.
+
+    Binary payloads (spool files, journal byte ranges) travel
+    hex-encoded — the JSON layer escapes control characters, and hex
+    keeps the frames printable in traces — and carry their own CRC-32
+    over the {e decoded} bytes, so corruption of the hex text (or of
+    the decode) is caught structurally by {!decode} before the standby
+    applies anything.
+
+    Sequencing: ship frames are numbered 1, 2, 3… {e per session}; a
+    session starts with [Hello] and restarts from scratch on every
+    reconnect, nack, or shipper-side overflow.  Every (re)start ships
+    the complete durable state, so the receiver's application being
+    idempotent is the only invariant needed for correctness — there is
+    no retransmission window to get wrong.  [head] carries the highest
+    sequence number the shipper had enqueued when the frame was sent;
+    [head - seq] is the receiver's measure of replication lag. *)
+
+module Jsonv = Chase_obs.Jsonv
+module Codec = Chase_persist.Codec
+
+type kind =
+  | File
+      (** a whole spool file ([.req], [.resp], [.jnl.snap]): the
+          receiver publishes it atomically *)
+  | Journal of int
+      (** journal bytes at this offset; offset 0 replaces the file
+          (shipper resync or post-compaction reset), any other offset
+          must equal the receiver's current file size *)
+  | Delete  (** the file was removed on the primary *)
+
+type ship = {
+  seq : int;  (** 1-based within the session *)
+  head : int;  (** shipper's highest enqueued seq at send time *)
+  kind : kind;
+  name : string;  (** flat file name inside the spool directory *)
+  data : string;  (** raw bytes (empty for [Delete]) *)
+}
+
+type msg =
+  | Hello of int  (** session number; resets the receiver to seq 1 *)
+  | Ship of ship
+  | Ack of int  (** cumulative: every frame up to [seq] is applied *)
+  | Nack of int * string
+      (** expected seq + reason; the shipper restarts the session *)
+
+(* A spool file name must stay inside the spool directory: path
+   separators or traversal in a shipped name is an attack or a bug,
+   either way a structural reject. *)
+let valid_name name =
+  String.length name > 0
+  && String.length name <= 255
+  && (not (String.contains name '/'))
+  && (not (String.contains name '\\'))
+  && name.[0] <> '.'
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Fmt.str "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex payload"
+  else begin
+    let b = Buffer.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents b)
+      else
+        match (hex_digit s.[i], hex_digit s.[i + 1]) with
+        | Some hi, Some lo ->
+          Buffer.add_char b (Char.chr ((hi lsl 4) lor lo));
+          go (i + 2)
+        | _ -> Error (Fmt.str "bad hex digit at byte %d" i)
+    in
+    go 0
+  end
+
+let encode msg =
+  let obj fields = Jsonv.to_string (Jsonv.Obj fields) in
+  match msg with
+  | Hello session -> obj [ ("t", Jsonv.String "hello"); ("session", Jsonv.Int session) ]
+  | Ack seq -> obj [ ("t", Jsonv.String "ack"); ("seq", Jsonv.Int seq) ]
+  | Nack (seq, why) ->
+    obj
+      [
+        ("t", Jsonv.String "nack");
+        ("seq", Jsonv.Int seq);
+        ("why", Jsonv.String why);
+      ]
+  | Ship s ->
+    let kind, off =
+      match s.kind with
+      | File -> ("file", None)
+      | Journal off -> ("jnl", Some off)
+      | Delete -> ("del", None)
+    in
+    obj
+      ([
+         ("t", Jsonv.String "ship");
+         ("seq", Jsonv.Int s.seq);
+         ("head", Jsonv.Int s.head);
+         ("kind", Jsonv.String kind);
+         ("name", Jsonv.String s.name);
+       ]
+      @ (match off with Some o -> [ ("off", Jsonv.Int o) ] | None -> [])
+      @ [
+          ("data", Jsonv.String (hex_encode s.data));
+          ("crc", Jsonv.Int (Codec.Crc32.digest s.data));
+        ])
+
+let get_int key v =
+  match Jsonv.member key v with
+  | Some (Jsonv.Int n) -> Ok n
+  | _ -> Error (Fmt.str "missing or non-integer %S" key)
+
+let get_str key v =
+  match Jsonv.member key v with
+  | Some (Jsonv.String s) -> Ok s
+  | _ -> Error (Fmt.str "missing or non-string %S" key)
+
+let ( let* ) = Result.bind
+
+let decode payload =
+  match Jsonv.of_string payload with
+  | Error msg -> Error (Fmt.str "not JSON: %s" msg)
+  | Ok v -> (
+    let* t = get_str "t" v in
+    match t with
+    | "hello" ->
+      let* session = get_int "session" v in
+      Ok (Hello session)
+    | "ack" ->
+      let* seq = get_int "seq" v in
+      Ok (Ack seq)
+    | "nack" ->
+      let* seq = get_int "seq" v in
+      let* why = get_str "why" v in
+      Ok (Nack (seq, why))
+    | "ship" ->
+      let* seq = get_int "seq" v in
+      let* head = get_int "head" v in
+      let* kind_s = get_str "kind" v in
+      let* name = get_str "name" v in
+      let* hex = get_str "data" v in
+      let* crc = get_int "crc" v in
+      let* kind =
+        match kind_s with
+        | "file" -> Ok File
+        | "del" -> Ok Delete
+        | "jnl" ->
+          let* off = get_int "off" v in
+          if off < 0 then Error "negative journal offset" else Ok (Journal off)
+        | other -> Error (Fmt.str "unknown ship kind %S" other)
+      in
+      if not (valid_name name) then Error (Fmt.str "invalid file name %S" name)
+      else
+        let* data = hex_decode hex in
+        if Codec.Crc32.digest data <> crc then
+          Error (Fmt.str "crc mismatch on %S (seq %d)" name seq)
+        else Ok (Ship { seq; head; kind; name; data })
+    | other -> Error (Fmt.str "unknown message type %S" other))
+
+let pp_kind fm = function
+  | File -> Fmt.string fm "file"
+  | Journal off -> Fmt.pf fm "jnl@%d" off
+  | Delete -> Fmt.string fm "del"
+
+let pp fm = function
+  | Hello s -> Fmt.pf fm "hello(session %d)" s
+  | Ack n -> Fmt.pf fm "ack %d" n
+  | Nack (n, why) -> Fmt.pf fm "nack %d (%s)" n why
+  | Ship s ->
+    Fmt.pf fm "ship %d/%d %a %s (%d bytes)" s.seq s.head pp_kind s.kind s.name
+      (String.length s.data)

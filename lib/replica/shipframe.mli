@@ -1,0 +1,40 @@
+(** Payload codec of the primary→standby replication stream (framing is
+    {!Chase_service.Proto}'s length-prefixed JSON).  Binary payloads
+    travel hex-encoded and carry a CRC-32 over the decoded bytes;
+    {!decode} rejects corruption structurally, before anything is
+    applied.  Sequence numbers are 1-based {e per session}; a session
+    ([Hello]) restarts on every reconnect, nack or overflow and always
+    re-ships the complete durable state, so idempotent application is
+    the receiver's only correctness obligation. *)
+
+type kind =
+  | File  (** a whole spool file, published atomically *)
+  | Journal of int
+      (** journal bytes at this offset; 0 replaces the file, any other
+          offset must equal the receiver's current size *)
+  | Delete
+
+type ship = {
+  seq : int;  (** 1-based within the session *)
+  head : int;  (** shipper's highest enqueued seq at send time *)
+  kind : kind;
+  name : string;  (** flat file name inside the spool directory *)
+  data : string;  (** raw bytes (empty for [Delete]) *)
+}
+
+type msg =
+  | Hello of int  (** session number; resets the receiver to seq 1 *)
+  | Ship of ship
+  | Ack of int  (** cumulative *)
+  | Nack of int * string  (** expected seq + reason; forces a resync *)
+
+val valid_name : string -> bool
+(** No path separators, no leading dot, 1–255 bytes. *)
+
+val encode : msg -> string
+
+val decode : string -> (msg, string) result
+(** Rejects malformed JSON, unknown types, invalid names, odd or
+    non-hex payloads, and CRC mismatches. *)
+
+val pp : Format.formatter -> msg -> unit

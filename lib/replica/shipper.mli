@@ -1,0 +1,54 @@
+(** The primary side of replication: streams the durable spool
+    (request/response files, write-ahead journals, snapshots) to a
+    standby {!Receiver} as {!Shipframe} messages.
+
+    Semi-synchronous by default: the server's [on_durable] hook blocks
+    the client acknowledgement until the standby confirms the shipped
+    bytes or [sync_timeout] elapses — after which shipping degrades to
+    asynchronous (recorded as the [repl.lagging] metric and in
+    {!stats}) instead of stalling the primary.  Every (re)connect
+    ships the complete durable state; the bounded queue overflows into
+    exactly that resync path. *)
+
+type config = {
+  spool_dir : string;
+  ship_socket : string;
+  sync_timeout : float;  (** 0 = fully asynchronous *)
+  buffer_cap : int;
+  poll_interval : float;  (** journal tailer cadence *)
+  connect_retry : float;
+  faults : Chase_engine.Faults.replica_fault list;
+}
+
+val config :
+  ?sync_timeout:float ->
+  ?buffer_cap:int ->
+  ?poll_interval:float ->
+  ?connect_retry:float ->
+  ?faults:Chase_engine.Faults.replica_fault list ->
+  spool_dir:string ->
+  ship_socket:string ->
+  unit ->
+  config
+
+type t
+
+val start : ?obs:Chase_obs.Obs.t -> config -> t
+(** Spawns the sender (connect → hello → resync → drain) and the
+    journal tailer.  A missing standby is retried forever — the
+    primary serves regardless. *)
+
+val on_durable : t -> [ `Req | `Resp ] -> key:string -> string -> unit
+(** Wire this as the server's [on_durable] hook.  Ships the bytes and,
+    in semi-sync mode, waits for the standby's ack up to
+    [sync_timeout]. *)
+
+val quiesce : t -> timeout:float -> bool
+(** Wait until everything enqueued so far is acked ([true]) or the
+    timeout passes ([false]). *)
+
+val stop : t -> unit
+
+val stats : t -> (string * int) list
+(** [degraded], [enqueued], [laggings], [overflows], [queue], [sent],
+    [sessions], [synced] — sorted by name. *)

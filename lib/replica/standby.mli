@@ -1,0 +1,47 @@
+(** A standby chase daemon: a {!Receiver} on the ship socket plus a
+    stub loop on the service socket answering control ops only (work
+    draws the structured ["standby: …"] refusal a failover client keys
+    on).  On [promote] — the wire op or {!promote} — the receiver and
+    stub stop and an ordinary {!Chase_service.Server} boots on the
+    same spool: its standard boot recovery certifies every received
+    journal by replay and completes every acknowledged request by
+    deterministic re-run from step zero, so a promoted standby's
+    responses are byte-identical to the dead primary's. *)
+
+type config = {
+  server : Chase_service.Server.config;
+      (** the server this standby becomes; its [spool_dir] (required)
+          receives the shipped state *)
+  ship_socket : string;
+  cert_interval : float;
+  metrics : string option;  (** the receiver's metrics file *)
+}
+
+val config :
+  ?cert_interval:float ->
+  ?metrics:string ->
+  server:Chase_service.Server.config ->
+  ship_socket:string ->
+  unit ->
+  config
+
+type t
+
+val start : config -> t
+(** @raise Invalid_argument when the server config has no spool_dir. *)
+
+val promote : t -> unit
+(** Stop receiving, boot the server, run boot recovery.  Idempotent. *)
+
+val is_promoted : t -> bool
+
+val receiver : t -> Receiver.t option
+(** [None] once promoted. *)
+
+val server : t -> Chase_service.Server.t option
+(** [None] until promoted. *)
+
+val wait : t -> unit
+(** Block until shut down (through promotion, if one happens). *)
+
+val stop : ?graceful:bool -> t -> unit

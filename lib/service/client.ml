@@ -15,12 +15,20 @@
 
 type t = { fd : Unix.file_descr; mutable stash : (string * Proto.response) list }
 
-let connect ~socket =
+let connect ?rcv_timeout ~socket () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | () -> Ok { fd; stash = [] }
+  | () ->
+    (match rcv_timeout with
+    | Some s -> (
+      (* liveness bound: a failover client streaming progress treats a
+         silent connection as a dead primary *)
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    | None -> ());
+    Ok { fd; stash = [] }
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error (Fmt.str "cannot connect to %s: %s" socket (Unix.error_message e))
@@ -33,11 +41,18 @@ let send t req =
   | exception Unix.Unix_error (e, _, _) ->
     Error (Fmt.str "send failed: %s" (Unix.error_message e))
 
-(* Receive the response for [id]; responses for other in-flight ids on
-   this connection are stashed for their own callers. *)
-let recv t ~id =
+(* Receive the {e final} response for [id]; interleaved [progress]
+   frames for [id] go to [on_progress] and the wait continues.
+   Responses for other in-flight ids on this connection are stashed for
+   their own callers (their progress frames included — each caller
+   drains its own). *)
+let recv ?(on_progress = fun (_ : Proto.progress) -> ()) t ~id =
   let rec loop () =
     match List.assoc_opt id t.stash with
+    | Some (Proto.Progress p) ->
+      t.stash <- List.remove_assoc id t.stash;
+      on_progress p;
+      loop ()
     | Some resp ->
       t.stash <- List.remove_assoc id t.stash;
       Ok resp
@@ -50,6 +65,9 @@ let recv t ~id =
       | `Frame payload -> (
         match Proto.decode_response payload with
         | Error msg -> Error (Fmt.str "undecodable response: %s" msg)
+        | Ok (rid, Proto.Progress p) when rid = id ->
+          on_progress p;
+          loop ()
         | Ok (rid, resp) ->
           if rid = id then Ok resp
           else begin
@@ -59,10 +77,10 @@ let recv t ~id =
   in
   loop ()
 
-let call t req =
+let call ?on_progress t req =
   match send t req with
   | Error _ as e -> e
-  | Ok () -> recv t ~id:req.Proto.id
+  | Ok () -> recv ?on_progress t ~id:req.Proto.id
 
 (* Deterministic jitter: a tiny LCG seeded per retry loop, so tests
    replay exactly and the fleet still spreads out. *)
@@ -74,20 +92,29 @@ let next_jitter st =
 
 type failure =
   | Rejected of Proto.response  (** definitive: bad-request / error *)
-  | Gave_up of string  (** attempts exhausted; last retryable error *)
+  | Gave_up of { attempts : int; total_wait : float; last : string }
+      (** attempts exhausted: how many were made, how long was spent
+          backing off, and the last retryable error *)
 
 let pp_failure fm = function
   | Rejected r -> Proto.pp_response fm r
-  | Gave_up msg -> Fmt.pf fm "gave up: %s" msg
+  | Gave_up { attempts; total_wait; last } ->
+    Fmt.pf fm "gave up after %d attempts (%.3fs backing off): %s" attempts
+      total_wait last
 
 (* One-shot call with retries: fresh connection per attempt (the
-   previous one may be half-dead), exponential backoff with jitter,
-   the server's retry_after honoured as a floor. *)
+   previous one may be half-dead), exponential backoff with jitter.
+   The server's retry_after is honoured as a floor, but [max_delay] is
+   a hard ceiling over everything — jitter and server hints included —
+   so a confused server cannot wedge the client into hour-long naps. *)
 let call_retry ?(attempts = 8) ?(base_delay = 0.05) ?(max_delay = 2.0)
-    ?(seed = 0) ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) ~socket req =
+    ?(seed = 0) ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) ?on_progress
+    ~socket req =
   let st = jitter_state (seed + Hashtbl.hash req.Proto.id) in
+  let total_wait = ref 0. in
   let rec go attempt last_err =
-    if attempt >= attempts then Error (Gave_up last_err)
+    if attempt >= attempts then
+      Error (Gave_up { attempts; total_wait = !total_wait; last = last_err })
     else begin
       let backoff () =
         let d =
@@ -100,20 +127,25 @@ let call_retry ?(attempts = 8) ?(base_delay = 0.05) ?(max_delay = 2.0)
         let delay =
           match after with Some a -> Float.max a (backoff ()) | None -> backoff ()
         in
+        let delay = Float.min delay max_delay in
+        total_wait := !total_wait +. delay;
         on_retry ~attempt ~delay msg;
         Thread.delay delay;
         go (attempt + 1) msg
       in
-      match connect ~socket with
+      match connect ~socket () with
       | Error msg -> retry msg
       | Ok conn -> (
-        let r = call conn req in
+        let r = call ?on_progress conn req in
         close conn;
         match r with
         | Error msg -> retry msg
         | Ok (Proto.Overloaded after) ->
           retry ~after (Fmt.str "overloaded (retry after %.3fs)" after)
         | Ok (Proto.Ok_response _ as resp) -> Ok resp
+        | Ok (Proto.Progress _) ->
+          (* recv never returns a progress frame as final; defensive *)
+          retry "stray progress frame"
         | Ok ((Proto.Bad_request _ | Proto.Server_error _ | Proto.Bad_frame _) as resp)
           ->
           (* bad-frame on a fresh, well-formed send means the server

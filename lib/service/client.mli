@@ -8,20 +8,37 @@
 
 type t
 
-val connect : socket:string -> (t, string) result
+val connect : ?rcv_timeout:float -> socket:string -> unit -> (t, string) result
+(** [rcv_timeout] bounds every read on the connection ([SO_RCVTIMEO]) —
+    the failover client's liveness bound: a streaming request whose
+    progress frames stop arriving within the bound means a dead
+    primary, not a slow chase. *)
+
 val close : t -> unit
 
-val call : t -> Proto.request -> (Proto.response, string) result
-(** Send one request and wait for its response on this connection
-    (responses to other pipelined ids are stashed, not lost).  The
-    error case means the connection is unusable. *)
+val call :
+  ?on_progress:(Proto.progress -> unit) ->
+  t ->
+  Proto.request ->
+  (Proto.response, string) result
+(** Send one request and wait for its {e final} response on this
+    connection; interleaved [progress] frames go to [on_progress]
+    (dropped by default).  Responses to other pipelined ids are
+    stashed, not lost.  The error case means the connection is
+    unusable. *)
 
 val send : t -> Proto.request -> (unit, string) result
-val recv : t -> id:string -> (Proto.response, string) result
+
+val recv :
+  ?on_progress:(Proto.progress -> unit) ->
+  t ->
+  id:string ->
+  (Proto.response, string) result
 
 type failure =
   | Rejected of Proto.response  (** definitive server answer *)
-  | Gave_up of string  (** attempts exhausted; last retryable error *)
+  | Gave_up of { attempts : int; total_wait : float; last : string }
+      (** attempts exhausted: how many, total backoff spent, last error *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
@@ -31,8 +48,11 @@ val call_retry :
   ?max_delay:float ->
   ?seed:int ->
   ?on_retry:(attempt:int -> delay:float -> string -> unit) ->
+  ?on_progress:(Proto.progress -> unit) ->
   socket:string ->
   Proto.request ->
   (Proto.response, failure) result
 (** Fresh connection per attempt.  [Ok] is always an
-    [Proto.Ok_response].  [seed] makes the jitter reproducible. *)
+    [Proto.Ok_response].  [seed] makes the jitter reproducible;
+    [max_delay] is a hard ceiling on every single backoff, the server's
+    [retry_after_s] hint included. *)

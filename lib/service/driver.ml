@@ -113,17 +113,25 @@ let preflight_rules ~err ~file ~lint lrules =
       List.iter (fun d -> Fmt.pf err "%a@." (Diagnostic.pp ~file) d) diags;
       false
 
-let watchdog_of ~err ~obs progress =
-  if progress then
+let watchdog_of ?on_snapshot ~err ~obs progress =
+  if (not progress) && Option.is_none on_snapshot then None
+  else
+    (* the human stderr ticker is coarse; a machine consumer (the
+       service's streaming progress frames) wants finer grain *)
+    let every, min_interval =
+      if progress then (1024, 0.25) else (256, 0.05)
+    in
     Some
-      (Watchdog.create ~every:1024 ~min_interval:0.25 (fun s ->
+      (Watchdog.create ~every ~min_interval (fun s ->
            Obs.series obs "watchdog" (Watchdog.fields s);
            Obs.flush obs;
-           Fmt.pf err "%a@." Watchdog.pp_snapshot s;
-           (* explicit flush: a kill mid-interval must not eat buffered
-              progress lines *)
-           Format.pp_print_flush err ()))
-  else None
+           if progress then begin
+             Fmt.pf err "%a@." Watchdog.pp_snapshot s;
+             (* explicit flush: a kill mid-interval must not eat buffered
+                progress lines *)
+             Format.pp_print_flush err ()
+           end;
+           Option.iter (fun f -> f s) on_snapshot))
 
 (* ------------------------------------------------------------------ *)
 (* chase                                                               *)
@@ -159,13 +167,19 @@ type chase_opts = {
       (** where resume/recovery diagnostics go (default [err]).  The
           service points this at its own log so a kill-resumed durable
           run's response stays byte-identical to a single-shot one *)
+  on_progress : (Watchdog.snapshot -> unit) option;
+      (** machine-readable progress: called at watchdog cadence with
+          each snapshot.  Independent of [progress] (the human stderr
+          ticker) and never touches [out]/[err], so enabling it cannot
+          change the response bytes *)
 }
 
 let chase_opts ?(variant = Variant.Oblivious) ?(budget = 100_000)
     ?(max_atoms = 400_000) ?timeout ?(progress = false) ?(critical = false)
     ?(standard = false) ?(quiet = false) ?journal ?(snapshot_every = 512)
     ?(journal_sync = 64) ?resume ?(resume_or_start = false) ?(lint = false)
-    ?trace ?metrics ?(profile = false) ?cancel ?on_status ?resume_log () =
+    ?trace ?metrics ?(profile = false) ?cancel ?on_status ?resume_log
+    ?on_progress () =
   {
     variant;
     budget;
@@ -187,6 +201,7 @@ let chase_opts ?(variant = Variant.Oblivious) ?(budget = 100_000)
     cancel;
     on_status;
     resume_log;
+    on_progress;
   }
 
 let chase o ~file ~src ~out ~err =
@@ -219,7 +234,9 @@ let chase o ~file ~src ~out ~err =
             ?timeout:o.timeout ?cancel:o.cancel ()
         in
         let config = { Engine.variant = o.variant; limits } in
-        let watchdog = watchdog_of ~err ~obs o.progress in
+        let watchdog =
+          watchdog_of ?on_snapshot:o.on_progress ~err ~obs o.progress
+        in
         (* Durability wiring: a fresh journal, a resumed one, or none. *)
         let durability =
           match o.resume with

@@ -94,6 +94,7 @@ type op =
   | Query
   | Stats
   | Shutdown
+  | Promote
 
 let op_to_string = function
   | Ping -> "ping"
@@ -103,6 +104,7 @@ let op_to_string = function
   | Query -> "query"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | Promote -> "promote"
 
 let op_of_string = function
   | "ping" -> Some Ping
@@ -112,6 +114,7 @@ let op_of_string = function
   | "query" -> Some Query
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
+  | "promote" -> Some Promote
   | _ -> None
 
 let pp_op fm o = Fmt.string fm (op_to_string o)
@@ -128,11 +131,15 @@ type request = {
   durable : bool;  (** chase only: spool + journal the run *)
   standard : bool;  (** decide: standard databases *)
   query : string option;  (** query op: one rule, head = answer atom *)
+  stream : bool;
+      (** chase only: interleave [progress] frames before the final
+          response.  Excluded from the idempotency key — the final
+          bytes are identical either way. *)
 }
 
 let request ?(id = "0") ?(file = "<request>") ?(program = "") ?variant ?budget
-    ?timeout_s ?(quiet = false) ?(durable = false) ?(standard = true) ?query op
-    =
+    ?timeout_s ?(quiet = false) ?(durable = false) ?(standard = true) ?query
+    ?(stream = false) op =
   {
     id;
     op;
@@ -145,6 +152,7 @@ let request ?(id = "0") ?(file = "<request>") ?(program = "") ?variant ?budget
     durable;
     standard;
     query;
+    stream;
   }
 
 let encode_request r =
@@ -165,7 +173,8 @@ let encode_request r =
            ("durable", Jsonv.Bool r.durable);
            ("standard", Jsonv.Bool r.standard);
          ]
-       @ opt (fun q -> ("query", Jsonv.String q)) r.query))
+       @ opt (fun q -> ("query", Jsonv.String q)) r.query
+       @ (if r.stream then [ ("stream", Jsonv.Bool true) ] else [])))
 
 let get_string k v = Option.bind (Jsonv.member k v) Jsonv.to_string_opt
 
@@ -201,13 +210,15 @@ let decode_request payload =
               durable = get_bool ~default:false "durable" v;
               standard = get_bool ~default:true "standard" v;
               query = get_string "query" v;
+              stream = get_bool ~default:false "stream" v;
             }))
     | _ -> Error "request is not a JSON object")
 
 (** The idempotency key: everything that determines the result bytes —
-    and nothing that does not ([id] and the deadline are excluded, so a
-    retried request with a fresh deadline deduplicates against the
-    original). *)
+    and nothing that does not ([id], the deadline and [stream] are
+    excluded, so a retried request with a fresh deadline deduplicates
+    against the original, and a streaming request shares the flight of
+    a plain one — the final frame's bytes are the same). *)
 let request_key r =
   Digest.to_hex
     (Digest.string
@@ -235,8 +246,24 @@ type result = {
   cached : bool;  (** served from the verdict cache or a joined flight *)
 }
 
+type progress = {
+  step : int;  (** trigger applications so far *)
+  atoms : int;  (** current instance cardinality *)
+  nulls : int;  (** fresh nulls invented so far *)
+  elapsed : float;  (** wall-clock seconds since the run started *)
+}
+
+let pp_progress fm p =
+  Fmt.pf fm "step %d · %d atoms · %d nulls · %.1fs" p.step p.atoms p.nulls
+    p.elapsed
+
 type response =
   | Ok_response of result
+  | Progress of progress
+      (** streaming only: a watchdog snapshot of a long chase, sent
+          strictly before the final response — and the liveness signal
+          a failover client uses to tell a slow chase from a dead
+          server *)
   | Overloaded of float  (** seconds to wait before retrying *)
   | Bad_frame of string  (** framing broke; the connection is closing *)
   | Bad_request of string  (** well-framed but unintelligible or invalid *)
@@ -247,6 +274,15 @@ let encode_response ~id resp =
   Jsonv.to_string
     (Jsonv.Obj
        (match resp with
+       | Progress p ->
+         base
+         @ [
+             ("status", Jsonv.String "progress");
+             ("step", Jsonv.Int p.step);
+             ("atoms", Jsonv.Int p.atoms);
+             ("nulls", Jsonv.Int p.nulls);
+             ("elapsed_s", Jsonv.Float p.elapsed);
+           ]
        | Ok_response r ->
          base
          @ [
@@ -291,6 +327,18 @@ let decode_response payload =
               stderr = Option.value ~default:"" (get_string "stderr" v);
               cached = get_bool ~default:false "cached" v;
             } )
+    | Some "progress" ->
+      Ok
+        ( id,
+          Progress
+            {
+              step = Option.value ~default:0 (get_int "step" v);
+              atoms = Option.value ~default:0 (get_int "atoms" v);
+              nulls = Option.value ~default:0 (get_int "nulls" v);
+              elapsed =
+                Option.value ~default:0.
+                  (Option.bind (Jsonv.member "elapsed_s" v) Jsonv.to_float_opt);
+            } )
     | Some "overloaded" ->
       let ra =
         Option.value ~default:0.1
@@ -305,6 +353,7 @@ let decode_response payload =
 
 let pp_response fm = function
   | Ok_response r -> Fmt.pf fm "ok (exit %d)" r.exit_code
+  | Progress p -> Fmt.pf fm "progress (%a)" pp_progress p
   | Overloaded ra -> Fmt.pf fm "overloaded (retry after %.3fs)" ra
   | Bad_frame m -> Fmt.pf fm "bad-frame: %s" m
   | Bad_request m -> Fmt.pf fm "bad-request: %s" m

@@ -39,6 +39,9 @@ type op =
   | Query
   | Stats
   | Shutdown
+  | Promote
+      (** turn a standby into the serving primary (idempotent on a
+          server that is already serving) *)
 
 val op_to_string : op -> string
 val op_of_string : string -> op option
@@ -56,6 +59,9 @@ type request = {
   durable : bool;  (** chase only: spool + journal the run *)
   standard : bool;  (** decide: standard databases *)
   query : string option;  (** query op: one rule, head = answer atom *)
+  stream : bool;
+      (** chase only: interleave [progress] frames before the final
+          response; the final bytes are identical either way *)
 }
 
 val request :
@@ -69,6 +75,7 @@ val request :
   ?durable:bool ->
   ?standard:bool ->
   ?query:string ->
+  ?stream:bool ->
   op ->
   request
 
@@ -77,8 +84,9 @@ val decode_request : string -> (request, string) result
 
 val request_key : request -> string
 (** The idempotency key: an MD5 hex over everything that determines the
-    result bytes, excluding [id] and [timeout_s] — so a retried request
-    with a fresh deadline deduplicates against the original. *)
+    result bytes, excluding [id], [timeout_s] and [stream] — so a
+    retried request with a fresh deadline deduplicates against the
+    original, and streaming does not partition the cache. *)
 
 (** {1 Responses} *)
 
@@ -89,8 +97,21 @@ type result = {
   cached : bool;  (** served from the verdict cache or a joined flight *)
 }
 
+type progress = {
+  step : int;  (** trigger applications so far *)
+  atoms : int;  (** current instance cardinality *)
+  nulls : int;  (** fresh nulls invented so far *)
+  elapsed : float;  (** wall-clock seconds since the run started *)
+}
+
+val pp_progress : Format.formatter -> progress -> unit
+
 type response =
   | Ok_response of result
+  | Progress of progress
+      (** streaming only: a watchdog snapshot interleaved strictly
+          before the final response of a long chase — also the
+          liveness signal the failover client reads *)
   | Overloaded of float  (** seconds to wait before retrying *)
   | Bad_frame of string  (** framing broke; the connection is closing *)
   | Bad_request of string  (** well-framed but unintelligible or invalid *)

@@ -29,6 +29,7 @@ module Faults = Chase_engine.Faults
 module Limits = Chase_engine.Limits
 module Variant = Chase_engine.Variant
 module Engine = Chase_engine.Engine
+module Watchdog = Chase_engine.Watchdog
 module Obs = Chase_obs.Obs
 
 type config = {
@@ -45,12 +46,17 @@ type config = {
   read_timeout : float;  (** slow-loris bound on mid-frame stalls *)
   metrics : string option;
   faults : Faults.service_fault list;
+  on_durable : ([ `Req | `Resp ] -> key:string -> string -> unit) option;
+      (** called with the exact bytes just made durable in the spool,
+          after the local fsync and before the client is answered — the
+          replication shipper's semi-synchronous hook.  The server knows
+          nothing about replication; it only promises the ordering *)
 }
 
 let config ?(workers = 4) ?(queue_cap = 16) ?(pool_total = 400_000)
     ?(per_request_cap = 100_000) ?(min_grant = 1_000) ?(cache_capacity = 256)
     ?spool_dir ?(default_timeout = 30.) ?(max_frame = Proto.default_max_frame)
-    ?(read_timeout = 10.) ?metrics ?(faults = []) socket =
+    ?(read_timeout = 10.) ?metrics ?(faults = []) ?on_durable socket =
   {
     socket;
     workers;
@@ -65,6 +71,7 @@ let config ?(workers = 4) ?(queue_cap = 16) ?(pool_total = 400_000)
     read_timeout;
     metrics;
     faults;
+    on_durable;
   }
 
 type conn = {
@@ -201,7 +208,7 @@ let variant_of req ~default =
    must not be cached (a retry with a fresh deadline deserves a fresh
    run), and neither may anything whose bytes embed wall-clock time —
    exhaustion diagnostics, Unknown decide verdicts. *)
-let execute t req ~grant ~timeout ~cancel =
+let execute t req ~grant ~timeout ~cancel ~progress =
   let out_buf, out = buffer_formatter () in
   let err_buf, err = buffer_formatter () in
   let breached = ref false in
@@ -262,11 +269,26 @@ let execute t req ~grant ~timeout ~cancel =
           else (Some jpath, None, false)
         | _ -> (None, None, false)
       in
+      (* streaming: forward watchdog snapshots as [progress] frames.
+         The callback never touches [out]/[err], so the final response
+         bytes are identical whether or not anyone is streaming *)
+      let on_progress =
+        Option.map
+          (fun send (s : Watchdog.snapshot) ->
+            send
+              {
+                Proto.step = s.Watchdog.step;
+                atoms = s.Watchdog.facts;
+                nulls = s.Watchdog.nulls;
+                elapsed = s.Watchdog.elapsed;
+              })
+          progress
+      in
       let o =
         Driver.chase_opts ~variant ~budget:grant ~max_atoms:(4 * grant)
           ~timeout ~quiet:req.Proto.quiet ~standard:req.Proto.standard
           ?journal ?resume ~resume_or_start ~cancel ~on_status
-          ~resume_log:sink_formatter ()
+          ~resume_log:sink_formatter ?on_progress ()
       in
       finish (Driver.chase o ~file ~src ~out ~err))
   | Proto.Query -> (
@@ -284,7 +306,7 @@ let execute t req ~grant ~timeout ~cancel =
   | Proto.Lint ->
     let o = Driver.lint_opts ~budget:grant ~standard:req.Proto.standard () in
     finish (Driver.lint_one o ~file ~src ~out ~err)
-  | Proto.Ping | Proto.Stats | Proto.Shutdown ->
+  | Proto.Ping | Proto.Stats | Proto.Shutdown | Proto.Promote ->
     (* handled inline by the connection thread *)
     finish 0
 
@@ -299,7 +321,7 @@ let default_budget = function
 
 (* The worker-side job.  [reply] abstracts over "a connection" vs "boot
    recovery" (which has nobody to answer). *)
-let run_job t req ~key ~reply =
+let run_job t req ~key ~progress ~reply =
   let t0 = Unix.gettimeofday () in
   let timeout_s =
     Option.value ~default:t.cfg.default_timeout req.Proto.timeout_s
@@ -323,7 +345,7 @@ let run_job t req ~key ~reply =
             t.tokens <- List.filter (fun c -> c != cancel) t.tokens))
       (fun () ->
         let timeout = Float.max 0.01 (deadline -. Unix.gettimeofday ()) in
-        let result, retain = execute t req ~grant ~timeout ~cancel in
+        let result, retain = execute t req ~grant ~timeout ~cancel ~progress in
         if t.killed then
           (* simulated crash: the process is "dead" — nothing visible
              may happen after this point *)
@@ -331,8 +353,11 @@ let run_job t req ~key ~reply =
         else begin
           (match (req.Proto.durable, t.spool) with
           | true, Some spool ->
-            Spool.put_response spool ~key
-              (Proto.encode_response ~id:"-" (Proto.Ok_response result))
+            let bytes =
+              Proto.encode_response ~id:"-" (Proto.Ok_response result)
+            in
+            Spool.put_response spool ~key bytes;
+            Option.iter (fun f -> f `Resp ~key bytes) t.cfg.on_durable
           | _ -> ());
           Cache.publish t.cache key (Some result) ~retain;
           with_obs t (fun obs ->
@@ -345,7 +370,7 @@ let run_job t req ~key ~reply =
 
 (* The connection-side (or recovery-side) entry: spool-served, cache
    hit, joined flight, or leadership + admission. *)
-let handle_work t req ~reply =
+let handle_work ?progress t req ~reply =
   let key = Proto.request_key req in
   let spooled =
     match (req.Proto.durable, t.spool) with
@@ -374,9 +399,11 @@ let handle_work t req ~reply =
          kill cannot lose the request, only delay it *)
       (match (req.Proto.durable, t.spool) with
       | true, Some spool ->
-        Spool.put_request spool ~key (Proto.encode_request req)
+        let bytes = Proto.encode_request req in
+        Spool.put_request spool ~key bytes;
+        Option.iter (fun f -> f `Req ~key bytes) t.cfg.on_durable
       | _ -> ());
-      let run () = run_job t req ~key ~reply in
+      let run () = run_job t req ~key ~progress ~reply in
       let abandon () =
         Cache.abort t.cache key;
         reply (Proto.Server_error "server shutting down")
@@ -526,8 +553,21 @@ let rec handle_conn t conn =
             (* stop from a fresh thread: stop joins this thread *)
             ignore (Thread.create (fun () -> graceful_stop t) ());
             ()
+          | Proto.Promote ->
+            (* a serving primary is already what a promotion asks for;
+               real promotions are handled by the standby's stub loop *)
+            reply (ok_result "already-primary\n");
+            loop ()
           | Proto.Decide | Proto.Chase | Proto.Lint | Proto.Query ->
-            handle_work t req ~reply;
+            (* streaming: only a leading chase emits progress frames —
+               cache hits, joined flights and spool-served responses
+               answer with the final frame alone *)
+            let progress =
+              if req.Proto.stream && req.Proto.op = Proto.Chase then
+                Some (fun p -> reply (Proto.Progress p))
+              else None
+            in
+            handle_work ?progress t req ~reply;
             loop ()))
   in
   loop ()

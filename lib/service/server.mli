@@ -19,6 +19,10 @@ type config = {
   read_timeout : float;  (** slow-loris bound on mid-frame stalls *)
   metrics : string option;  (** JSONL metrics file (chase-metrics/1) *)
   faults : Chase_engine.Faults.service_fault list;
+  on_durable : ([ `Req | `Resp ] -> key:string -> string -> unit) option;
+      (** called with the exact bytes just made durable in the spool,
+          after the local fsync and before the client is answered — the
+          replication shipper's semi-synchronous hook *)
 }
 
 val config :
@@ -34,6 +38,7 @@ val config :
   ?read_timeout:float ->
   ?metrics:string ->
   ?faults:Chase_engine.Faults.service_fault list ->
+  ?on_durable:([ `Req | `Resp ] -> key:string -> string -> unit) ->
   string ->
   config
 (** [config socket] with serviceable defaults (4 workers, queue of 16,

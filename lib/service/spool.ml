@@ -23,25 +23,8 @@ let resp_path t ~key = Filename.concat t.dir (key ^ ".resp")
 
 (* Atomic durable write: temp file in the same directory, fsync, rename
    over the target, fsync the directory so the rename itself is
-   durable. *)
-let write_atomic path data =
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let b = Bytes.of_string data in
-      let pos = ref 0 in
-      while !pos < Bytes.length b do
-        pos := !pos + Unix.write fd b !pos (Bytes.length b - !pos)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp path;
-  (match Unix.openfile (Filename.dirname path) [ O_RDONLY; O_CLOEXEC ] 0 with
-  | dirfd ->
-    (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
-    Unix.close dirfd
-  | exception Unix.Unix_error _ -> ())
+   durable — the shared {!Chase_persist.Fsutil} cycle. *)
+let write_atomic path data = Chase_persist.Fsutil.write_atomic path data
 
 let read_file path =
   match open_in_bin path with

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
       ("service-chaos", Test_service_chaos.suite);
+      ("replica", Test_replica.suite);
     ]

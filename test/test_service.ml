@@ -518,7 +518,7 @@ let test_server_overload () =
                     ~program:(divergent i) ~budget:60_000 ~quiet:true
                     Proto.Chase
                 in
-                match Client.connect ~socket with
+                match Client.connect ~socket () with
                 | Error _ -> ()
                 | Ok conn ->
                   (match Client.call conn req with

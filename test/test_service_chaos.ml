@@ -218,7 +218,7 @@ let storm ~socket =
                 (* cacheable corpus work: whatever completes must be
                    byte-perfect, shed or join-the-flight both fine *)
                 let exp = List.nth fast ((i + j) mod nfast) in
-                match Client.connect ~socket with
+                match Client.connect ~socket () with
                 | Error _ -> Alcotest.fail "storm: connect refused"
                 | Ok conn ->
                   (match Client.call conn exp.req with
@@ -241,7 +241,7 @@ let storm ~socket =
                   Proto.request ~file:"t.chase" ~program ~budget:20_000
                     ~quiet:true Proto.Chase
                 in
-                match Client.connect ~socket with
+                match Client.connect ~socket () with
                 | Error _ -> Alcotest.fail "storm: connect refused"
                 | Ok conn ->
                   (match Client.call conn req with
