@@ -1,6 +1,6 @@
 # Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test check-naive smoke obs-smoke soak soak-failover lint fmt fmt-ml check clean
+.PHONY: all build test check-naive check-parallel smoke obs-smoke soak soak-failover lint fmt fmt-ml check clean
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 # guards the normative semantics behind the join planner
 check-naive:
 	CHASE_NAIVE=1 dune runtest --force
+
+# the same suite with every chase fanned across 4 domains
+# (CHASE_DOMAINS=4): guards the freeze-shard-merge determinism doctrine
+# — the whole battery must behave bit-identically to sequential runs
+check-parallel:
+	CHASE_DOMAINS=4 dune runtest --force
 
 # quick confidence: the CLI cram suite only (builds both binaries,
 # exercises parsing, the chase, limits/timeout degradation and reports)

@@ -57,9 +57,10 @@ let variant_conv =
    with the service daemon; this executable only parses argv and reads
    the file. *)
 let run file variant budget max_atoms timeout progress critical standard quiet
-    naive journal snapshot_every journal_sync resume lint trace metrics
-    profile =
+    naive domains journal snapshot_every journal_sync resume lint trace
+    metrics profile =
   if naive then Hom.set_matcher Hom.Naive;
+  Option.iter Parallel.set_domains domains;
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
@@ -127,6 +128,23 @@ let naive_arg =
                  semantics) instead of the join-planned one.  Equivalent \
                  to setting CHASE_NAIVE=1.")
 
+let domains_conv =
+  let parse s =
+    match Parallel.parse_domains s with
+    | Ok d -> Ok d
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Fmt.int)
+
+let domains_arg =
+  Arg.(value & opt (some domains_conv) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Fan trigger discovery across $(docv) domains (OCaml \
+                 multicore).  The chase sequence, printed instance and \
+                 journal bytes are bit-identical to a single-domain run; \
+                 only wall-clock changes.  Equivalent to setting \
+                 CHASE_DOMAINS=$(docv); default 1.")
+
 let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"FILE"
@@ -193,7 +211,8 @@ let cmd =
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
       $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
-      $ naive_arg $ journal_arg $ snapshot_every_arg $ journal_sync_arg
-      $ resume_arg $ lint_arg $ trace_arg $ metrics_arg $ profile_arg)
+      $ naive_arg $ domains_arg $ journal_arg $ snapshot_every_arg
+      $ journal_sync_arg $ resume_arg $ lint_arg $ trace_arg $ metrics_arg
+      $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -56,8 +56,9 @@ let install_stop_signals stop =
   with Invalid_argument _ -> ()
 
 let run socket workers queue_cap pool_total per_request_cap min_grant
-    cache_capacity spool_dir default_timeout read_timeout metrics ship_to
-    sync_timeout standby_of chaos_kill_accept chaos_drop chaos_slow =
+    cache_capacity spool_dir default_timeout read_timeout metrics domains
+    ship_to sync_timeout standby_of chaos_kill_accept chaos_drop chaos_slow =
+  Option.iter Parallel.set_domains domains;
   let faults =
     (match chaos_kill_accept with
     | Some n -> [ Faults.Kill_accept_after n ]
@@ -187,6 +188,22 @@ let metrics_arg =
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write JSONL metric events and final summaries to $(docv).")
 
+let domains_conv =
+  let parse s =
+    match Parallel.parse_domains s with
+    | Ok d -> Ok d
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Fmt.int)
+
+let domains_arg =
+  Arg.(value & opt (some domains_conv) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Fan each served run's trigger discovery across $(docv) \
+                 domains (OCaml multicore); responses, journals and \
+                 verdicts are bit-identical to single-domain serving.  \
+                 Equivalent to setting CHASE_DOMAINS=$(docv); default 1.")
+
 let ship_to_arg =
   Arg.(value & opt (some string) None
        & info [ "ship-to" ] ~docv:"SOCKET"
@@ -231,8 +248,8 @@ let cmd =
     Cmdliner.Term.(
       const run $ socket_arg $ workers_arg $ queue_cap_arg $ pool_total_arg
       $ per_request_cap_arg $ min_grant_arg $ cache_capacity_arg $ spool_arg
-      $ default_timeout_arg $ read_timeout_arg $ metrics_arg $ ship_to_arg
-      $ sync_timeout_arg $ standby_of_arg $ chaos_kill_accept_arg
-      $ chaos_drop_arg $ chaos_slow_arg)
+      $ default_timeout_arg $ read_timeout_arg $ metrics_arg $ domains_arg
+      $ ship_to_arg $ sync_timeout_arg $ standby_of_arg
+      $ chaos_kill_accept_arg $ chaos_drop_arg $ chaos_slow_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,9 +46,10 @@ let variant_conv =
 (* The whole run lives in {!Chase.Driver.decide}, shared byte-for-byte
    with the service daemon; this executable only parses argv and reads
    the file. *)
-let run file variant budget standard timeout progress naive report lint trace
-    metrics profile =
+let run file variant budget standard timeout progress naive domains report
+    lint trace metrics profile =
   if naive then Hom.set_matcher Hom.Naive;
+  Option.iter Parallel.set_domains domains;
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
@@ -101,6 +102,23 @@ let naive_arg =
                  semantics) for every budgeted chase instead of the \
                  join-planned one.  Equivalent to setting CHASE_NAIVE=1.")
 
+let domains_conv =
+  let parse s =
+    match Parallel.parse_domains s with
+    | Ok d -> Ok d
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Fmt.int)
+
+let domains_arg =
+  Arg.(value & opt (some domains_conv) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Fan the budgeted chases' trigger discovery across $(docv) \
+                 domains (OCaml multicore).  Verdicts and diagnostics are \
+                 bit-identical to a single-domain run; only wall-clock \
+                 changes.  Equivalent to setting CHASE_DOMAINS=$(docv); \
+                 default 1.")
+
 let report_arg =
   Arg.(value & flag
        & info [ "report" ]
@@ -139,7 +157,7 @@ let cmd =
     (Cmd.info "chase-termination" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
-      $ timeout_arg $ progress_arg $ naive_arg $ report_arg $ lint_arg
-      $ trace_arg $ metrics_arg $ profile_arg)
+      $ timeout_arg $ progress_arg $ naive_arg $ domains_arg $ report_arg
+      $ lint_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

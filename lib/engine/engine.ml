@@ -130,9 +130,24 @@ type resume = {
     plus per-rule firings/nulls/probes/time breakdowns.  The default
     {!Obs.disabled} reduces every instrumentation point to one flag
     test. *)
-let run ?(config = default_config) ?(obs = Obs.disabled) ?resume ?on_trigger
-    ?watchdog rules db =
+let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
+    ?on_trigger ?watchdog rules db =
   let rules = Array.of_list rules in
+  let domains =
+    match domains with Some d -> d | None -> Parallel.default_domains ()
+  in
+  if domains < 1 then invalid_arg "Engine.run: domains must be >= 1";
+  (* The multicore matching plane (DESIGN.md §3.10).  The pool lives for
+     exactly one run; [Fun.protect] joins every worker domain on all exit
+     paths — normal termination, limit exhaustion, cancellation,
+     exceptions — so a governed run never leaks a domain. *)
+  let pool =
+    if domains > 1 && Array.length rules > 0 then
+      Some (Parallel.create ~domains)
+    else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool)
+  @@ fun () ->
   let tracked = Obs.enabled obs in
   let instance = Instance.create () in
   List.iter (fun a -> ignore (Instance.add instance a)) db;
@@ -234,6 +249,60 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?resume ?on_trigger
         acc := sub :: !acc);
     enqueue_found i !acc
   in
+  (* Parallel discovery (freeze–shard–merge, DESIGN.md §3.10): each event
+     matches one (rule[, seed fact]) body against the instance — frozen
+     for the whole batch, every head atom of the step having been added
+     before discovery starts — on whichever domain claims it.  The
+     substitution lists come back positionally, in canonical event order
+     (seed phase: rule index; delta phase: added-fact order × rule
+     index), and are merged on this domain through the same
+     canonicalising [enqueue_found] as the sequential path, so the
+     worklist — and with it the chase sequence, journal bytes and null
+     stamps — is bit-identical whatever the schedule.  Workers never
+     touch [obs] or the queue; they time themselves with the real clock.
+     Attribution caveat: the matcher's probe counters are process-global
+     atomics, exact in total but not attributable per rule when several
+     domains match at once, so parallel runs attribute wall time
+     ([prof_match]) and leave [prof_probes] to the run-total metrics. *)
+  let merge_timings = ref [] in
+  let discover_all_parallel p =
+    let results =
+      Parallel.map p (Array.length rules) (fun i ->
+          let t0 = Unix.gettimeofday () in
+          let acc = ref [] in
+          Hom.iter instance (Tgd.body rules.(i)) (fun sub -> acc := sub :: !acc);
+          (!acc, Unix.gettimeofday () -. t0))
+    in
+    let m0 = if tracked then Obs.now obs else 0. in
+    Array.iteri
+      (fun i (subs, dt) ->
+        enqueue_found i subs;
+        if tracked then begin
+          prof_match.(i) <- prof_match.(i) +. dt;
+          prof_time.(i) <- prof_time.(i) +. dt
+        end)
+      results;
+    if tracked then merge_timings := (Obs.now obs -. m0) :: !merge_timings
+  in
+  let discover_seeded_parallel p added =
+    let nr = Array.length rules in
+    let facts = Array.of_list added in
+    let n = Array.length facts * nr in
+    if n > 0 then begin
+      let results =
+        Parallel.map p n (fun e ->
+            let acc = ref [] in
+            Hom.iter_seeded instance
+              (Tgd.body rules.(e mod nr))
+              ~seed:facts.(e / nr)
+              (fun sub -> acc := sub :: !acc);
+            !acc)
+      in
+      let m0 = if tracked then Obs.now obs else 0. in
+      Array.iteri (fun e subs -> enqueue_found (e mod nr) subs) results;
+      if tracked then merge_timings := (Obs.now obs -. m0) :: !merge_timings
+    end
+  in
   if tracked then
     Obs.span_begin obs "chase"
       ~args:
@@ -243,7 +312,9 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?resume ?on_trigger
           ("db", Chase_obs.Jsonv.Int (List.length db));
         ];
   Obs.span_begin obs "seed";
-  Array.iteri (fun i _ -> enqueue_all_for_rule i) rules;
+  (match pool with
+  | Some p -> discover_all_parallel p
+  | None -> Array.iteri (fun i _ -> enqueue_all_for_rule i) rules);
   Obs.span_end obs "seed";
   let atom_depth a =
     match Atom.Tbl.find_opt provenance a with
@@ -305,9 +376,13 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?resume ?on_trigger
        seeded it. *)
     let m0 = if tracked then Obs.now obs else 0. in
     Obs.span_begin obs "match";
-    List.iter
-      (fun fact -> Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
-      added;
+    (match pool with
+    | Some p -> discover_seeded_parallel p added
+    | None ->
+      List.iter
+        (fun fact ->
+          Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
+        added);
     Obs.span_end obs "match";
     if tracked then
       prof_match.(tr.t_rule) <- prof_match.(tr.t_rule) +. (Obs.now obs -. m0);
@@ -416,6 +491,31 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?resume ?on_trigger
           Obs.observe obs ~label "chase.rule.time_s" prof_time.(i)
         end)
       rules;
+    (match pool with
+    | None -> ()
+    | Some p ->
+      (* The parallel plane's effort breakdown: per-domain shard sizes
+         and steal counts, the merge-latency histogram, and the achieved
+         parallelism (sum of in-batch busy time over batch wall time —
+         the speedup an ideal merge would realise). *)
+      let st = Parallel.stats p in
+      Obs.set_gauge obs "chase.parallel.domains"
+        (float_of_int st.Parallel.domains);
+      Obs.incr obs ~by:st.Parallel.batches "chase.parallel.batches";
+      Array.iteri
+        (fun d e ->
+          let label = Fmt.str "domain%d" d in
+          Obs.incr obs ~label ~by:e "chase.parallel.events";
+          Obs.incr obs ~label ~by:st.Parallel.steals.(d)
+            "chase.parallel.steals";
+          Obs.observe obs ~label "chase.parallel.busy_s" st.Parallel.busy.(d))
+        st.Parallel.events;
+      List.iter
+        (fun dt -> Obs.observe obs "chase.parallel.merge_s" dt)
+        (List.rev !merge_timings);
+      if st.Parallel.wall > 0. then
+        Obs.set_gauge obs "chase.parallel.parallelism"
+          (Array.fold_left ( +. ) 0. st.Parallel.busy /. st.Parallel.wall));
     Obs.instant obs "chase.done"
       ~args:
         [

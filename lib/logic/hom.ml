@@ -44,11 +44,15 @@ let match_atom sub pat fact =
 (* ------------------------------------------------------------------ *)
 
 module Stats = struct
-  (* Module-level counters, always on: each is one [int ref] increment
-     on its code path, cheap enough to leave unguarded.  They let the
-     engine and the benchmarks compare the work done by the planned and
-     naive matchers (index probes, candidate facts examined, emitted
-     matches) without plumbing state through every search. *)
+  (* Module-level counters, always on.  They were plain [int ref]s until
+     the parallel chase arrived: matching now runs on several domains at
+     once, and unguarded increments would race (losing counts, breaking
+     the parallel-equals-sequential totals audit).  Each counter is an
+     [Atomic.t]; a fetch-and-add costs a few nanoseconds more than a ref
+     increment, which the candidate walks around it dwarf.  Totals are
+     therefore exact regardless of how many domains matched: the same
+     events are matched exactly once each, so a parallel run's deltas
+     equal the sequential run's (pinned by the test suite). *)
 
   type snapshot = {
     probes : int;  (** index probes at a determined position *)
@@ -62,21 +66,23 @@ module Stats = struct
             position — the naive policy's estimate *)
   }
 
-  let probes = ref 0
-  let full_scans = ref 0
-  let candidates = ref 0
-  let matches = ref 0
-  let planned_probe_cost = ref 0
-  let naive_probe_cost = ref 0
+  let probes = Atomic.make 0
+  let full_scans = Atomic.make 0
+  let candidates = Atomic.make 0
+  let matches = Atomic.make 0
+  let planned_probe_cost = Atomic.make 0
+  let naive_probe_cost = Atomic.make 0
+  let bump c = Atomic.incr c
+  let bump_by c n = ignore (Atomic.fetch_and_add c n)
 
   let snapshot () =
     {
-      probes = !probes;
-      full_scans = !full_scans;
-      candidates = !candidates;
-      matches = !matches;
-      planned_probe_cost = !planned_probe_cost;
-      naive_probe_cost = !naive_probe_cost;
+      probes = Atomic.get probes;
+      full_scans = Atomic.get full_scans;
+      candidates = Atomic.get candidates;
+      matches = Atomic.get matches;
+      planned_probe_cost = Atomic.get planned_probe_cost;
+      naive_probe_cost = Atomic.get naive_probe_cost;
     }
 
   let diff a b =
@@ -90,14 +96,14 @@ module Stats = struct
     }
 
   let reset () =
-    probes := 0;
-    full_scans := 0;
-    candidates := 0;
-    matches := 0;
-    planned_probe_cost := 0;
-    naive_probe_cost := 0
+    Atomic.set probes 0;
+    Atomic.set full_scans 0;
+    Atomic.set candidates 0;
+    Atomic.set matches 0;
+    Atomic.set planned_probe_cost 0;
+    Atomic.set naive_probe_cost 0
 
-  let candidates_now () = !candidates
+  let candidates_now () = Atomic.get candidates
 end
 
 (* ------------------------------------------------------------------ *)
@@ -106,18 +112,21 @@ end
 
 type matcher = Planned | Naive
 
+(* Read eagerly at module initialisation, not lazily: worker domains of
+   the parallel chase call [matcher ()] concurrently, and forcing a lazy
+   from two domains at once raises [CamlinternalLazy.Undefined].  The
+   environment cannot change the selection mid-process anyway. *)
 let matcher_of_env =
-  lazy
-    (match Sys.getenv_opt "CHASE_NAIVE" with
-    | Some ("1" | "true" | "yes" | "on") -> Naive
-    | Some _ | None -> Planned)
+  match Sys.getenv_opt "CHASE_NAIVE" with
+  | Some ("1" | "true" | "yes" | "on") -> Naive
+  | Some _ | None -> Planned
 
 let selected : matcher option ref = ref None
 
 let set_matcher m = selected := Some m
 
 let matcher () =
-  match !selected with Some m -> m | None -> Lazy.force matcher_of_env
+  match !selected with Some m -> m | None -> matcher_of_env
 
 (* ------------------------------------------------------------------ *)
 (* The naive reference matcher (left-to-right, first bound position)   *)
@@ -139,10 +148,10 @@ let candidates ins sub pat =
   in
   match find_bound 0 with
   | Some (i, t) ->
-    Stats.probes := !Stats.probes + 1;
+    Stats.bump Stats.probes;
     Instance.atoms_matching ins (Atom.pred pat) i t
   | None ->
-    Stats.full_scans := !Stats.full_scans + 1;
+    Stats.bump Stats.full_scans;
     Instance.atoms_of_pred ins (Atom.pred pat)
 
 exception Stop
@@ -156,7 +165,7 @@ let iter_naive ?(init = Subst.empty) ins pats f =
     | pat :: rest ->
       List.iter
         (fun fact ->
-          Stats.candidates := !Stats.candidates + 1;
+          Stats.bump Stats.candidates;
           match match_atom sub pat fact with
           | Some sub' -> go rest sub'
           | None -> ())
@@ -186,7 +195,7 @@ let iter_seeded_naive ?(init = Subst.empty) ins pats ~seed f =
         else
           List.iter
             (fun fact ->
-              Stats.candidates := !Stats.candidates + 1;
+              Stats.bump Stats.candidates;
               if i < pin && Atom.equal fact seed then ()
                 (* an earlier atom matching [seed] is handled by a smaller
                    [pin]; skip to avoid duplicates *)
@@ -229,13 +238,12 @@ let candidates_best ins sub pat =
   done;
   match !best with
   | Some (c, i, t) ->
-    Stats.probes := !Stats.probes + 1;
-    Stats.planned_probe_cost := !Stats.planned_probe_cost + c;
-    Stats.naive_probe_cost :=
-      !Stats.naive_probe_cost + if !first >= 0 then !first else c;
+    Stats.bump Stats.probes;
+    Stats.bump_by Stats.planned_probe_cost c;
+    Stats.bump_by Stats.naive_probe_cost (if !first >= 0 then !first else c);
     Instance.atoms_matching ins p i t
   | None ->
-    Stats.full_scans := !Stats.full_scans + 1;
+    Stats.bump Stats.full_scans;
     Instance.atoms_of_pred ins p
 
 (* Below this instance size, planning and count probes cost more than the
@@ -256,7 +264,7 @@ let run_plan ~skip_seed pats_arr plan ~from ins sub0 f =
       let pos = order.(k) in
       List.iter
         (fun fact ->
-          Stats.candidates := !Stats.candidates + 1;
+          Stats.bump Stats.candidates;
           if skip_seed pos fact then ()
           else
             match match_atom sub pats_arr.(pos) fact with
@@ -280,7 +288,7 @@ let iter_planned ?(init = Subst.empty) ?plan ins pats f =
     (* single atom: nothing to order, but still probe the best index *)
     List.iter
       (fun fact ->
-        Stats.candidates := !Stats.candidates + 1;
+        Stats.bump Stats.candidates;
         match match_atom init pat fact with Some s -> f s | None -> ())
       (candidates_best ins init pat)
   | _ ->
@@ -322,7 +330,7 @@ let iter_seeded_planned ?(init = Subst.empty) ins pats ~seed f =
     [init] with [s pats ⊆ ins], through the selected matcher. *)
 let iter ?init ins pats f =
   let f s =
-    Stats.matches := !Stats.matches + 1;
+    Stats.bump Stats.matches;
     f s
   in
   match matcher () with
@@ -334,7 +342,7 @@ let iter ?init ins pats f =
     [seed].  Each qualifying substitution is produced exactly once. *)
 let iter_seeded ?init ins pats ~seed f =
   let f s =
-    Stats.matches := !Stats.matches + 1;
+    Stats.bump Stats.matches;
     f s
   in
   match matcher () with

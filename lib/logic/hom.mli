@@ -20,9 +20,12 @@ val match_atom : Subst.t -> Atom.t -> Atom.t -> Subst.t option
 (** {1 Search-effort accounting}
 
     Process-wide counters of matcher work, always on (each is a single
-    [int ref] increment on its code path).  The engine snapshots them
-    around each trigger search to attribute probe work to rules; the
-    benchmarks diff them across planned/naive runs. *)
+    atomic increment on its code path — atomic because the parallel
+    chase matches from several domains concurrently, and totals must
+    stay exact).  The engine snapshots them around each trigger search
+    to attribute probe work to rules; the benchmarks diff them across
+    planned/naive runs; the parallel test battery asserts that a
+    multi-domain run's deltas equal a sequential run's. *)
 module Stats : sig
   type snapshot = {
     probes : int;  (** index probes at a determined position *)

@@ -1,13 +1,16 @@
-(** Differential oracle: the planned matcher against the naive reference.
+(** Differential oracle: the planned matcher against the naive reference,
+    and the multicore parallel chase against both.
 
     The engine canonicalises trigger discovery (each discovery event's
-    homomorphisms are sorted before enqueueing), so a chase run depends
-    only on the substitution {e sets} the matcher produces — planned and
-    naive runs must therefore be literally identical, null stamps and
-    all, not merely isomorphic.  This suite pins that on ~200 seeded
-    random rule sets across generator profiles (varying arity, repeated
-    body variables, constants in bodies), for every chase variant, and on
-    the end-to-end [Decide] verdicts for a subset. *)
+    homomorphisms are sorted before enqueueing, and the parallel plane
+    merges shard results back in canonical event order), so a chase run
+    depends only on the substitution {e sets} the matcher produces —
+    naive, planned and parallel runs must therefore be literally
+    identical, null stamps and all, not merely isomorphic.  This suite
+    pins that three ways on ~200 seeded random rule sets across generator
+    profiles (varying arity, repeated body variables, constants in
+    bodies), for every chase variant and for 2- and 4-domain parallel
+    runs, and on the end-to-end [Decide] verdicts for a subset. *)
 
 open Chase
 open Test_util
@@ -17,11 +20,18 @@ let with_matcher m f =
   Hom.set_matcher m;
   Fun.protect ~finally:(fun () -> Hom.set_matcher saved) f
 
-(** Run the critical-instance chase under both matchers. *)
-let run_both ~variant ~budget rules =
+(** Run the critical-instance chase under both matchers, plus the planned
+    matcher fanned across 2 and 4 domains. *)
+let run_all ~variant ~budget rules =
   let db = Instance.to_list (Critical.of_rules ~standard:false rules) in
-  let go m = with_matcher m (fun () -> chase ~variant ~budget rules db) in
-  (go Hom.Naive, go Hom.Planned)
+  let go ?domains m =
+    with_matcher m (fun () -> chase ~variant ~budget ?domains rules db)
+  in
+  ( go Hom.Naive,
+    go Hom.Planned,
+    go ~domains:2 Hom.Planned,
+    go ~domains:4 Hom.Planned )
+
 
 let check_identical ctx (rn : Engine.result) (rp : Engine.result) =
   Alcotest.(check (list atom_testable))
@@ -53,9 +63,13 @@ let differential_family name gen ~seeds ~budget () =
     let rules = gen ~seed in
     List.iter
       (fun variant ->
-        let rn, rp = run_both ~variant ~budget rules in
-        let ctx = Fmt.str "%s seed %d %a" name seed Variant.pp variant in
-        check_identical ctx rn rp)
+        let rn, rp, r2, r4 = run_all ~variant ~budget rules in
+        let ctx which =
+          Fmt.str "%s seed %d %a [%s]" name seed Variant.pp variant which
+        in
+        check_identical (ctx "planned") rn rp;
+        check_identical (ctx "parallel@2") rn r2;
+        check_identical (ctx "parallel@4") rn r4)
       variants
   done
 
@@ -92,18 +106,34 @@ let families =
   ]
 
 (* The end-to-end decision procedure must give the same verdict under
-   either matcher: its budgeted chases are deterministic per matcher and
-   matcher-independent by the identity above. *)
+   either matcher and under the parallel matching plane: its budgeted
+   chases are deterministic per matcher and matcher-independent by the
+   identity above, and parallel runs are bit-identical to sequential
+   ones.  [Decide] picks up the domain count from the process default,
+   so the parallel leg goes through [Parallel.set_domains] — exactly the
+   path the CLIs' [--domains] uses. *)
+let with_domains d f =
+  let saved = Parallel.default_domains () in
+  Parallel.set_domains d;
+  Fun.protect ~finally:(fun () -> Parallel.set_domains saved) f
+
 let decide_agreement () =
   let check_verdicts name rules =
-    let verdict m =
+    let verdict ?domains m =
       with_matcher m (fun () ->
-          Verdict.answer_to_string
-            (Verdict.answer
-               (Decide.check ~standard:false ~budget:2_000
-                  ~variant:Variant.Semi_oblivious rules)))
+          let go () =
+            Verdict.answer_to_string
+              (Verdict.answer
+                 (Decide.check ~standard:false ~budget:2_000
+                    ~variant:Variant.Semi_oblivious rules))
+          in
+          match domains with Some d -> with_domains d go | None -> go ())
     in
-    Alcotest.(check string) name (verdict Hom.Naive) (verdict Hom.Planned)
+    Alcotest.(check string) name (verdict Hom.Naive) (verdict Hom.Planned);
+    Alcotest.(check string)
+      (name ^ " [parallel@4]")
+      (verdict Hom.Naive)
+      (verdict ~domains:4 Hom.Planned)
   in
   for seed = 0 to 24 do
     check_verdicts
@@ -120,27 +150,34 @@ let exhausted_prefixes_agree () =
   let rules = parse "e(X, Y) -> e(Y, Z).  e(X, Y), e(Y, Z) -> e(X, Z)." in
   List.iter
     (fun variant ->
-      let rn, rp = run_both ~variant ~budget:300 rules in
+      let rn, rp, r2, r4 = run_all ~variant ~budget:300 rules in
       (* the restricted chase terminates here (the critical instance
          already satisfies both heads); o and so exhaust the budget *)
       if variant <> Variant.Restricted then
         Alcotest.(check bool)
           (Fmt.str "%a: exhausted" Variant.pp variant)
           true (exhausted rn);
-      check_identical (Fmt.str "divergent %a" Variant.pp variant) rn rp)
+      check_identical (Fmt.str "divergent %a" Variant.pp variant) rn rp;
+      check_identical (Fmt.str "divergent %a parallel@2" Variant.pp variant)
+        rn r2;
+      check_identical (Fmt.str "divergent %a parallel@4" Variant.pp variant)
+        rn r4)
     variants
 
 let suite =
   List.map
     (fun (name, seeds, budget, gen) ->
       Alcotest.test_case
-        (Fmt.str "planned = naive: %s (%d seeds, all variants)" name seeds)
+        (Fmt.str "naive = planned = parallel@2,4: %s (%d seeds, all variants)"
+           name seeds)
         `Slow
         (differential_family name gen ~seeds ~budget))
     families
   @ [
-      Alcotest.test_case "planned = naive: Decide verdicts (50 sets)" `Slow
+      Alcotest.test_case
+        "naive = planned = parallel: Decide verdicts (50 sets)" `Slow
         decide_agreement;
-      Alcotest.test_case "planned = naive: budget-truncated prefixes" `Quick
+      Alcotest.test_case
+        "naive = planned = parallel: budget-truncated prefixes" `Quick
         exhausted_prefixes_agree;
     ]
