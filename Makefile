@@ -1,6 +1,6 @@
 # Developer entry points; CI runs `make check` and `make check-naive`.
 
-.PHONY: all build test check-naive check-parallel smoke obs-smoke soak soak-failover lint fmt fmt-ml check clean
+.PHONY: all build test check-naive check-parallel check-pruned smoke obs-smoke soak soak-failover lint fmt fmt-ml check clean
 
 all: build
 
@@ -21,6 +21,12 @@ check-naive:
 # — the whole battery must behave bit-identically to sequential runs
 check-parallel:
 	CHASE_DOMAINS=4 dune runtest --force
+
+# the same suite with the static trigger-relevance index disabled
+# (CHASE_NO_PRUNE=1): guards the pruning doctrine — the index only ever
+# skips provably empty discovery events, so nothing may differ
+check-pruned:
+	CHASE_NO_PRUNE=1 dune runtest --force
 
 # quick confidence: the CLI cram suite only (builds both binaries,
 # exercises parsing, the chase, limits/timeout degradation and reports)

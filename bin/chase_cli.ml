@@ -57,9 +57,10 @@ let variant_conv =
    with the service daemon; this executable only parses argv and reads
    the file. *)
 let run file variant budget max_atoms timeout progress critical standard quiet
-    naive domains journal snapshot_every journal_sync resume lint trace
-    metrics profile =
+    naive no_prune domains journal snapshot_every journal_sync resume lint
+    trace metrics profile =
   if naive then Hom.set_matcher Hom.Naive;
+  if no_prune then Relevance.force_disable true;
   Option.iter Parallel.set_domains domains;
   match read_file file with
   | Error msg ->
@@ -127,6 +128,15 @@ let naive_arg =
            ~doc:"Use the naive left-to-right body matcher (the reference \
                  semantics) instead of the join-planned one.  Equivalent \
                  to setting CHASE_NAIVE=1.")
+
+let no_prune_arg =
+  Arg.(value & flag
+       & info [ "no-prune" ]
+           ~doc:"Disable the static trigger-relevance index: sweep every \
+                 rule on every added fact, as the engine did before \
+                 pruning.  Bit-identical to the pruned run (the index \
+                 only skips provably empty matches).  Equivalent to \
+                 setting CHASE_NO_PRUNE=1.")
 
 let domains_conv =
   let parse s =
@@ -211,7 +221,7 @@ let cmd =
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ max_atoms_arg
       $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
-      $ naive_arg $ domains_arg $ journal_arg $ snapshot_every_arg
+      $ naive_arg $ no_prune_arg $ domains_arg $ journal_arg $ snapshot_every_arg
       $ journal_sync_arg $ resume_arg $ lint_arg $ trace_arg $ metrics_arg
       $ profile_arg)
 

@@ -12,6 +12,9 @@
     VARIANT] (repeatable) additionally runs the termination front door
     for that chase variant and attaches the causal witness of any
     divergence verdict (W020 on simple linear sets, W021 otherwise).
+    [--analyze] runs the Σ-flow dataflow battery: the position-dataflow
+    summary (strata, affected positions, may-trigger edges) plus the
+    super-weak-acyclicity (I034) and stratification (I035) verdicts.
 
     Exit status: 2 when any file has errors, 1 when any has warnings
     (infos never gate), 0 otherwise.  Unreadable or unparsable input
@@ -50,21 +53,21 @@ let format_conv =
 
 (* The lint run lives in {!Chase.Driver.lint_one}, shared byte-for-byte
    with the service daemon. *)
-let lint_file ~format ~explain ~standard ~budget file =
+let lint_file ~format ~explain ~analyze ~standard ~budget file =
   match read_file file with
   | Error msg ->
     Fmt.epr "error: cannot read input: %s@." msg;
     2
   | Ok src ->
-    let o = Driver.lint_opts ~format ~explain ~budget ~standard () in
+    let o = Driver.lint_opts ~format ~explain ~analyze ~budget ~standard () in
     Driver.lint_one o ~file ~src ~out:Format.std_formatter
       ~err:Format.err_formatter
 
-let run files format explain budget standard naive =
+let run files format explain analyze budget standard naive =
   if naive then Hom.set_matcher Hom.Naive;
   List.fold_left
     (fun acc file ->
-      max acc (lint_file ~format ~explain ~standard ~budget file))
+      max acc (lint_file ~format ~explain ~analyze ~standard ~budget file))
     0 files
 
 let files_arg =
@@ -84,6 +87,15 @@ let explain_arg =
                  variant (oblivious, semi-oblivious or restricted; \
                  repeatable) and attach the causal witness of any \
                  divergence verdict.")
+
+let analyze_arg =
+  Arg.(value & flag
+       & info [ "a"; "analyze" ]
+           ~doc:"Also run the \xCE\xA3-flow dataflow battery: print the \
+                 position-dataflow summary (strata, affected positions, \
+                 may-trigger edges) and the super-weak-acyclicity and \
+                 stratification verdicts with their witnesses (I034, \
+                 I035).")
 
 let budget_arg =
   Arg.(value & opt int Guarded.default_budget
@@ -107,7 +119,7 @@ let cmd =
   Cmd.v
     (Cmd.info "chase-lint" ~doc)
     Cmdliner.Term.(
-      const run $ files_arg $ format_arg $ explain_arg $ budget_arg
-      $ standard_arg $ naive_arg)
+      const run $ files_arg $ format_arg $ explain_arg $ analyze_arg
+      $ budget_arg $ standard_arg $ naive_arg)
 
 let () = exit (Cmd.eval' cmd)

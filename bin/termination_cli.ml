@@ -46,9 +46,10 @@ let variant_conv =
 (* The whole run lives in {!Chase.Driver.decide}, shared byte-for-byte
    with the service daemon; this executable only parses argv and reads
    the file. *)
-let run file variant budget standard timeout progress naive domains report
-    lint trace metrics profile =
+let run file variant budget standard timeout progress naive no_prune domains
+    report lint trace metrics profile =
   if naive then Hom.set_matcher Hom.Naive;
+  if no_prune then Relevance.force_disable true;
   Option.iter Parallel.set_domains domains;
   match read_file file with
   | Error msg ->
@@ -101,6 +102,13 @@ let naive_arg =
            ~doc:"Use the naive left-to-right body matcher (the reference \
                  semantics) for every budgeted chase instead of the \
                  join-planned one.  Equivalent to setting CHASE_NAIVE=1.")
+
+let no_prune_arg =
+  Arg.(value & flag
+       & info [ "no-prune" ]
+           ~doc:"Disable the static trigger-relevance index in every \
+                 budgeted chase.  Bit-identical to the pruned run.  \
+                 Equivalent to setting CHASE_NO_PRUNE=1.")
 
 let domains_conv =
   let parse s =
@@ -157,7 +165,7 @@ let cmd =
     (Cmd.info "chase-termination" ~doc)
     Cmdliner.Term.(
       const run $ file_arg $ variant_arg $ budget_arg $ standard_arg
-      $ timeout_arg $ progress_arg $ naive_arg $ domains_arg $ report_arg
-      $ lint_arg $ trace_arg $ metrics_arg $ profile_arg)
+      $ timeout_arg $ progress_arg $ naive_arg $ no_prune_arg $ domains_arg
+      $ report_arg $ lint_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -89,7 +89,7 @@ The --report mode prints the whole analysis portfolio.
 
   $ ../bin/termination_cli.exe sep.chase --report
   rules: 1   class: simple-linear, single-head
-  acyclicity: RA no   WA yes   JA yes   MFA yes
+  acyclicity: RA no   WA yes   JA yes   SWA yes   STR yes   MFA yes
   oblivious:      diverges (by rich-acyclicity)
                   dangerous cycle in the extended dependency graph: p[1] — on simple linear rules every such cycle is realizable (Thm 1)
   semi-oblivious: terminates (by weak-acyclicity)

@@ -38,7 +38,7 @@ validates both outputs (and the event counts are deterministic).
   $ ../bin/chase_cli.exe prog.chase -q --trace t.json --metrics m2.jsonl > /dev/null
   $ ../bin/obs_check.exe --trace t.json --metrics m2.jsonl
   trace OK: t.json (29 events, spans balanced)
-  metrics OK: m2.jsonl (33 lines)
+  metrics OK: m2.jsonl (36 lines)
 
 obs-check rejects tampered files.
 

@@ -1,0 +1,51 @@
+The static trigger-relevance index (DESIGN.md 3.11) skips provably
+empty discovery events; pruned runs are byte-identical to unpruned
+ones — same facts, same null stamps, same journal.
+
+  $ cat > prog.chase <<'EOF'
+  > e(X, Y) -> e(Y, Z).
+  > e(X, Y), e(Y, Z) -> e(X, Z).
+  > p(X) -> q(X).
+  > e(a, b).
+  > EOF
+  $ ../bin/chase_cli.exe prog.chase --budget 40 > on.out 2> on.err; echo "exit $?"
+  exit 2
+  $ ../bin/chase_cli.exe prog.chase --budget 40 --no-prune > off.out 2> off.err; echo "exit $?"
+  exit 2
+  $ cmp on.out off.out && echo "stdout identical"
+  stdout identical
+
+The exhaustion report on stderr differs only in its wall-clock line.
+
+  $ grep -v '^after:' on.err > on.err.notime
+  $ grep -v '^after:' off.err > off.err.notime
+  $ cmp on.err.notime off.err.notime && echo "stderr identical modulo timing"
+  stderr identical modulo timing
+
+CHASE_NO_PRUNE is the environment spelling of the same knob.
+
+  $ CHASE_NO_PRUNE=1 ../bin/chase_cli.exe prog.chase --budget 40 > env.out 2> /dev/null; echo "exit $?"
+  exit 2
+  $ cmp on.out env.out && echo "stdout identical"
+  stdout identical
+
+Pruning composes with the parallel matching plane.
+
+  $ ../bin/chase_cli.exe prog.chase --budget 40 --domains 4 > par.out 2> /dev/null; echo "exit $?"
+  exit 2
+  $ cmp on.out par.out && echo "stdout identical"
+  stdout identical
+  $ ../bin/chase_cli.exe prog.chase --budget 40 --domains 4 --no-prune > paroff.out 2> /dev/null; echo "exit $?"
+  exit 2
+  $ cmp on.out paroff.out && echo "stdout identical"
+  stdout identical
+
+The chase.prune.* counters flow through --metrics and validate with
+obs_check.
+
+  $ ../bin/chase_cli.exe prog.chase --budget 40 -q --metrics m.jsonl > /dev/null 2>&1; echo "exit $?"
+  exit 2
+  $ ../bin/obs_check.exe --metrics m.jsonl
+  metrics OK: m.jsonl (36 lines)
+  $ grep -c '"chase\.prune\.' m.jsonl
+  3

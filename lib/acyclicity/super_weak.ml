@@ -1,0 +1,47 @@
+(** Super-weak acyclicity: acyclicity of the Σ-flow trigger relation.
+    The dataflow work — places, [Move] closures, the trigger edges —
+    lives in {!Chase_flow.Flow}; this module only asks whether the
+    rule-level relation has a cycle, and dresses the answer as a
+    witness. *)
+
+module Flow = Chase_flow.Flow
+
+type hop = {
+  rule : int;
+  existential : string;
+  landing : string * int;
+}
+
+let check rules =
+  let flow = Flow.build rules in
+  let edges = Flow.null_edges flow in
+  match edges with
+  | [] -> None
+  | _ ->
+    let n = Array.length (Flow.rules flow) in
+    let g = Digraph.create n in
+    (* one graph edge per rule pair, remembering a witnessing null edge *)
+    let witness = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Flow.null_edge) ->
+        if not (Hashtbl.mem witness (e.Flow.src, e.Flow.dst)) then begin
+          Hashtbl.add witness (e.Flow.src, e.Flow.dst) e;
+          Digraph.add_edge g ~src:e.Flow.src ~dst:e.Flow.dst ~special:true
+        end)
+      edges;
+    (* every edge is special: any cycle refutes the condition *)
+    (match Digraph.dangerous_cycle g with
+    | None -> None
+    | Some cycle ->
+      Some
+        (List.map
+           (fun (de : Digraph.edge) ->
+             let e = Hashtbl.find witness (de.Digraph.src, de.Digraph.dst) in
+             {
+               rule = e.Flow.src;
+               existential = e.Flow.existential;
+               landing = e.Flow.landing;
+             })
+           cycle))
+
+let is_super_weakly_acyclic rules = Option.is_none (check rules)

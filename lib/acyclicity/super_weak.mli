@@ -1,0 +1,28 @@
+(** Super-weak acyclicity (Marnette, PODS 2009).
+
+    A sufficient condition for semi-oblivious (skolem) chase termination
+    built on the Σ-flow place machinery: rule σ {e triggers} σ' when a
+    null invented for an existential variable of σ can reach — through
+    the [Move] closure of its landing places — {e every} body occurrence
+    of a frontier variable of σ', enabling σ' to invent fresh nulls in
+    turn.  Σ is super-weakly acyclic iff this trigger relation is
+    acyclic.
+
+    SWA strictly generalizes joint acyclicity (place unification keeps
+    constants rigid where JA's position sets conflate them) and is sound
+    for the semi-oblivious and restricted chases; like WA/JA it says
+    nothing about the oblivious chase (use {!Rich} there). *)
+
+open Chase_logic
+
+type hop = {
+  rule : int;  (** index of the rule inventing the null *)
+  existential : string;  (** its existential variable *)
+  landing : string * int;  (** the (pred, position) where the null lands *)
+}
+
+val check : Tgd.t list -> hop list option
+(** [None] when super-weakly acyclic; otherwise a cycle of the trigger
+    relation, one hop per rule around the cycle. *)
+
+val is_super_weakly_acyclic : Tgd.t list -> bool

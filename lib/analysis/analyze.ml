@@ -1,0 +1,137 @@
+(** The [--analyze] battery: Σ-flow summary + diagnostics. *)
+
+module Flow = Chase_flow.Flow
+module Strata = Chase_strata.Strata
+module Super_weak = Chase_acyclicity.Super_weak
+module Json = Chase_obs.Jsonv
+
+type t = {
+  flow : Flow.t;
+  swa_cycle : Super_weak.hop list option;
+  strata : Strata.t;
+}
+
+let run rules =
+  {
+    flow = Flow.build rules;
+    swa_cycle = Super_weak.check rules;
+    strata = Strata.compute rules;
+  }
+
+let label t i = Diagnostic.rule_label i (Flow.rules t.flow).(i)
+
+let diagnostics t =
+  let strata_diag =
+    Diagnostic.make Diagnostic.I035
+      ~witness:
+        (Diagnostic.Strata_assignment
+           { strata = t.strata.Strata.strata; cyclic = t.strata.Strata.cyclic })
+      (match t.strata.Strata.cyclic with
+      | None ->
+        Fmt.str
+          "safely stratified: %d strat%s, each weakly acyclic — the \
+           semi-oblivious chase terminates on every database"
+          (List.length t.strata.Strata.strata)
+          (if List.length t.strata.Strata.strata = 1 then "um" else "a")
+      | Some group ->
+        Fmt.str "stratum {%s} is not weakly acyclic on its own"
+          (String.concat ", " (List.map (label t) group)))
+  in
+  match t.swa_cycle with
+  | None -> [ strata_diag ]
+  | Some hops ->
+    let cycle_diag =
+      Diagnostic.make Diagnostic.I034
+        ~witness:
+          (Diagnostic.Trigger_cycle
+             {
+               rules = List.map (fun h -> h.Super_weak.rule) hops;
+               places = List.map (fun h -> h.Super_weak.landing) hops;
+             })
+        (Fmt.str
+           "not super-weakly acyclic: invented nulls can cycle through %s"
+           (String.concat " -> "
+              (List.map
+                 (fun (h : Super_weak.hop) ->
+                   let p, i = h.Super_weak.landing in
+                   Fmt.str "%s (%s[%d])" (label t h.Super_weak.rule) p i)
+                 hops)))
+    in
+    [ cycle_diag; strata_diag ]
+
+let pp_human ?file fm t =
+  let pp_prefix fm () =
+    match file with None -> () | Some f -> Fmt.pf fm "%s: " f
+  in
+  Fmt.pf fm "%aanalysis: %a@." pp_prefix () Flow.pp_summary t.flow;
+  List.iteri
+    (fun k group ->
+      Fmt.pf fm "%astratum %d: %s@." pp_prefix () (k + 1)
+        (String.concat " " (List.map (label t) group)))
+    t.strata.Strata.strata;
+  (match Flow.affected t.flow with
+  | [] -> ()
+  | affected ->
+    Fmt.pf fm "%aaffected: %s@." pp_prefix ()
+      (String.concat ", "
+         (List.map (fun (p, i) -> Fmt.str "%s[%d]" p i) affected)));
+  (match Flow.fires t.flow with
+  | [] -> ()
+  | edges ->
+    Fmt.pf fm "%amay-trigger: %s@." pp_prefix ()
+      (String.concat ", "
+         (List.map (fun (i, j) -> Fmt.str "%s -> %s" (label t i) (label t j))
+            edges)));
+  Fmt.pf fm "%asuper-weak-acyclic: %s@." pp_prefix ()
+    (match t.swa_cycle with
+    | None -> "yes"
+    | Some hops ->
+      Fmt.str "no (cycle: %s)"
+        (String.concat " -> "
+           (List.map (fun (h : Super_weak.hop) -> label t h.Super_weak.rule)
+              hops)));
+  Fmt.pf fm "%astratified: %s@." pp_prefix ()
+    (match t.strata.Strata.cyclic with
+    | None -> "yes"
+    | Some group ->
+      Fmt.str "no (stratum {%s})"
+        (String.concat ", " (List.map (label t) group)))
+
+let to_json t =
+  let ints is = Json.List (List.map (fun i -> Json.Int i) is) in
+  let position (p, i) =
+    Json.Obj [ ("pred", Json.String p); ("index", Json.Int i) ]
+  in
+  Json.Obj
+    [
+      ( "strata",
+        Json.List (List.map (fun g -> ints g) t.strata.Strata.strata) );
+      ("affected", Json.List (List.map position (Flow.affected t.flow)));
+      ( "may_trigger",
+        Json.List
+          (List.map
+             (fun (i, j) ->
+               Json.Obj [ ("from", Json.Int i); ("to", Json.Int j) ])
+             (Flow.fires t.flow)) );
+      ("null_flow_edges", Json.Int (List.length (Flow.null_edges t.flow)));
+      ("super_weak_acyclic", Json.Bool (t.swa_cycle = None));
+      ( "trigger_cycle",
+        match t.swa_cycle with
+        | None -> Json.Null
+        | Some hops ->
+          Json.List
+            (List.map
+               (fun (h : Super_weak.hop) ->
+                 Json.Obj
+                   [
+                     ("rule", Json.Int h.Super_weak.rule);
+                     ("existential", Json.String h.Super_weak.existential);
+                     ("landing", position h.Super_weak.landing);
+                   ])
+               hops) );
+      ("stratified", Json.Bool (t.strata.Strata.cyclic = None));
+      ( "cyclic_stratum",
+        match t.strata.Strata.cyclic with
+        | None -> Json.Null
+        | Some g -> ints g );
+    ]

@@ -1,0 +1,25 @@
+(** The [--analyze] battery: run the Σ-flow framework over a rule set
+    and render the dataflow summary — strata, affected positions,
+    may-trigger edges, the super-weak-acyclicity and stratification
+    verdicts — in human and JSON forms, plus the witness-carrying
+    [I034]/[I035] diagnostics the lint report embeds. *)
+
+open Chase_logic
+
+type t = {
+  flow : Chase_flow.Flow.t;
+  swa_cycle : Chase_acyclicity.Super_weak.hop list option;
+      (** [None] = super-weakly acyclic *)
+  strata : Chase_strata.Strata.t;
+}
+
+val run : Tgd.t list -> t
+
+val diagnostics : t -> Diagnostic.t list
+(** [I035] always (the stratum assignment); [I034] when the trigger
+    relation has a cycle. *)
+
+val pp_human : ?file:string -> Format.formatter -> t -> unit
+(** The dataflow summary block, one prefixed line per fact. *)
+
+val to_json : t -> Chase_obs.Jsonv.t

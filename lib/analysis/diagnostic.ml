@@ -3,6 +3,7 @@
     interface for the catalogue of codes. *)
 
 open Chase_logic
+module Json = Chase_obs.Jsonv
 
 type severity =
   | Error
@@ -18,6 +19,8 @@ type code =
   | I031
   | I032
   | I033
+  | I034
+  | I035
 
 let code_id = function
   | E001 -> "E001"
@@ -28,6 +31,8 @@ let code_id = function
   | I031 -> "I031"
   | I032 -> "I032"
   | I033 -> "I033"
+  | I034 -> "I034"
+  | I035 -> "I035"
 
 let code_name = function
   | E001 -> "arity-clash"
@@ -38,18 +43,20 @@ let code_name = function
   | I031 -> "subsumed-rule"
   | I032 -> "unused-existential"
   | I033 -> "dead-rule"
+  | I034 -> "trigger-cycle"
+  | I035 -> "stratification"
 
 let severity_of_code = function
   | E001 -> Error
   | W010 | W020 | W021 -> Warning
-  | I030 | I031 | I032 | I033 -> Info
+  | I030 | I031 | I032 | I033 | I034 | I035 -> Info
 
 let severity_to_string = function
   | Error -> "error"
   | Warning -> "warning"
   | Info -> "info"
 
-let all_codes = [ E001; W010; W020; W021; I030; I031; I032; I033 ]
+let all_codes = [ E001; W010; W020; W021; I030; I031; I032; I033; I034; I035 ]
 
 type witness =
   | Arity_uses of {
@@ -94,6 +101,14 @@ type witness =
       rule : int;
       missing : string list;
     }
+  | Trigger_cycle of {
+      rules : int list;
+      places : (string * int) list;
+    }
+  | Strata_assignment of {
+      strata : int list list;
+      cyclic : int list option;
+    }
 
 type t = {
   code : code;
@@ -135,10 +150,10 @@ let pp ?file fm d =
 
 (* --- JSON rendering ------------------------------------------------ *)
 
-let json_term t = Json.Str (Term.to_string t)
-let json_atom a = Json.Str (Atom.to_string a)
+let json_term t = Json.String (Term.to_string t)
+let json_atom a = Json.String (Atom.to_string a)
 
-let json_position (p, i) = Json.Obj [ ("pred", Json.Str p); ("index", Json.Int i) ]
+let json_position (p, i) = Json.Obj [ ("pred", Json.String p); ("index", Json.Int i) ]
 
 let json_subst bindings =
   Json.Obj (List.map (fun (v, t) -> (v, json_term t)) bindings)
@@ -147,8 +162,8 @@ let witness_to_json = function
   | Arity_uses { pred; uses } ->
     Json.Obj
       [
-        ("kind", Json.Str "arity-uses");
-        ("pred", Json.Str pred);
+        ("kind", Json.String "arity-uses");
+        ("pred", Json.String pred);
         ( "uses",
           Json.List
             (List.map
@@ -159,7 +174,7 @@ let witness_to_json = function
   | Uncovered_vars { rule; vars; candidate } ->
     Json.Obj
       [
-        ("kind", Json.Str "uncovered-variables");
+        ("kind", Json.String "uncovered-variables");
         ("rule", Json.Int rule);
         ("variables", Json.List (List.map json_term vars));
         ( "candidate",
@@ -168,15 +183,15 @@ let witness_to_json = function
   | Position_cycle { graph; positions } ->
     Json.Obj
       [
-        ("kind", Json.Str "position-cycle");
-        ("graph", Json.Str graph);
+        ("kind", Json.String "position-cycle");
+        ("graph", Json.String graph);
         ("positions", Json.List (List.map json_position positions));
       ]
   | Pump { start; steps; facts; substitution; laps } ->
     Json.Obj
       [
-        ("kind", Json.Str "pump");
-        ("start", Json.Str start);
+        ("kind", Json.String "pump");
+        ("start", Json.String start);
         ( "steps",
           Json.List
             (List.map
@@ -190,21 +205,21 @@ let witness_to_json = function
   | Guard_chain { occurrences; chain_length } ->
     Json.Obj
       [
-        ("kind", Json.Str "guard-chain");
+        ("kind", Json.String "guard-chain");
         ("occurrences", Json.List (List.map json_atom occurrences));
         ("chain_length", Json.Int chain_length);
       ]
   | Unreachable { pred; used_by } ->
     Json.Obj
       [
-        ("kind", Json.Str "unreachable-predicate");
-        ("pred", Json.Str pred);
+        ("kind", Json.String "unreachable-predicate");
+        ("pred", Json.String pred);
         ("used_by", Json.List (List.map (fun i -> Json.Int i) used_by));
       ]
   | Subsumed_by { rule; by; substitution } ->
     Json.Obj
       [
-        ("kind", Json.Str "subsumed-by");
+        ("kind", Json.String "subsumed-by");
         ("rule", Json.Int rule);
         ("by", Json.Int by);
         ("substitution", json_subst substitution);
@@ -212,27 +227,48 @@ let witness_to_json = function
   | Unused_existential { rule; var; positions } ->
     Json.Obj
       [
-        ("kind", Json.Str "unused-existential");
+        ("kind", Json.String "unused-existential");
         ("rule", Json.Int rule);
-        ("variable", Json.Str var);
+        ("variable", Json.String var);
         ("positions", Json.List (List.map json_position positions));
       ]
   | Dead_rule { rule; missing } ->
     Json.Obj
       [
-        ("kind", Json.Str "dead-rule");
+        ("kind", Json.String "dead-rule");
         ("rule", Json.Int rule);
-        ("missing", Json.List (List.map (fun p -> Json.Str p) missing));
+        ("missing", Json.List (List.map (fun p -> Json.String p) missing));
+      ]
+  | Trigger_cycle { rules; places } ->
+    Json.Obj
+      [
+        ("kind", Json.String "trigger-cycle");
+        ("rules", Json.List (List.map (fun i -> Json.Int i) rules));
+        ("places", Json.List (List.map json_position places));
+      ]
+  | Strata_assignment { strata; cyclic } ->
+    Json.Obj
+      [
+        ("kind", Json.String "strata");
+        ( "strata",
+          Json.List
+            (List.map
+               (fun g -> Json.List (List.map (fun i -> Json.Int i) g))
+               strata) );
+        ( "cyclic",
+          match cyclic with
+          | None -> Json.Null
+          | Some g -> Json.List (List.map (fun i -> Json.Int i) g) );
       ]
 
 let to_json d =
   Json.Obj
     [
-      ("code", Json.Str (code_id d.code));
-      ("name", Json.Str (code_name d.code));
-      ("severity", Json.Str (severity_to_string d.severity));
+      ("code", Json.String (code_id d.code));
+      ("name", Json.String (code_name d.code));
+      ("severity", Json.String (severity_to_string d.severity));
       ("line", match d.line with None -> Json.Null | Some n -> Json.Int n);
-      ("rule", match d.rule with None -> Json.Null | Some r -> Json.Str r);
-      ("message", Json.Str d.message);
+      ("rule", match d.rule with None -> Json.Null | Some r -> Json.String r);
+      ("message", Json.String d.message);
       ("witness", witness_to_json d.witness);
     ]

@@ -22,7 +22,13 @@
     - [I032] unused-existential — an existential variable whose invented
       values no rule body ever reads;
     - [I033] dead-rule — a rule that can never fire on the given
-      database. *)
+      database;
+    - [I034] trigger-cycle — the rule set is not super-weakly acyclic:
+      a cycle of the Σ-flow trigger relation (witness: the rules around
+      the cycle and the places where each invented null lands);
+    - [I035] stratification — the may-trigger stratum assignment, and
+      whether every stratum is weakly acyclic (both only emitted by the
+      opt-in [--analyze] battery). *)
 
 open Chase_logic
 
@@ -40,6 +46,8 @@ type code =
   | I031  (** subsumed-rule *)
   | I032  (** unused-existential *)
   | I033  (** dead-rule *)
+  | I034  (** trigger-cycle *)
+  | I035  (** stratification *)
 
 val code_id : code -> string
 (** ["E001"], ["W010"], … *)
@@ -97,6 +105,18 @@ type witness =
       rule : int;
       missing : string list;  (** the unpopulatable body predicates *)
     }
+  | Trigger_cycle of {
+      rules : int list;  (** rule indices around the cycle, in order *)
+      places : (string * int) list;
+          (** per hop, the (pred, position) where the invented null
+              lands *)
+    }
+  | Strata_assignment of {
+      strata : int list list;
+          (** rule indices per stratum, topological order *)
+      cyclic : int list option;
+          (** the first stratum that is not weakly acyclic, if any *)
+    }
 
 type t = {
   code : code;
@@ -124,5 +144,5 @@ val compare_for_report : t -> t -> int
 val pp : ?file:string -> Format.formatter -> t -> unit
 (** One human line: [file:line: severity[CODE] message]. *)
 
-val witness_to_json : witness -> Json.t
-val to_json : t -> Json.t
+val witness_to_json : witness -> Chase_obs.Jsonv.t
+val to_json : t -> Chase_obs.Jsonv.t

@@ -3,6 +3,7 @@
 open Chase_logic
 module Variant = Chase_engine.Variant
 module Verdict = Chase_termination.Verdict
+module Json = Chase_obs.Jsonv
 
 type source = {
   rules : (Tgd.t * int) list;
@@ -16,6 +17,7 @@ let of_program (p : Parser.located_program) =
 type report = {
   diagnostics : Diagnostic.t list;
   verdicts : (Variant.t * Verdict.t) list;
+  analysis : Analyze.t option;
 }
 
 let dedup diags =
@@ -30,13 +32,13 @@ let dedup diags =
       end)
     diags
 
-let analyze ?(explain = []) ?standard ?budget src =
+let analyze ?(explain = []) ?(dataflow = false) ?standard ?budget src =
   match
     Schema_check.check ~rules:src.rules ~egds:src.egds ~facts:src.facts ()
   with
   | _ :: _ as errors ->
     (* Inconsistent schema: the deeper passes assume it away. *)
-    { diagnostics = errors; verdicts = [] }
+    { diagnostics = errors; verdicts = []; analysis = None }
   | [] ->
     let extra_consumers =
       List.fold_left
@@ -57,12 +59,19 @@ let analyze ?(explain = []) ?standard ?budget src =
           (e.Explain.diagnostics, (variant, e.Explain.verdict)))
         explain
     in
+    let analysis =
+      if dataflow then Some (Analyze.run (List.map fst src.rules)) else None
+    in
+    let flow_diags =
+      match analysis with None -> [] | Some a -> Analyze.diagnostics a
+    in
     {
       diagnostics =
         dedup
           (List.sort Diagnostic.compare_for_report
-             (static @ List.concat_map fst explained));
+             (static @ flow_diags @ List.concat_map fst explained));
       verdicts = List.map snd explained;
+      analysis;
     }
 
 let count sev report =
@@ -91,6 +100,9 @@ let pp_human ?file fm report =
     match file with None -> () | Some f -> Fmt.pf fm "%s: " f
   in
   List.iter (fun d -> Fmt.pf fm "%a@." (Diagnostic.pp ?file) d) report.diagnostics;
+  (match report.analysis with
+  | None -> ()
+  | Some a -> Analyze.pp_human ?file fm a);
   List.iter
     (fun (variant, v) ->
       Fmt.pf fm "%averdict (%a): %s [%s]@." pp_prefix () Variant.pp variant
@@ -101,7 +113,7 @@ let pp_human ?file fm report =
 
 let to_json ?file report =
   let fields =
-    (match file with None -> [] | Some f -> [ ("file", Json.Str f) ])
+    (match file with None -> [] | Some f -> [ ("file", Json.String f) ])
     @ [
         ( "diagnostics",
           Json.List (List.map Diagnostic.to_json report.diagnostics) );
@@ -111,11 +123,11 @@ let to_json ?file report =
                (fun (variant, v) ->
                  Json.Obj
                    [
-                     ("variant", Json.Str (Variant.to_string variant));
+                     ("variant", Json.String (Variant.to_string variant));
                      ( "answer",
-                       Json.Str (Verdict.answer_to_string v.Verdict.answer) );
-                     ("procedure", Json.Str v.Verdict.procedure);
-                     ("evidence", Json.Str v.Verdict.evidence);
+                       Json.String (Verdict.answer_to_string v.Verdict.answer) );
+                     ("procedure", Json.String v.Verdict.procedure);
+                     ("evidence", Json.String v.Verdict.evidence);
                    ])
                report.verdicts) );
         ( "summary",
@@ -126,5 +138,9 @@ let to_json ?file report =
               ("infos", Json.Int (infos report));
             ] );
       ]
+    @
+    match report.analysis with
+    | None -> []
+    | Some a -> [ ("analysis", Analyze.to_json a) ]
   in
   Json.Obj fields

@@ -28,17 +28,22 @@ type report = {
   diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare_for_report} *)
   verdicts : (Chase_engine.Variant.t * Chase_termination.Verdict.t) list;
       (** one per explained variant, in request order *)
+  analysis : Analyze.t option;
+      (** the Σ-flow summary, when the analyze battery ran *)
 }
 
 val analyze :
   ?explain:Chase_engine.Variant.t list ->
+  ?dataflow:bool ->
   ?standard:bool ->
   ?budget:int ->
   source ->
   report
 (** Run the default battery, plus the explain battery for each variant in
-    [explain] (default none).  [standard]/[budget] parameterize the
-    explain battery as in {!Explain.check}. *)
+    [explain] (default none), plus — when [dataflow] (default false) —
+    the Σ-flow analyze battery ([I034]/[I035] and the
+    {!field-report.analysis} summary).  [standard]/[budget] parameterize
+    the explain battery as in {!Explain.check}. *)
 
 val errors : report -> int
 val warnings : report -> int
@@ -55,4 +60,4 @@ val pp_human : ?file:string -> Format.formatter -> report -> unit
 (** One line per diagnostic, one line per explained verdict, and a
     closing summary line. *)
 
-val to_json : ?file:string -> report -> Json.t
+val to_json : ?file:string -> report -> Chase_obs.Jsonv.t

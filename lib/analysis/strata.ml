@@ -1,0 +1,26 @@
+(** Safe stratification: condense the Σ-flow may-trigger relation and
+    require weak acyclicity within each component. *)
+
+module Flow = Chase_flow.Flow
+
+type t = {
+  strata : int list list;
+  stratum_of : int array;
+  cyclic : int list option;
+}
+
+let compute rules =
+  let flow = Flow.build rules in
+  let arr = Flow.rules flow in
+  let strata = Flow.strata flow in
+  let cyclic =
+    List.find_opt
+      (fun group ->
+        not
+          (Chase_acyclicity.Weak.is_weakly_acyclic
+             (List.map (fun i -> arr.(i)) group)))
+      strata
+  in
+  { strata; stratum_of = Flow.stratum_of flow; cyclic }
+
+let is_safe rules = (compute rules).cyclic = None

@@ -1,0 +1,35 @@
+(** Safe rule stratification: weak acyclicity per stratum.
+
+    The Σ-flow may-trigger relation ([Flow.fires]) is condensed into
+    strongly connected components; the components, in topological
+    order, are the {e strata}.  A rule in stratum [k] can only be
+    (re-)triggered by rules in strata [<= k] — there are no back
+    edges — so if every stratum's rule subset is weakly acyclic on its
+    own, the semi-oblivious chase terminates on every database: by
+    induction along the strata, each stratum saturates over the finite
+    output of its predecessors, and a WA subset chased over a finite
+    instance is finite.  (Sound for the semi-oblivious and restricted
+    chases; not for the oblivious one, where even WA is unsound.)
+
+    This is a c-stratification-style condition with a deliberately
+    coarse, purely syntactic edge relation: over-approximated edges
+    merge components, which only strengthens the per-stratum demand —
+    never an unsound verdict. *)
+
+open Chase_logic
+
+type t = {
+  strata : int list list;
+      (** rule indices grouped by stratum, topological order,
+          ascending within each stratum *)
+  stratum_of : int array;  (** per-rule stratum index *)
+  cyclic : int list option;
+      (** the first stratum (in order) whose rule subset is not weakly
+          acyclic; [None] when the set is safely stratified *)
+}
+
+val compute : Tgd.t list -> t
+
+val is_safe : Tgd.t list -> bool
+(** Every stratum weakly acyclic — the chase terminates (semi-oblivious
+    and below) on every database. *)

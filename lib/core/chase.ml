@@ -11,11 +11,13 @@
       {!Session};
     - classes: {!Classify};
     - acyclicity: {!Digraph}, {!Dep_graph}, {!Weak}, {!Rich},
-      {!Critical_linear};
+      {!Super_weak}, {!Critical_linear};
+    - position dataflow (Σ-flow): {!Flow}, {!Strata}, {!Relevance};
     - termination procedures: {!Verdict}, {!Sl}, {!Linear}, {!Guarded},
       {!Simulation}, {!Decide};
     - static diagnostics (Σ-lint): {!Diagnostic}, {!Schema_check},
-      {!Rule_lint}, {!Graph_lint}, {!Explain}, {!Lint}, {!Json};
+      {!Rule_lint}, {!Graph_lint}, {!Explain}, {!Lint}, {!Analyze},
+      {!Json};
     - reductions: {!Looping}, {!Entailment};
     - workloads: {!Families}, {!Random_tgds};
     - service: {!Proto}, {!Driver}, {!Pool}, {!Cache}, {!Admission},
@@ -82,7 +84,13 @@ module Weak = Chase_acyclicity.Weak
 module Rich = Chase_acyclicity.Rich
 module Joint = Chase_acyclicity.Joint
 module Mfa = Chase_acyclicity.Mfa
+module Super_weak = Chase_acyclicity.Super_weak
 module Critical_linear = Chase_acyclicity.Critical_linear
+
+(* Position dataflow (Σ-flow) *)
+module Flow = Chase_flow.Flow
+module Strata = Chase_strata.Strata
+module Relevance = Chase_engine.Relevance
 
 (* Termination procedures *)
 module Verdict = Chase_termination.Verdict
@@ -95,13 +103,15 @@ module Decide = Chase_termination.Decide
 module Report = Chase_termination.Report
 
 (* Static diagnostics (Σ-lint) *)
-module Json = Chase_analysis.Json
+(* [Json] is {!Jsonv}: one JSON value type serves diagnostics and metrics. *)
+module Json = Chase_obs.Jsonv
 module Diagnostic = Chase_analysis.Diagnostic
 module Schema_check = Chase_analysis.Schema_check
 module Rule_lint = Chase_analysis.Rule_lint
 module Graph_lint = Chase_analysis.Graph_lint
 module Explain = Chase_analysis.Explain
 module Lint = Chase_analysis.Lint
+module Analyze = Chase_analysis.Analyze
 
 (* Reductions *)
 module Looping = Chase_reductions.Looping

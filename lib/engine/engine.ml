@@ -133,6 +133,21 @@ type resume = {
 let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
     ?on_trigger ?watchdog rules db =
   let rules = Array.of_list rules in
+  (* Static trigger-relevance (DESIGN.md §3.11): the delta sweep only
+     visits rules whose bodies could match the added fact.  Skipped
+     (rule, fact) events are provably empty, so pruned runs are
+     bit-identical to unpruned ones ([CHASE_NO_PRUNE=1] switches the
+     index off; the differential suite compares the two). *)
+  let relevance = Relevance.build rules in
+  let prune_considered = ref 0 in
+  let prune_skipped = ref 0 in
+  let sweep fact =
+    let rel = Relevance.relevant relevance fact in
+    let nr = Array.length rules in
+    prune_considered := !prune_considered + nr;
+    prune_skipped := !prune_skipped + nr - List.length rel;
+    rel
+  in
   let domains =
     match domains with Some d -> d | None -> Parallel.default_domains ()
   in
@@ -230,18 +245,18 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
       (fun sub -> enqueue { t_rule = i; t_sub = sub })
       (List.sort Subst.compare subs)
   in
-  let enqueue_all_for_rule i =
+  let discover_all_for_rule i =
     let t0 = if tracked then Obs.now obs else 0. in
     let c0 = if tracked then Hom.Stats.candidates_now () else 0 in
     let acc = ref [] in
     Hom.iter instance (Tgd.body rules.(i)) (fun sub -> acc := sub :: !acc);
-    enqueue_found i !acc;
     if tracked then begin
       let dt = Obs.now obs -. t0 in
       prof_match.(i) <- prof_match.(i) +. dt;
       prof_time.(i) <- prof_time.(i) +. dt;
       prof_probes.(i) <- prof_probes.(i) + (Hom.Stats.candidates_now () - c0)
-    end
+    end;
+    !acc
   in
   let enqueue_seeded_for_rule i seed =
     let acc = ref [] in
@@ -285,21 +300,28 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
     if tracked then merge_timings := (Obs.now obs -. m0) :: !merge_timings
   in
   let discover_seeded_parallel p added =
-    let nr = Array.length rules in
-    let facts = Array.of_list added in
-    let n = Array.length facts * nr in
+    (* Explicit (rule, fact) event array in canonical order — added-fact
+       order major, ascending relevant rule index minor — exactly the
+       order the unpruned [e mod nr]/[e / nr] encoding walked, minus the
+       provably-empty events. *)
+    let events =
+      Array.of_list
+        (List.concat_map
+           (fun fact -> List.map (fun i -> (i, fact)) (sweep fact))
+           added)
+    in
+    let n = Array.length events in
     if n > 0 then begin
       let results =
         Parallel.map p n (fun e ->
+            let i, seed = events.(e) in
             let acc = ref [] in
-            Hom.iter_seeded instance
-              (Tgd.body rules.(e mod nr))
-              ~seed:facts.(e / nr)
-              (fun sub -> acc := sub :: !acc);
+            Hom.iter_seeded instance (Tgd.body rules.(i)) ~seed (fun sub ->
+                acc := sub :: !acc);
             !acc)
       in
       let m0 = if tracked then Obs.now obs else 0. in
-      Array.iteri (fun e subs -> enqueue_found (e mod nr) subs) results;
+      Array.iteri (fun e subs -> enqueue_found (fst events.(e)) subs) results;
       if tracked then merge_timings := (Obs.now obs -. m0) :: !merge_timings
     end
   in
@@ -314,7 +336,17 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
   Obs.span_begin obs "seed";
   (match pool with
   | Some p -> discover_all_parallel p
-  | None -> Array.iteri (fun i _ -> enqueue_all_for_rule i) rules);
+  | None ->
+    (* Discovery runs stratum-ordered (producers before consumers — the
+       warmest access pattern for the instance indexes), but over a
+       frozen instance the order cannot change what is found; enqueueing
+       stays in plain rule-index order, so the worklist is identical to
+       an unordered seed. *)
+    let found = Array.make (Array.length rules) [] in
+    Array.iter
+      (fun i -> found.(i) <- discover_all_for_rule i)
+      (Relevance.seed_order relevance);
+    Array.iteri enqueue_found found);
   Obs.span_end obs "seed";
   let atom_depth a =
     match Atom.Tbl.find_opt provenance a with
@@ -381,7 +413,7 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
     | None ->
       List.iter
         (fun fact ->
-          Array.iteri (fun i _ -> enqueue_seeded_for_rule i fact) rules)
+          List.iter (fun i -> enqueue_seeded_for_rule i fact) (sweep fact))
         added);
     Obs.span_end obs "match";
     if tracked then
@@ -469,6 +501,12 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
     Obs.incr obs ~by:dh.Hom.Stats.naive_probe_cost "chase.hom.naive_probe_cost";
     Obs.incr obs ~by:dp.Plan.Stats.plans "chase.plan.plans";
     Obs.incr obs ~by:dp.Plan.Stats.estimates "chase.plan.estimates";
+    Obs.incr obs ~by:!prune_considered "chase.prune.considered";
+    Obs.incr obs ~by:!prune_skipped "chase.prune.enqueues_skipped";
+    if !prune_considered > 0 then
+      Obs.set_gauge obs "chase.prune.hit_rate"
+        (float_of_int (!prune_considered - !prune_skipped)
+        /. float_of_int !prune_considered);
     Obs.set_gauge obs "chase.instance.facts"
       (float_of_int (Instance.cardinal instance));
     Obs.set_gauge obs "chase.queue.residual"

@@ -1,0 +1,48 @@
+(** Static trigger-relevance index for the semi-naive delta sweep.
+
+    The engine's delta phase used to match every rule body against every
+    newly added fact.  Most of those matches are statically impossible:
+    a homomorphism seeded at fact [f] exists only if some body atom of
+    the rule has [f]'s predicate and is position/constant-compatible
+    with it.  This index precomputes, per predicate, the rules whose
+    bodies mention it, and [relevant] filters by one-atom matchability,
+    so the engine enqueues discovery work only for rules that could
+    possibly produce a trigger — skipped (rule, fact) events are
+    provably empty, which keeps pruned runs bit-identical to unpruned
+    ones (the differential suite pins this).
+
+    Pruning can be switched off with the environment variable
+    [CHASE_NO_PRUNE] (["1"], ["true"], ["yes"] or ["on"]) or in-process
+    with {!force_disable} — [relevant] then returns every rule index. *)
+
+open Chase_logic
+
+type t
+
+val build : Tgd.t array -> t
+(** Index the body atoms of [rules] by predicate.  Total; never
+    raises. *)
+
+val enabled : t -> bool
+(** False when pruning was disabled at build time (environment or
+    {!force_disable}). *)
+
+val rule_count : t -> int
+
+val relevant : t -> Atom.t -> int list
+(** Ascending indices of the rules with at least one body atom
+    matchable against [fact] ([Hom.match_atom] from the empty
+    substitution).  When pruning is disabled: every rule index. *)
+
+val seed_order : t -> int array
+(** A stratum-ordered permutation of the rule indices for the seed
+    phase's discovery loop: producers before their consumers (by
+    head-predicate / body-predicate overlap, condensed).  Discovery
+    order over a frozen instance cannot change results — callers must
+    still enqueue in plain index order. *)
+
+val force_disable : bool -> unit
+(** [force_disable true] makes subsequently built indices behave as if
+    [CHASE_NO_PRUNE] were set — the in-process toggle the differential
+    tests use.  [force_disable false] restores the environment's
+    verdict. *)

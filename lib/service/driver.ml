@@ -28,7 +28,7 @@ module Report = Chase_termination.Report
 module Guarded = Chase_termination.Guarded
 module Classify = Chase_classes.Classify
 module Lint = Chase_analysis.Lint
-module Json = Chase_analysis.Json
+module Json = Chase_obs.Jsonv
 module Diagnostic = Chase_analysis.Diagnostic
 module Schema_check = Chase_analysis.Schema_check
 
@@ -427,14 +427,15 @@ type lint_format =
 type lint_opts = {
   format : lint_format;
   explain : Variant.t list;
+  analyze : bool;
   budget : int;
   standard : bool;
 }
 
-let lint_opts ?(format = Human) ?(explain = []) ?(budget = -1)
-    ?(standard = true) () =
+let lint_opts ?(format = Human) ?(explain = []) ?(analyze = false)
+    ?(budget = -1) ?(standard = true) () =
   let budget = if budget < 0 then Guarded.default_budget else budget in
-  { format; explain; budget; standard }
+  { format; explain; analyze; budget; standard }
 
 let lint_one o ~file ~src ~out ~err =
   match Parser.parse_located src with
@@ -443,8 +444,8 @@ let lint_one o ~file ~src ~out ~err =
     2
   | Ok program ->
     let report =
-      Lint.analyze ~explain:o.explain ~standard:o.standard ~budget:o.budget
-        (Lint.of_program program)
+      Lint.analyze ~explain:o.explain ~dataflow:o.analyze
+        ~standard:o.standard ~budget:o.budget (Lint.of_program program)
     in
     (match o.format with
     | Human -> Fmt.pf out "%a" (Lint.pp_human ~file) report

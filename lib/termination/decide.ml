@@ -42,6 +42,20 @@ let sufficient_acyclicity ~variant rules =
              "jointly acyclic: the existential-variable dependency relation \
               is acyclic, so the semi-oblivious chase terminates on every \
               database")
+    else if Super_weak.is_super_weakly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"super-weak-acyclicity (sufficient)"
+           ~evidence:
+             "super-weakly acyclic: the place-unification trigger relation \
+              is acyclic, so the semi-oblivious chase terminates on every \
+              database")
+    else if Chase_strata.Strata.is_safe rules then
+      Some
+        (Verdict.terminates ~procedure:"stratification (sufficient)"
+           ~evidence:
+             "safely stratified: every stratum of the may-trigger \
+              condensation is weakly acyclic, so the semi-oblivious chase \
+              terminates on every database")
     else None
   | Restricted ->
     if Weak.is_weakly_acyclic rules then
@@ -56,6 +70,18 @@ let sufficient_acyclicity ~variant rules =
            ~evidence:
              "jointly acyclic: the semi-oblivious and hence the restricted \
               chase terminate on every database")
+    else if Super_weak.is_super_weakly_acyclic rules then
+      Some
+        (Verdict.terminates ~procedure:"super-weak-acyclicity (sufficient)"
+           ~evidence:
+             "super-weakly acyclic: the semi-oblivious and hence the \
+              restricted chase terminate on every database")
+    else if Chase_strata.Strata.is_safe rules then
+      Some
+        (Verdict.terminates ~procedure:"stratification (sufficient)"
+           ~evidence:
+             "safely stratified: the semi-oblivious and hence the \
+              restricted chase terminate on every database")
     else None
 
 let check ?standard ?budget ?limits ?watchdog ?(obs = Chase_obs.Obs.disabled)

@@ -14,6 +14,8 @@ type acyclicity = {
   richly_acyclic : bool;
   weakly_acyclic : bool;
   jointly_acyclic : bool;
+  super_weakly_acyclic : bool;
+  stratified : bool;  (** every may-trigger stratum weakly acyclic *)
   mfa : bool option;  (** [None] when the MFA chase hit its budget *)
 }
 
@@ -52,6 +54,8 @@ let build ?(budget = 20_000) rules =
       richly_acyclic = Rich.is_richly_acyclic rules;
       weakly_acyclic = Weak.is_weakly_acyclic rules;
       jointly_acyclic = Joint.is_jointly_acyclic rules;
+      super_weakly_acyclic = Super_weak.is_super_weakly_acyclic rules;
+      stratified = Chase_strata.Strata.is_safe rules;
       mfa =
         (match Mfa.check ~budget rules with
         | `Mfa -> Some true
@@ -102,9 +106,11 @@ let pp fm t =
               | Some g -> Fmt.pf fm " (best candidate: %a)" Atom.pp g)
             (Classify.best_guard_candidate r))
       t.rules;
-  Fmt.pf fm "acyclicity: RA %a   WA %a   JA %a   MFA %s@."
+  Fmt.pf fm "acyclicity: RA %a   WA %a   JA %a   SWA %a   STR %a   MFA %s@."
     yesno t.acyclicity.richly_acyclic yesno t.acyclicity.weakly_acyclic
     yesno t.acyclicity.jointly_acyclic
+    yesno t.acyclicity.super_weakly_acyclic
+    yesno t.acyclicity.stratified
     (match t.acyclicity.mfa with
     | Some true -> "yes"
     | Some false -> "no"

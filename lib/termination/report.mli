@@ -11,6 +11,8 @@ type acyclicity = {
   richly_acyclic : bool;
   weakly_acyclic : bool;
   jointly_acyclic : bool;
+  super_weakly_acyclic : bool;  (** Marnette's super-weak acyclicity *)
+  stratified : bool;  (** every may-trigger stratum weakly acyclic *)
   mfa : bool option;  (** [None] when the MFA chase hit its budget *)
 }
 

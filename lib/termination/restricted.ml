@@ -46,6 +46,16 @@ let check ?(budget = default_budget) ?limits ?obs rules =
       ~evidence:
         "jointly acyclic: the semi-oblivious and hence the restricted chase \
          terminate on every database"
+  else if Super_weak.is_super_weakly_acyclic rules then
+    Verdict.terminates ~procedure:"super-weak-acyclicity (sufficient)"
+      ~evidence:
+        "super-weakly acyclic: the semi-oblivious and hence the restricted \
+         chase terminate on every database"
+  else if Chase_strata.Strata.is_safe rules then
+    Verdict.terminates ~procedure:"stratification (sufficient)"
+      ~evidence:
+        "safely stratified: the semi-oblivious and hence the restricted \
+         chase terminate on every database"
   else begin
     let generic = Critical.generic_of_rules rules in
     let on_generic =

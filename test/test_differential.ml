@@ -5,9 +5,11 @@
     homomorphisms are sorted before enqueueing, and the parallel plane
     merges shard results back in canonical event order), so a chase run
     depends only on the substitution {e sets} the matcher produces —
-    naive, planned and parallel runs must therefore be literally
-    identical, null stamps and all, not merely isomorphic.  This suite
-    pins that three ways on ~200 seeded random rule sets across generator
+    naive, planned, parallel and relevance-pruned runs must therefore be
+    literally identical, null stamps and all, not merely isomorphic
+    (pruning only skips discovery events that provably yield no
+    substitutions).  This suite pins that four ways on ~200 seeded
+    random rule sets across generator
     profiles (varying arity, repeated body variables, constants in
     bodies), for every chase variant and for 2- and 4-domain parallel
     runs, and on the end-to-end [Decide] verdicts for a subset. *)
@@ -20,8 +22,13 @@ let with_matcher m f =
   Hom.set_matcher m;
   Fun.protect ~finally:(fun () -> Hom.set_matcher saved) f
 
+let with_pruning_off f =
+  Relevance.force_disable true;
+  Fun.protect ~finally:(fun () -> Relevance.force_disable false) f
+
 (** Run the critical-instance chase under both matchers, plus the planned
-    matcher fanned across 2 and 4 domains. *)
+    matcher fanned across 2 and 4 domains, plus the planned matcher with
+    the trigger-relevance index disabled. *)
 let run_all ~variant ~budget rules =
   let db = Instance.to_list (Critical.of_rules ~standard:false rules) in
   let go ?domains m =
@@ -30,7 +37,8 @@ let run_all ~variant ~budget rules =
   ( go Hom.Naive,
     go Hom.Planned,
     go ~domains:2 Hom.Planned,
-    go ~domains:4 Hom.Planned )
+    go ~domains:4 Hom.Planned,
+    with_pruning_off (fun () -> go Hom.Planned) )
 
 
 let check_identical ctx (rn : Engine.result) (rp : Engine.result) =
@@ -63,13 +71,14 @@ let differential_family name gen ~seeds ~budget () =
     let rules = gen ~seed in
     List.iter
       (fun variant ->
-        let rn, rp, r2, r4 = run_all ~variant ~budget rules in
+        let rn, rp, r2, r4, ru = run_all ~variant ~budget rules in
         let ctx which =
           Fmt.str "%s seed %d %a [%s]" name seed Variant.pp variant which
         in
         check_identical (ctx "planned") rn rp;
         check_identical (ctx "parallel@2") rn r2;
-        check_identical (ctx "parallel@4") rn r4)
+        check_identical (ctx "parallel@4") rn r4;
+        check_identical (ctx "unpruned") rn ru)
       variants
   done
 
@@ -150,7 +159,7 @@ let exhausted_prefixes_agree () =
   let rules = parse "e(X, Y) -> e(Y, Z).  e(X, Y), e(Y, Z) -> e(X, Z)." in
   List.iter
     (fun variant ->
-      let rn, rp, r2, r4 = run_all ~variant ~budget:300 rules in
+      let rn, rp, r2, r4, ru = run_all ~variant ~budget:300 rules in
       (* the restricted chase terminates here (the critical instance
          already satisfies both heads); o and so exhaust the budget *)
       if variant <> Variant.Restricted then
@@ -161,7 +170,9 @@ let exhausted_prefixes_agree () =
       check_identical (Fmt.str "divergent %a parallel@2" Variant.pp variant)
         rn r2;
       check_identical (Fmt.str "divergent %a parallel@4" Variant.pp variant)
-        rn r4)
+        rn r4;
+      check_identical (Fmt.str "divergent %a unpruned" Variant.pp variant)
+        rn ru)
     variants
 
 let suite =

@@ -21,6 +21,7 @@ let () =
       ("persist", Test_persist.suite);
       ("acyclicity", Test_acyclicity.suite);
       ("extended-acyclicity", Test_extended_acyclicity.suite);
+      ("flow", Test_flow.suite);
       ("theorems", Test_theorems.suite);
       ("lint", Test_lint.suite);
       ("reductions", Test_reductions.suite);
