@@ -46,13 +46,19 @@ obs-smoke: build
 # process-level chaos soak: SIGKILL loops against a real chased with
 # concurrent durable traffic, then boot recovery, byte-parity replay and
 # a graceful life whose metrics file must validate.  Wall-clock bounded;
-# CI runs SOAK_SECONDS=60.
+# CI runs SOAK_SECONDS=60.  The soak's traced replays leave per-process
+# trace shards; merge them and validate the trace tree too.
 SOAK_SECONDS ?= 20
 soak: build
 	dune exec test/soak/soak.exe -- \
 	  --daemon _build/default/bin/chased.exe \
 	  --seconds $(SOAK_SECONDS) --dir _build/soak
 	dune exec bin/obs_check.exe -- --metrics _build/soak/metrics.jsonl
+	dune exec bin/chasec.exe -- trace-merge \
+	  _build/soak/client.trace _build/soak/chased.trace \
+	  > _build/soak/trace-merged.json
+	dune exec bin/obs_check.exe -- --trace _build/soak/trace-merged.json \
+	  --tracectx _build/soak/trace-merged.json
 
 # replicated failover soak: a real primary/standby chased pair, SIGKILL
 # loops against the primary with durable traffic in flight, a wire-level
@@ -64,6 +70,11 @@ soak-failover: build
 	  --daemon _build/default/bin/chased.exe \
 	  --seconds $(SOAK_SECONDS) --dir _build/soak-failover
 	dune exec bin/obs_check.exe -- --metrics _build/soak-failover/metrics.jsonl
+	dune exec bin/chasec.exe -- trace-merge \
+	  _build/soak-failover/client.trace _build/soak-failover/standby.trace \
+	  > _build/soak-failover/trace-merged.json
+	dune exec bin/obs_check.exe -- --trace _build/soak-failover/trace-merged.json \
+	  --tracectx _build/soak-failover/trace-merged.json
 
 # static diagnostics over the shipped corpus: errors or warnings fail
 lint: build

@@ -1238,6 +1238,132 @@ let e16 quick =
   record "E16" "strictly_fewer_enqueues" (jbool !all_fewer)
 
 (* ------------------------------------------------------------------ *)
+(* E17 — request tracing: overhead in the noise, spans complete        *)
+(* ------------------------------------------------------------------ *)
+
+let e17 quick =
+  section "E17  Request tracing: overhead vs untraced, span completeness";
+  (* The same request fleet twice against a live server: untraced with
+     tracing off, then traced end to end (client-minted roots, a server
+     shard).  The shard writer is one flushed JSONL append per span off
+     the request's critical path, so the traced fleet must stay within
+     noise of the untraced one.  Every request gets a distinct marker
+     fact so none is a cache hit — this times the full compute path. *)
+  let width = 4 in
+  let hubs = if quick then 200 else 500 in
+  let reqs = if quick then 12 else 30 in
+  let base_program =
+    let rules = Families.wide_body ~width in
+    let db = Families.wide_body_db ~hubs ~fanout:3 in
+    String.concat "\n"
+      (List.map (fun r -> Tgd.to_string r ^ ".") rules
+      @ List.map (fun a -> Atom.to_string a ^ ".") db)
+  in
+  let req ?trace i =
+    Proto.request ?trace ~file:"e17.chase"
+      ~program:(Fmt.str "%s\nmarker%d(m)." base_program i)
+      ~budget:200_000 ~quiet:true Proto.Chase
+  in
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "chase_e17_%d%s" (Unix.getpid ()) suffix)
+  in
+  let sock_off = tmp ".off.sock" and sock_on = tmp ".on.sock" in
+  let spool_off = tmp ".off.spool" and spool_on = tmp ".on.spool" in
+  let shard_srv = tmp ".server.trace" and shard_cli = tmp ".client.trace" in
+  let scratch =
+    [ sock_off; sock_on; spool_off; spool_on; shard_srv; shard_cli ]
+  in
+  List.iter rm_rf scratch;
+  let run_fleet ~socket ~traced =
+    let shard =
+      if traced then Some (Tracectx.Shard.open_ ~proc:"bench" shard_cli)
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to reqs - 1 do
+      let root = if traced then Some (Tracectx.genesis ()) else None in
+      let r = req ?trace:(Option.map Tracectx.to_string root) i in
+      let ts = Tracectx.now_us () in
+      match Client.call_retry ~attempts:4 ~base_delay:0.05 ~socket r with
+      | Ok (Proto.Ok_response _) -> (
+        match (shard, root) with
+        | Some w, Some ctx ->
+          Tracectx.Shard.span w ~ctx ~name:"client.request" ~ts_us:ts
+            ~dur_us:(Tracectx.now_us () -. ts)
+            ()
+        | _ -> ())
+      | Ok resp -> Fmt.failwith "E17 rejected: %a" Proto.pp_response resp
+      | Error f -> Fmt.failwith "E17: %a" Client.pp_failure f
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Option.iter Tracectx.Shard.close shard;
+    dt
+  in
+  let srv_off =
+    Server.start (Server.config ~workers:2 ~spool_dir:spool_off sock_off)
+  in
+  let t_off = run_fleet ~socket:sock_off ~traced:false in
+  Server.stop srv_off;
+  let srv_on =
+    Server.start
+      (Server.config ~workers:2 ~spool_dir:spool_on ~trace_shard:shard_srv
+         sock_on)
+  in
+  let t_on = run_fleet ~socket:sock_on ~traced:true in
+  Server.stop srv_on;
+  (* completeness: join both shards by trace id; every traced request
+     must show the whole in-process pipeline *)
+  let records path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+        go
+          (match Tracectx.parse_shard_line line with
+          | Some r -> r :: acc
+          | None -> acc)
+      | exception End_of_file -> acc
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> go [])
+  in
+  let recs = records shard_cli @ records shard_srv in
+  let by_trace : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_trace r.Tracectx.r_trace)
+      in
+      Hashtbl.replace by_trace r.Tracectx.r_trace (r.Tracectx.r_name :: prev))
+    recs;
+  let need = [ "client.request"; "server.chase"; "admission.queue"; "engine.run" ] in
+  let traces = Hashtbl.length by_trace in
+  let complete = ref 0 in
+  Hashtbl.iter
+    (fun _ names ->
+      if List.for_all (fun n -> List.mem n names) need then incr complete)
+    by_trace;
+  let ratio = t_on /. t_off in
+  Fmt.pr
+    "fleet of %d chases (width %d, %d hubs): untraced %a   traced %a   \
+     ratio %.2f@."
+    reqs width hubs pp_time t_off pp_time t_on ratio;
+  Fmt.pr
+    "spans: %d across %d traces   complete pipelines \
+     (client+server+admission+engine): %d/%d@."
+    (List.length recs) traces !complete traces;
+  record "E17" "requests" (jint reqs);
+  record "E17" "untraced_seconds" (jfloat t_off);
+  record "E17" "traced_seconds" (jfloat t_on);
+  record "E17" "overhead_ratio" (jfloat ratio);
+  record "E17" "spans" (jint (List.length recs));
+  record "E17" "traces" (jint traces);
+  record "E17" "complete_traces" (jint !complete);
+  record "E17" "all_traces_complete"
+    (jbool (traces = reqs && !complete = traces));
+  List.iter rm_rf scratch
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1336,6 +1462,7 @@ let () =
   e14 quick;
   e15 quick;
   e16 quick;
+  e17 quick;
   microbenches ();
   record "harness" "quick" (jbool quick);
   write_results "BENCH_results.json";

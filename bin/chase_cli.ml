@@ -58,8 +58,9 @@ let variant_conv =
    the file. *)
 let run file variant budget max_atoms timeout progress critical standard quiet
     naive no_prune domains journal snapshot_every journal_sync resume lint
-    trace metrics profile =
+    trace metrics flight profile =
   if naive then Hom.set_matcher Hom.Naive;
+  (match flight with Some _ as path -> Flight.configure ~path | None -> ());
   if no_prune then Relevance.force_disable true;
   Option.iter Parallel.set_domains domains;
   match read_file file with
@@ -207,6 +208,13 @@ let metrics_arg =
                  histogram summaries as JSON lines to $(docv) (first \
                  line is a schema header).")
 
+let flight_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Flight recorder: on a breached limit, dump the \
+                 in-memory ring of the run's most recent events \
+                 (spans, watchdog ticks) to $(docv) as JSONL.")
+
 let profile_arg =
   Arg.(value & flag
        & info [ "profile" ]
@@ -223,6 +231,6 @@ let cmd =
       $ timeout_arg $ progress_arg $ critical_arg $ standard_arg $ quiet_arg
       $ naive_arg $ no_prune_arg $ domains_arg $ journal_arg $ snapshot_every_arg
       $ journal_sync_arg $ resume_arg $ lint_arg $ trace_arg $ metrics_arg
-      $ profile_arg)
+      $ flight_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -56,8 +56,9 @@ let install_stop_signals stop =
   with Invalid_argument _ -> ()
 
 let run socket workers queue_cap pool_total per_request_cap min_grant
-    cache_capacity spool_dir default_timeout read_timeout metrics domains
-    ship_to sync_timeout standby_of chaos_kill_accept chaos_drop chaos_slow =
+    cache_capacity spool_dir default_timeout read_timeout metrics trace_shard
+    flight domains ship_to sync_timeout standby_of chaos_kill_accept chaos_drop
+    chaos_slow =
   Option.iter Parallel.set_domains domains;
   let faults =
     (match chaos_kill_accept with
@@ -84,7 +85,7 @@ let run socket workers queue_cap pool_total per_request_cap min_grant
       let cfg =
         Server.config ~workers ~queue_cap ~pool_total ~per_request_cap
           ~min_grant ~cache_capacity ?spool_dir ~default_timeout
-          ~read_timeout ~faults socket
+          ~read_timeout ?trace_shard ?flight ~faults socket
       in
       match Standby.start (Standby.config ?metrics ~server:cfg ~ship_socket ()) with
       | exception Unix.Unix_error (e, _, arg) ->
@@ -98,10 +99,18 @@ let run socket workers queue_cap pool_total per_request_cap min_grant
         Standby.wait standby;
         0)
     | None -> (
+      (* the shipper shares the daemon's trace shard file: its sync
+         spans interleave with the server's in the same JSONL *)
+      let ship_shard =
+        match ship_to with
+        | Some _ ->
+          Option.map (Tracectx.Shard.open_ ~proc:"shipper") trace_shard
+        | None -> None
+      in
       let shipper =
         Option.map
           (fun ship_socket ->
-            Shipper.start
+            Shipper.start ?shard:ship_shard
               (Shipper.config ~sync_timeout
                  ~spool_dir:(Option.get spool_dir) ~ship_socket ()))
           ship_to
@@ -109,7 +118,7 @@ let run socket workers queue_cap pool_total per_request_cap min_grant
       let cfg =
         Server.config ~workers ~queue_cap ~pool_total ~per_request_cap
           ~min_grant ~cache_capacity ?spool_dir ~default_timeout
-          ~read_timeout ?metrics ~faults
+          ~read_timeout ?metrics ?trace_shard ?flight ~faults
           ?on_durable:(Option.map Shipper.on_durable shipper) socket
       in
       match Server.start cfg with
@@ -130,6 +139,7 @@ let run socket workers queue_cap pool_total per_request_cap min_grant
             ignore (Shipper.quiesce sh ~timeout:2.0);
             Shipper.stop sh)
           shipper;
+        Option.iter Tracectx.Shard.close ship_shard;
         0)
 
 let socket_arg =
@@ -187,6 +197,20 @@ let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write JSONL metric events and final summaries to $(docv).")
+
+let trace_shard_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-shard" ] ~docv:"FILE"
+           ~doc:"Append this process's distributed-trace spans to \
+                 $(docv) (JSONL); merge shards with `chasec \
+                 trace-merge'.")
+
+let flight_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Flight recorder: dump the in-memory ring of recent \
+                 events to $(docv) on crash-recovery boots, stalls and \
+                 sheds.")
 
 let domains_conv =
   let parse s =
@@ -248,7 +272,8 @@ let cmd =
     Cmdliner.Term.(
       const run $ socket_arg $ workers_arg $ queue_cap_arg $ pool_total_arg
       $ per_request_cap_arg $ min_grant_arg $ cache_capacity_arg $ spool_arg
-      $ default_timeout_arg $ read_timeout_arg $ metrics_arg $ domains_arg
+      $ default_timeout_arg $ read_timeout_arg $ metrics_arg
+      $ trace_shard_arg $ flight_arg $ domains_arg
       $ ship_to_arg $ sync_timeout_arg $ standby_of_arg
       $ chaos_kill_accept_arg $ chaos_drop_arg $ chaos_slow_arg)
 

@@ -11,10 +11,11 @@ socket; the client relays byte-identical output and the op's exit code.
   $ DPID=$!
   $ for i in $(seq 1 100); do [ -S ./d.sock ] && break; sleep 0.1; done
 
-A ping proves liveness.
+A ping proves liveness — and identifies the server: build, uptime,
+role and the durable paths, one JSON line.
 
-  $ ../bin/chasec.exe -s ./d.sock ping
-  pong
+  $ ../bin/chasec.exe -s ./d.sock ping | grep -c '"pong":true.*"role":"primary".*"build":"chase\/.*"uptime_s":.*"pid":.*"socket":.*"spool":"spool"'
+  1
 
 The daemon's chase bytes are identical to a single-shot chase_cli run
 with the same grant (the daemon derives --max-atoms as 4x the budget).
@@ -50,6 +51,25 @@ The query op answers conjunctive queries against the universal model
   $ ../bin/chasec.exe -s ./d.sock query prog.chase --query 'emp(N, D), dept(D, M) -> ans(N, D).'
   ans(ada, cs).
 
+The telemetry op snapshots the live metric registry — as one JSON
+document and as Prometheus text exposition — and obs-check validates
+both renderings.
+
+  $ ../bin/chasec.exe -s ./d.sock telemetry > tele.json
+  $ ../bin/obs_check.exe --telemetry tele.json
+  telemetry OK: tele.json
+  $ ../bin/chasec.exe -s ./d.sock telemetry -v prom > tele.prom
+  $ grep -c '^# TYPE chase_build_info gauge$' tele.prom
+  1
+  $ ../bin/obs_check.exe --prom tele.prom > prom_ok.out
+  $ grep -c '^prom OK: tele.prom' prom_ok.out
+  1
+
+chasec top renders the same snapshot for humans.
+
+  $ ../bin/chasec.exe top -s ./d.sock | grep -c 'role primary'
+  1
+
 Unknown ops are a usage error, client-side.
 
   $ ../bin/chasec.exe -s ./d.sock frobnicate prog.chase
@@ -63,4 +83,4 @@ its metrics file validates.
   bye
   $ wait $DPID
   $ ../bin/obs_check.exe --metrics m.jsonl
-  metrics OK: m.jsonl (12 lines)
+  metrics OK: m.jsonl (13 lines)

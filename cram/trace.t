@@ -1,0 +1,76 @@
+End-to-end request tracing across a replicated pair: the client mints
+the root context, the primary and its shipper tag their spans with it,
+the standby's receiver parents its apply spans on the shipped context,
+and `chasec trace-merge` joins the per-process shards into one
+Chrome-trace file that obs-check validates as a trace tree.
+
+  $ cat > prog.chase <<'EOF'
+  > emp(N, D) -> dept(D, M).
+  > dept(D, M) -> works(M, D).
+  > emp(ada, cs).
+  > EOF
+
+Start a standby first (it binds the ship socket), then the primary
+shipping to it; each process appends to its own trace shard.
+
+  $ ../bin/chased.exe ./s.sock --spool sspool --standby-of ./ship.sock --trace-shard standby.trace 2> standby.log &
+  $ SPID=$!
+  $ for i in $(seq 1 100); do [ -S ./ship.sock ] && break; sleep 0.1; done
+  $ ../bin/chased.exe ./p.sock --spool pspool --ship-to ./ship.sock --trace-shard primary.trace 2> primary.log &
+  $ PPID2=$!
+  $ for i in $(seq 1 100); do [ -S ./p.sock ] && break; sleep 0.1; done
+
+One traced durable chase: the root span is minted client-side and
+propagates through admission, the engine, the spool fsync, the
+shipper's semi-sync wait, and the standby's apply.
+
+  $ ../bin/chasec.exe -s ./p.sock chase prog.chase -b 50000 -q --durable --trace-out client.trace
+  oblivious chase: terminated
+  facts: 3 (created 2)
+  triggers: 2 applied
+  nulls: 1
+  max depth: 2
+
+Give the asynchronous tail of the replication stream a moment, then
+stop both daemons (closing their shard files).
+
+  $ sleep 1
+  $ ../bin/chasec.exe -s ./p.sock shutdown
+  bye
+  $ wait $PPID2
+  $ kill $SPID 2> /dev/null
+  $ wait $SPID 2> /dev/null || true
+
+Every process wrote its own shard.
+
+  $ for f in client.trace primary.trace standby.trace; do [ -s $f ] && echo "$f written"; done
+  client.trace written
+  primary.trace written
+  standby.trace written
+
+The merge joins the shards by trace id into one Chrome trace, and
+obs-check validates it both as a trace file and as a trace tree (one
+root per trace, every parent resolvable, children inside their root).
+
+  $ ../bin/chasec.exe trace-merge client.trace primary.trace standby.trace > merged.json
+  $ ../bin/obs_check.exe --trace merged.json > merge_ok.out
+  $ grep -c '^trace OK: merged.json' merge_ok.out
+  1
+  $ ../bin/obs_check.exe --tracectx merged.json > tree_ok.out
+  $ grep -c '^tracectx OK: merged.json' tree_ok.out
+  1
+
+The one request's trace contains spans from every process in the
+pipeline — client, server, engine, shipper, receiver — under a single
+trace id.
+
+  $ for name in client.request server.chase engine.run shipper.sync receiver.apply; do
+  >   grep -c "\"$name\"" merged.json > /dev/null && echo "$name present"
+  > done
+  client.request present
+  server.chase present
+  engine.run present
+  shipper.sync present
+  receiver.apply present
+  $ grep -o '"trace":"[0-9a-f]*"' merged.json | sort -u | wc -l | tr -d ' '
+  1

@@ -6,7 +6,8 @@
       {!Plan}, {!Tgd}, {!Schema}, {!Pattern}, {!Parser};
     - chase engine: {!Variant}, {!Engine}, {!Parallel}, {!Limits},
       {!Watchdog}, {!Faults}, {!Critical}, {!Derivation};
-    - observability: {!Obs}, {!Metrics}, {!Sink}, {!Jsonv}, {!Profile};
+    - observability: {!Obs}, {!Metrics}, {!Sink}, {!Jsonv}, {!Profile},
+      {!Tracectx}, {!Flight}, {!Telemetry};
     - durability: {!Codec}, {!Journal}, {!Snapshot}, {!Recovery},
       {!Session};
     - classes: {!Classify};
@@ -66,6 +67,9 @@ module Metrics = Chase_obs.Metrics
 module Sink = Chase_obs.Sink
 module Jsonv = Chase_obs.Jsonv
 module Profile = Chase_engine.Profile
+module Tracectx = Chase_obs.Tracectx
+module Flight = Chase_obs.Flight
+module Telemetry = Chase_obs.Telemetry
 
 (* Durability: write-ahead journal, snapshots, crash recovery *)
 module Codec = Chase_persist.Codec

@@ -274,27 +274,32 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?domains ?resume
      canonicalising [enqueue_found] as the sequential path, so the
      worklist — and with it the chase sequence, journal bytes and null
      stamps — is bit-identical whatever the schedule.  Workers never
-     touch [obs] or the queue; they time themselves with the real clock.
-     Attribution caveat: the matcher's probe counters are process-global
-     atomics, exact in total but not attributable per rule when several
-     domains match at once, so parallel runs attribute wall time
-     ([prof_match]) and leave [prof_probes] to the run-total metrics. *)
+     touch [obs] or the queue; they time themselves with the real clock
+     and count their own candidate work through the matcher's
+     domain-local counter ({!Hom.Stats.local_candidates_now}) — each
+     event runs entirely on one domain, so the local delta around it is
+     exactly its work, and per-rule probe attribution is identical to a
+     single-domain run (pinned by the parallel battery). *)
   let merge_timings = ref [] in
   let discover_all_parallel p =
     let results =
       Parallel.map p (Array.length rules) (fun i ->
           let t0 = Unix.gettimeofday () in
+          let c0 = Hom.Stats.local_candidates_now () in
           let acc = ref [] in
           Hom.iter instance (Tgd.body rules.(i)) (fun sub -> acc := sub :: !acc);
-          (!acc, Unix.gettimeofday () -. t0))
+          ( !acc,
+            Unix.gettimeofday () -. t0,
+            Hom.Stats.local_candidates_now () - c0 ))
     in
     let m0 = if tracked then Obs.now obs else 0. in
     Array.iteri
-      (fun i (subs, dt) ->
+      (fun i (subs, dt, dc) ->
         enqueue_found i subs;
         if tracked then begin
           prof_match.(i) <- prof_match.(i) +. dt;
-          prof_time.(i) <- prof_time.(i) +. dt
+          prof_time.(i) <- prof_time.(i) +. dt;
+          prof_probes.(i) <- prof_probes.(i) + dc
         end)
       results;
     if tracked then merge_timings := (Obs.now obs -. m0) :: !merge_timings

@@ -127,9 +127,15 @@ let fields s =
     ("elapsed", s.elapsed);
   ]
 
+(* The human line renders the same [fields] list the machine surfaces
+   consume (the [Obs] series above, the service's progress frames via
+   [Proto.progress_of_snapshot]) — one formatter underneath all three,
+   so the surfaces cannot drift field-by-field. *)
 let pp_snapshot fm s =
+  let f name = try List.assoc name (fields s) with Not_found -> 0. in
+  let i name = int_of_float (f name) in
   Fmt.pf fm
     "[watchdog] step %d (%.0f/s) | facts %d | queue %d | nulls %d \
      (%.2f/trigger) | depth %d | %.1fs"
-    s.step s.steps_per_sec s.facts s.queue_length s.nulls s.null_rate
-    s.max_depth s.elapsed
+    (i "step") (f "steps_per_sec") (i "facts") (i "queue") (i "nulls")
+    (f "null_rate") (i "depth") (f "elapsed")

@@ -75,6 +75,22 @@ module Stats = struct
   let bump c = Atomic.incr c
   let bump_by c n = ignore (Atomic.fetch_and_add c n)
 
+  (* Per-domain mirror of [candidates].  The global atomic stays exact
+     in total but cannot attribute work to a (rule, seed) event when
+     several domains match at once; each event runs entirely on one
+     domain, so the domain-local delta around it is exactly its own
+     candidate count, whatever the other domains do meanwhile.  The
+     engine's parallel discovery reads it to keep per-rule probe
+     attribution identical to a single-domain run. *)
+  let local_candidates : int ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref 0)
+
+  let bump_candidate () =
+    Atomic.incr candidates;
+    incr (Domain.DLS.get local_candidates)
+
+  let local_candidates_now () = !(Domain.DLS.get local_candidates)
+
   let snapshot () =
     {
       probes = Atomic.get probes;
@@ -165,7 +181,7 @@ let iter_naive ?(init = Subst.empty) ins pats f =
     | pat :: rest ->
       List.iter
         (fun fact ->
-          Stats.bump Stats.candidates;
+          Stats.bump_candidate ();
           match match_atom sub pat fact with
           | Some sub' -> go rest sub'
           | None -> ())
@@ -195,7 +211,7 @@ let iter_seeded_naive ?(init = Subst.empty) ins pats ~seed f =
         else
           List.iter
             (fun fact ->
-              Stats.bump Stats.candidates;
+              Stats.bump_candidate ();
               if i < pin && Atom.equal fact seed then ()
                 (* an earlier atom matching [seed] is handled by a smaller
                    [pin]; skip to avoid duplicates *)
@@ -264,7 +280,7 @@ let run_plan ~skip_seed pats_arr plan ~from ins sub0 f =
       let pos = order.(k) in
       List.iter
         (fun fact ->
-          Stats.bump Stats.candidates;
+          Stats.bump_candidate ();
           if skip_seed pos fact then ()
           else
             match match_atom sub pats_arr.(pos) fact with
@@ -288,7 +304,7 @@ let iter_planned ?(init = Subst.empty) ?plan ins pats f =
     (* single atom: nothing to order, but still probe the best index *)
     List.iter
       (fun fact ->
-        Stats.bump Stats.candidates;
+        Stats.bump_candidate ();
         match match_atom init pat fact with Some s -> f s | None -> ())
       (candidates_best ins init pat)
   | _ ->

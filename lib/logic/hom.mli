@@ -49,6 +49,13 @@ module Stats : sig
   val candidates_now : unit -> int
   (** The raw candidates counter — the engine's cheap per-trigger
       delta. *)
+
+  val local_candidates_now : unit -> int
+  (** This domain's share of [candidates].  A parallel matching event
+      runs entirely on one domain, so the domain-local delta around it
+      is its exact candidate count even while other domains match —
+      the engine reads it to attribute per-rule probe work in parallel
+      runs exactly as a single-domain run would. *)
 end
 
 (** {1 Matcher selection} *)

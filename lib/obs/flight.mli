@@ -1,0 +1,43 @@
+(** The flight recorder: a bounded lock-free ring of recent
+    operational events, always on, dumped as JSONL on anomalies
+    (crash-recovery boot, watchdog stalls, exhaustion, load sheds).
+
+    [record] is wait-free and never does I/O; [dump] never raises. *)
+
+type entry = {
+  ts_us : float;  (** absolute epoch microseconds *)
+  kind : string;
+  name : string;
+  detail : string;
+}
+
+val size : int
+(** Ring capacity: the newest [size] records are retained. *)
+
+val record : kind:string -> name:string -> string -> unit
+(** Always-on, lock-free, no I/O. *)
+
+val recorded : unit -> int
+(** Total records ever written (≥ retained). *)
+
+val entries : unit -> entry list
+(** Snapshot of retained records, oldest first. *)
+
+val configure : path:string option -> unit
+(** Where [dump] appends its post-mortems; [None] (the default)
+    disables dumping while recording continues. *)
+
+val configured : unit -> string option
+
+val dump : reason:string -> unit
+(** Append a post-mortem (header line + retained entries) to the
+    configured path.  No-op when unconfigured; never raises. *)
+
+val dump_to : (string -> unit) -> reason:string -> unit
+(** The same post-mortem through an arbitrary line writer. *)
+
+val drops : unit -> int
+(** Dumps lost to sink failure. *)
+
+val reset : unit -> unit
+(** Test hook: clear the ring and counters. *)

@@ -74,6 +74,7 @@ let span_end t name =
     match t.stack with
     | top :: rest when top = name ->
       t.stack <- rest;
+      Flight.record ~kind:"span" ~name "";
       t.sink.emit (Sink.Span_end { name; ts = now t })
     | _ -> ()
 
@@ -87,8 +88,10 @@ let with_span t ?args name f =
 (* --- point events -------------------------------------------------- *)
 
 let instant t ?(args = []) name =
-  if t.enabled && not t.finished then
+  if t.enabled && not t.finished then begin
+    Flight.record ~kind:"instant" ~name "";
     t.sink.emit (Sink.Instant { name; ts = now t; args })
+  end
 
 let series t name values =
   if t.enabled && not t.finished then

@@ -1,0 +1,169 @@
+(** Point-in-time telemetry snapshots: the full metric registry —
+    counters, gauges, histogram quantiles — plus process identity
+    (build id, uptime), rendered both as one JSON document and as
+    Prometheus-style text exposition.
+
+    Both renderings are pure functions of the registry: the server
+    answers a [telemetry] request by snapshotting under its own obs
+    lock (microseconds of hold time) and formatting outside it —
+    snapshots are read-only and never block workers. *)
+
+let schema = "chase-telemetry/1"
+
+let build_id =
+  Printf.sprintf "chase/0.10 ocaml-%s %s" Sys.ocaml_version
+    (match Sys.backend_type with
+    | Sys.Native -> "native"
+    | Sys.Bytecode -> "bytecode"
+    | Sys.Other o -> o)
+
+let opt_label label = if label = "" then None else Some label
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_json ?(extra = []) ~uptime_s metrics =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (name, label, entry) ->
+      let base =
+        ("name", Jsonv.String name)
+        ::
+        (if label = "" then [] else [ ("label", Jsonv.String label) ])
+      in
+      match entry with
+      | Metrics.E_counter v ->
+        counters := Jsonv.Obj (base @ [ ("value", Jsonv.Int v) ]) :: !counters
+      | Metrics.E_gauge v ->
+        gauges := Jsonv.Obj (base @ [ ("value", Jsonv.Float v) ]) :: !gauges
+      | Metrics.E_hist _ -> (
+        match Metrics.hist_stats metrics ?label:(opt_label label) name with
+        | None -> ()
+        | Some (count, sum, mn, mx, p50, p90, p99) ->
+          hists :=
+            Jsonv.Obj
+              (base
+              @ [
+                  ("count", Jsonv.Int count);
+                  ("sum", Jsonv.Float sum);
+                  ("min", Jsonv.Float mn);
+                  ("max", Jsonv.Float mx);
+                  ("p50", Jsonv.Float p50);
+                  ("p90", Jsonv.Float p90);
+                  ("p99", Jsonv.Float p99);
+                ])
+            :: !hists))
+    (Metrics.dump metrics);
+  Jsonv.Obj
+    ([
+       ("type", Jsonv.String "telemetry");
+       ("schema", Jsonv.String schema);
+       ("build", Jsonv.String build_id);
+       ("uptime_s", Jsonv.Float uptime_s);
+     ]
+    @ extra
+    @ [
+        ("counters", Jsonv.List (List.rev !counters));
+        ("gauges", Jsonv.List (List.rev !gauges));
+        ("histograms", Jsonv.List (List.rev !hists));
+      ])
+
+let json ?extra ~uptime_s metrics =
+  Jsonv.to_string (snapshot_json ?extra ~uptime_s metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names like "svc.latency_s" become "chase_svc_latency_s":
+   dots (and anything else outside the exposition grammar) fold to
+   underscores under a stable "chase_" namespace. *)
+let prom_name name =
+  let b = Bytes.of_string ("chase_" ^ name) in
+  Bytes.iteri
+    (fun i ch ->
+      let ok =
+        (ch >= 'a' && ch <= 'z')
+        || (ch >= 'A' && ch <= 'Z')
+        || (ch >= '0' && ch <= '9')
+        || ch = '_' || ch = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prom_escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let prom_labels kvs =
+  match kvs with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) kvs)
+    ^ "}"
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus ?(extra = []) ~uptime_s metrics =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 64 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  let sample name labels v =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" name (prom_labels labels) v)
+  in
+  let info_labels =
+    ("build", build_id)
+    :: List.filter_map
+         (fun (k, j) ->
+           match j with Jsonv.String s -> Some (k, s) | _ -> None)
+         extra
+  in
+  type_line "chase_build_info" "gauge";
+  sample "chase_build_info" info_labels "1";
+  type_line "chase_uptime_seconds" "gauge";
+  sample "chase_uptime_seconds" [] (prom_float uptime_s);
+  List.iter
+    (fun (name, label, entry) ->
+      let n = prom_name name in
+      let labels = if label = "" then [] else [ ("label", label) ] in
+      match entry with
+      | Metrics.E_counter v ->
+        type_line n "counter";
+        sample n labels (string_of_int v)
+      | Metrics.E_gauge v ->
+        type_line n "gauge";
+        sample n labels (prom_float v)
+      | Metrics.E_hist _ -> (
+        match Metrics.hist_stats metrics ?label:(opt_label label) name with
+        | None -> ()
+        | Some (count, sum, _mn, _mx, p50, p90, p99) ->
+          type_line n "summary";
+          List.iter
+            (fun (q, v) ->
+              sample n (labels @ [ ("quantile", q) ]) (prom_float v))
+            [ ("0.5", p50); ("0.9", p90); ("0.99", p99) ];
+          sample (n ^ "_sum") labels (prom_float sum);
+          sample (n ^ "_count") labels (string_of_int count)))
+    (Metrics.dump metrics);
+  Buffer.contents buf

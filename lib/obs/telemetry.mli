@@ -1,0 +1,26 @@
+(** Point-in-time telemetry snapshots of a metric registry, rendered
+    as JSON ([chase-telemetry/1]) and as Prometheus-style text
+    exposition.  Pure functions of the registry — callers snapshot
+    under their own lock and format outside it. *)
+
+val schema : string
+(** ["chase-telemetry/1"]. *)
+
+val build_id : string
+(** Server build identity: version, compiler, backend. *)
+
+val snapshot_json :
+  ?extra:(string * Jsonv.t) list -> uptime_s:float -> Metrics.t -> Jsonv.t
+(** The snapshot document: type/schema/build/uptime, any [extra]
+    top-level fields (spool path, role, …), then [counters], [gauges]
+    and [histograms] (count/sum/min/max/p50/p90/p99) arrays in the
+    registry's deterministic (name, label) order. *)
+
+val json : ?extra:(string * Jsonv.t) list -> uptime_s:float -> Metrics.t -> string
+
+val prometheus :
+  ?extra:(string * Jsonv.t) list -> uptime_s:float -> Metrics.t -> string
+(** Text exposition: [# TYPE] lines, [chase_]-namespaced sanitized
+    metric names, labels quoted and escaped, histograms as summaries
+    with 0.5/0.9/0.99 quantiles plus [_sum]/[_count].  String-valued
+    [extra] fields become labels on [chase_build_info]. *)

@@ -1,0 +1,107 @@
+(** Distributed trace context: id minting, the wire form carried in
+    protocol frames, per-process JSONL span shards, and the offline
+    merge into one Chrome-trace file.
+
+    Doctrine: {e propagate ids, ship spans, merge offline}.  A request
+    carries only the compact context string across process boundaries;
+    each process writes spans to its own local shard with absolute
+    wall-clock timestamps; [chasec trace-merge] joins shards by trace
+    id after the fact.  The shard writer never raises and never blocks
+    on a sick sink — it counts drops instead. *)
+
+type t = {
+  trace : string;  (** 16 lowercase hex digits naming the request tree *)
+  span : string;  (** 16 lowercase hex digits naming the current span *)
+}
+
+val genesis : unit -> t
+(** A fresh trace with its root span — minted by the client. *)
+
+val child : t -> t
+(** Same trace, fresh span id: the callee's span, parented by whoever
+    held the input context. *)
+
+val fresh_id : unit -> string
+(** A bare 16-hex-digit id from the process-wide splitmix64 stream. *)
+
+val is_hex_id : string -> bool
+
+val to_string : t -> string
+(** ["<trace>-<span>"] — the 33-byte wire form. *)
+
+val of_string : string -> t option
+(** Strict parse of the wire form; [None] on anything malformed. *)
+
+val now_us : unit -> float
+(** Absolute wall-clock microseconds — the shard timestamp base, so
+    same-host shards merge without clock alignment. *)
+
+(** One span record as it appears on a shard line. *)
+type record = {
+  r_trace : string;
+  r_span : string;
+  r_parent : string option;
+  r_name : string;
+  r_proc : string;
+  r_pid : int;
+  r_ts_us : float;
+  r_dur_us : float;
+  r_args : (string * Jsonv.t) list;
+}
+
+val record_to_json : record -> Jsonv.t
+val record_of_json : Jsonv.t -> (record, string) result
+
+val parse_shard_line : string -> record option
+(** One JSONL shard line → record; [None] on blank or malformed lines
+    (a torn final line from a killed process is expected litter). *)
+
+val merge_to_chrome : record list -> Jsonv.t
+(** Join shard records into one Chrome trace-event array: [ph:"M"]
+    process-name metadata plus one [ph:"X"] complete event per span,
+    args carrying trace/span/parent ids, ordered by trace then start
+    time. *)
+
+(** The per-process shard writer: append-only JSONL, one flushed line
+    per record, mutex-guarded, and {e never} raising — open or write
+    failures (and armed [check] faults) turn it into a black hole that
+    counts drops. *)
+module Shard : sig
+  type writer
+
+  val open_ : ?check:(unit -> bool) -> proc:string -> string -> writer
+  (** [open_ ~proc path] appends to [path]; [proc] labels every record
+      (e.g. ["chasec"], ["chased"]).  [check] is a fault hook: when it
+      returns [true] the next write fails as if the disk died — used
+      by the sink back-pressure tests. *)
+
+  val proc : writer -> string
+  val path : writer -> string
+
+  val drops : writer -> int
+  (** Records lost to sink failure since open. *)
+
+  val span :
+    writer ->
+    ctx:t ->
+    ?parent:string ->
+    name:string ->
+    ts_us:float ->
+    dur_us:float ->
+    ?args:(string * Jsonv.t) list ->
+    unit ->
+    unit
+
+  val instant :
+    writer ->
+    ctx:t ->
+    ?parent:string ->
+    name:string ->
+    ts_us:float ->
+    ?args:(string * Jsonv.t) list ->
+    unit ->
+    unit
+
+  val write_record : writer -> record -> unit
+  val close : writer -> unit
+end

@@ -33,16 +33,18 @@ module Recovery = Chase_persist.Recovery
 module Variant = Chase_engine.Variant
 module Obs = Chase_obs.Obs
 module Parser = Chase_logic.Parser
+module Tracectx = Chase_obs.Tracectx
 
 type config = {
   spool_dir : string;  (** the standby's spool — the state received *)
   socket : string;  (** where the shipper connects *)
   cert_interval : float;  (** certification cadence; 0 disables *)
   metrics : string option;
+  trace_shard : string option;  (** this process's trace-shard JSONL *)
 }
 
-let config ?(cert_interval = 0.25) ?metrics ~spool_dir ~socket () =
-  { spool_dir; socket; cert_interval; metrics }
+let config ?(cert_interval = 0.25) ?metrics ?trace_shard ~spool_dir ~socket () =
+  { spool_dir; socket; cert_interval; metrics; trace_shard }
 
 type t = {
   cfg : config;
@@ -50,6 +52,7 @@ type t = {
   obs : Obs.t;
   obs_close : unit -> unit;
   obs_mu : Mutex.t;
+  shard : Tracectx.Shard.writer option;
   mu : Mutex.t;
   mutable conn : Unix.file_descr option;
   mutable sessions : int;
@@ -171,6 +174,7 @@ let serve_conn t fd =
               (Fmt.str "sequence gap: got %d, expected %d" s.Shipframe.seq
                  !expected)
           else (
+            let ts_us = Tracectx.now_us () in
             match apply t s with
             | Error why -> nack why
             | Ok () ->
@@ -180,6 +184,26 @@ let serve_conn t fd =
                   Obs.incr obs "repl.applied";
                   Obs.observe obs "repl.lag"
                     (float_of_int (max 0 (s.Shipframe.head - s.Shipframe.seq))));
+              (* a traced frame: the apply becomes a span of the
+                 request's own trace, parented on the primary's ctx *)
+              (match (t.shard, s.Shipframe.trace) with
+              | Some w, Some tc -> (
+                match Tracectx.of_string tc with
+                | None -> ()
+                | Some parent ->
+                  let ctx = Tracectx.child parent in
+                  Tracectx.Shard.span w ~ctx ~parent:parent.Tracectx.span
+                    ~name:"receiver.apply" ~ts_us
+                    ~dur_us:(Tracectx.now_us () -. ts_us)
+                    ~args:
+                      [
+                        ("name", Chase_obs.Jsonv.String s.Shipframe.name);
+                        ( "lag",
+                          Chase_obs.Jsonv.Int
+                            (max 0 (s.Shipframe.head - s.Shipframe.seq)) );
+                      ]
+                    ())
+              | _ -> ());
               if send fd (Shipframe.Ack s.Shipframe.seq) then loop ()))
   in
   loop ()
@@ -312,6 +336,9 @@ let start cfg =
     | Ok pair -> pair
     | Error _ -> (Obs.disabled, ignore)
   in
+  let shard =
+    Option.map (Tracectx.Shard.open_ ~proc:"receiver") cfg.trace_shard
+  in
   let t =
     {
       cfg;
@@ -319,6 +346,7 @@ let start cfg =
       obs;
       obs_close;
       obs_mu = Mutex.create ();
+      shard;
       mu = Mutex.create ();
       conn = None;
       sessions = 0;
@@ -357,6 +385,7 @@ let stop t =
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     Option.iter Thread.join t.accepter;
     Option.iter Thread.join t.certifier;
+    Option.iter Tracectx.Shard.close t.shard;
     (* final metric summaries — the artifact obs_check validates *)
     Mutex.lock t.obs_mu;
     Fun.protect

@@ -14,11 +14,15 @@ type config = {
   socket : string;
   cert_interval : float;  (** certification cadence; 0 disables *)
   metrics : string option;  (** JSONL metrics file (chase-metrics/1) *)
+  trace_shard : string option;
+      (** trace-shard JSONL: traced ship frames yield [receiver.apply]
+          spans parented on the primary's server span *)
 }
 
 val config :
   ?cert_interval:float ->
   ?metrics:string ->
+  ?trace_shard:string ->
   spool_dir:string ->
   socket:string ->
   unit ->

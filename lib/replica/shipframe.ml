@@ -38,6 +38,10 @@ type ship = {
   kind : kind;
   name : string;  (** flat file name inside the spool directory *)
   data : string;  (** raw bytes (empty for [Delete]) *)
+  trace : string option;
+      (** distributed trace context of the request that made these
+          bytes durable; absent for resyncs and for trace-unaware
+          primaries (encoding omits it, keeping old frames identical) *)
 }
 
 type msg =
@@ -117,7 +121,11 @@ let encode msg =
       @ [
           ("data", Jsonv.String (hex_encode s.data));
           ("crc", Jsonv.Int (Codec.Crc32.digest s.data));
-        ])
+        ]
+      @
+      match s.trace with
+      | Some tc -> [ ("trace", Jsonv.String tc) ]
+      | None -> [])
 
 let get_int key v =
   match Jsonv.member key v with
@@ -168,7 +176,13 @@ let decode payload =
         let* data = hex_decode hex in
         if Codec.Crc32.digest data <> crc then
           Error (Fmt.str "crc mismatch on %S (seq %d)" name seq)
-        else Ok (Ship { seq; head; kind; name; data })
+        else
+          let trace =
+            match Jsonv.member "trace" v with
+            | Some (Jsonv.String tc) -> Some tc
+            | _ -> None
+          in
+          Ok (Ship { seq; head; kind; name; data; trace })
     | other -> Error (Fmt.str "unknown message type %S" other))
 
 let pp_kind fm = function

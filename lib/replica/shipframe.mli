@@ -20,6 +20,11 @@ type ship = {
   kind : kind;
   name : string;  (** flat file name inside the spool directory *)
   data : string;  (** raw bytes (empty for [Delete]) *)
+  trace : string option;
+      (** distributed trace context of the request that made these
+          bytes durable; absent for resyncs and trace-unaware
+          primaries — the encoding omits it, so frames from old peers
+          stay byte-identical *)
 }
 
 type msg =

@@ -30,6 +30,7 @@ module Proto = Chase_service.Proto
 module Journal = Chase_persist.Journal
 module Faults = Chase_engine.Faults
 module Obs = Chase_obs.Obs
+module Tracectx = Chase_obs.Tracectx
 
 type config = {
   spool_dir : string;  (** the primary's spool — the state to ship *)
@@ -60,12 +61,14 @@ type pending = {
   kind : Shipframe.kind;
   name : string;
   data : string;
+  trace : string option;  (** request trace ctx, hook path only *)
 }
 
 type t = {
   cfg : config;
   obs : Obs.t;
   obs_mu : Mutex.t;
+  shard : Tracectx.Shard.writer option;  (** this process's trace shard *)
   mu : Mutex.t;
   cond : Condition.t;
   queue : pending Queue.t;
@@ -100,7 +103,7 @@ let with_obs t f =
 (* Must hold [t.mu].  A full queue means the standby is not keeping up:
    drop everything, record the degradation, and let the next session
    re-ship the full state — never stall the caller. *)
-let enqueue_locked t kind name data =
+let enqueue_locked ?trace t kind name data =
   if Queue.length t.queue >= t.cfg.buffer_cap then begin
     Queue.clear t.queue;
     Hashtbl.reset t.jnl_off;
@@ -115,12 +118,12 @@ let enqueue_locked t kind name data =
     | None -> ()
   end;
   t.total <- t.total + 1;
-  Queue.add { g = t.total; kind; name; data } t.queue;
+  Queue.add { g = t.total; kind; name; data; trace } t.queue;
   Condition.broadcast t.cond;
   t.total
 
-let enqueue t kind name data =
-  let g = locked t (fun () -> enqueue_locked t kind name data) in
+let enqueue ?trace t kind name data =
+  let g = locked t (fun () -> enqueue_locked ?trace t kind name data) in
   (match kind with
   | Shipframe.File ->
     with_obs t (fun obs -> Obs.incr obs ~label:"file" "repl.shipped")
@@ -140,36 +143,59 @@ let enqueue t kind name data =
    asynchronous.  The wait is on the global counter, not the session
    seq: if the session restarts meanwhile, the resync re-ships this
    very file, and the resync's acks advance the same counter. *)
-let on_durable t what ~key bytes =
+let on_durable t what ~key ~trace bytes =
   let suffix = match what with `Req -> ".req" | `Resp -> ".resp" in
   let name = key ^ suffix in
+  let ts_us = Tracectx.now_us () in
   Hashtbl.replace t.file_sig name (Digest.string bytes);
-  let g = enqueue t Shipframe.File name bytes in
-  if t.cfg.sync_timeout > 0. then begin
-    let deadline = Unix.gettimeofday () +. t.cfg.sync_timeout in
-    let timed_out =
-      locked t (fun () ->
-          let rec wait () =
-            if t.synced >= g || t.stop then false
-            else begin
-              let remaining = deadline -. Unix.gettimeofday () in
-              if remaining <= 0. then true
+  let g = enqueue ?trace t Shipframe.File name bytes in
+  let timed_out =
+    if t.cfg.sync_timeout <= 0. then false
+    else begin
+      let deadline = Unix.gettimeofday () +. t.cfg.sync_timeout in
+      let timed_out =
+        locked t (fun () ->
+            let rec wait () =
+              if t.synced >= g || t.stop then false
               else begin
-                (* no timed wait on [Condition]: poll on a short leash *)
-                Mutex.unlock t.mu;
-                Thread.delay (Float.min 0.005 remaining);
-                Mutex.lock t.mu;
-                wait ()
+                let remaining = deadline -. Unix.gettimeofday () in
+                if remaining <= 0. then true
+                else begin
+                  (* no timed wait on [Condition]: poll on a short leash *)
+                  Mutex.unlock t.mu;
+                  Thread.delay (Float.min 0.005 remaining);
+                  Mutex.lock t.mu;
+                  wait ()
+                end
               end
-            end
-          in
-          wait ())
-    in
-    if timed_out then begin
-      locked t (fun () -> t.laggings <- t.laggings + 1; t.degraded <- true);
-      with_obs t (fun obs -> Obs.incr obs "repl.lagging")
+            in
+            wait ())
+      in
+      if timed_out then begin
+        locked t (fun () -> t.laggings <- t.laggings + 1; t.degraded <- true);
+        with_obs t (fun obs -> Obs.incr obs "repl.lagging")
+      end;
+      timed_out
     end
-  end
+  in
+  (* the semi-sync wait, as a span under the request's server span:
+     its duration is the ship→ack latency the client actually paid *)
+  match (t.shard, trace) with
+  | Some w, Some tc -> (
+    match Tracectx.of_string tc with
+    | None -> ()
+    | Some parent ->
+      let ctx = Tracectx.child parent in
+      Tracectx.Shard.span w ~ctx ~parent:parent.Tracectx.span
+        ~name:"shipper.sync" ~ts_us
+        ~dur_us:(Tracectx.now_us () -. ts_us)
+        ~args:
+          [
+            ("name", Chase_obs.Jsonv.String name);
+            ("lagging", Chase_obs.Jsonv.Bool timed_out);
+          ]
+        ())
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Scanning the spool                                                  *)
@@ -420,7 +446,7 @@ let session t fd =
           Shipframe.encode
             (Shipframe.Ship
                { Shipframe.seq = !seq; head; kind = p.kind; name = p.name;
-                 data = p.data })
+                 data = p.data; trace = p.trace })
         in
         if send_frame t fd frame then drain ()
         else locked t (fun () -> dead := true; Condition.broadcast t.cond)
@@ -445,12 +471,13 @@ let sender_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let start ?(obs = Obs.disabled) cfg =
+let start ?(obs = Obs.disabled) ?shard cfg =
   let t =
     {
       cfg;
       obs;
       obs_mu = Mutex.create ();
+      shard;
       mu = Mutex.create ();
       cond = Condition.create ();
       queue = Queue.create ();

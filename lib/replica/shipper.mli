@@ -33,15 +33,19 @@ val config :
 
 type t
 
-val start : ?obs:Chase_obs.Obs.t -> config -> t
+val start :
+  ?obs:Chase_obs.Obs.t -> ?shard:Chase_obs.Tracectx.Shard.writer -> config -> t
 (** Spawns the sender (connect → hello → resync → drain) and the
     journal tailer.  A missing standby is retried forever — the
-    primary serves regardless. *)
+    primary serves regardless.  [shard] receives a [shipper.sync] span
+    per hook-path ship carrying the ship→ack latency. *)
 
-val on_durable : t -> [ `Req | `Resp ] -> key:string -> string -> unit
+val on_durable :
+  t -> [ `Req | `Resp ] -> key:string -> trace:string option -> string -> unit
 (** Wire this as the server's [on_durable] hook.  Ships the bytes and,
     in semi-sync mode, waits for the standby's ack up to
-    [sync_timeout]. *)
+    [sync_timeout].  [trace] — the request's span context — rides the
+    ship frame so the standby's apply spans join the same trace. *)
 
 val quiesce : t -> timeout:float -> bool
 (** Wait until everything enqueued so far is acked ([true]) or the

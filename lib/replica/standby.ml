@@ -19,6 +19,8 @@
 
 module Proto = Chase_service.Proto
 module Server = Chase_service.Server
+module Jsonv = Chase_obs.Jsonv
+module Telemetry = Chase_obs.Telemetry
 
 type config = {
   server : Server.config;
@@ -41,6 +43,7 @@ type state =
 
 type t = {
   cfg : config;
+  started : float;  (** boot wall-clock, for uptime reporting *)
   mu : Mutex.t;
   cond : Condition.t;
   mutable state : state;
@@ -124,8 +127,45 @@ let ok_result stdout =
   Proto.Ok_response
     { Proto.exit_code = 0; stdout; stderr = ""; cached = false }
 
+(* The standby's ping mirrors the primary's shape (role is the
+   discriminator) so `chasec ping` renders either end uniformly. *)
+let ping_body t =
+  Jsonv.to_string
+    (Jsonv.Obj
+       [
+         ("pong", Jsonv.Bool true);
+         ("role", Jsonv.String "standby");
+         ("build", Jsonv.String Telemetry.build_id);
+         ( "uptime_s",
+           Jsonv.Float
+             (Float.round ((Unix.gettimeofday () -. t.started) *. 1000.)
+             /. 1000.) );
+         ("pid", Jsonv.Int (Unix.getpid ()));
+         ("socket", Jsonv.String t.cfg.server.Server.socket);
+         ("spool", Jsonv.String (spool_dir t.cfg));
+       ])
+
+(* A telemetry snapshot from the stub: the receiver's (or promoted
+   server's) live counters poured into a registry, same schema the
+   primary serves, with role=standby telling the ends apart. *)
+let telemetry_body t req =
+  let m = Chase_obs.Metrics.create () in
+  (match locked t (fun () -> t.state) with
+  | Receiving r ->
+    List.iter
+      (fun (k, v) -> Chase_obs.Metrics.incr m ~by:v ("repl." ^ k))
+      (Receiver.stats r)
+  | Promoted s ->
+    List.iter
+      (fun (k, v) -> Chase_obs.Metrics.incr m ~by:v ("svc." ^ k))
+      (Server.stats s));
+  let extra = [ ("role", Jsonv.String "standby") ] in
+  let uptime_s = Unix.gettimeofday () -. t.started in
+  match req.Proto.variant with
+  | Some "prom" -> Telemetry.prometheus ~extra ~uptime_s m
+  | _ -> Telemetry.json ~extra ~uptime_s m ^ "\n"
+
 let stats_json t =
-  let module Jsonv = Chase_obs.Jsonv in
   let counters =
     match locked t (fun () -> t.state) with
     | Receiving r -> Receiver.stats r
@@ -157,10 +197,13 @@ let handle_stub_conn t fd =
           let id = req.Proto.id in
           match req.Proto.op with
           | Proto.Ping ->
-            respond ~id (ok_result "standby\n");
+            respond ~id (ok_result (ping_body t ^ "\n"));
             loop ()
           | Proto.Stats ->
             respond ~id (ok_result (stats_json t ^ "\n"));
+            loop ()
+          | Proto.Telemetry ->
+            respond ~id (ok_result (telemetry_body t req));
             loop ()
           | Proto.Promote ->
             (* answer first: the promoting client's next step is to
@@ -221,7 +264,8 @@ let start cfg =
   let receiver =
     Receiver.start
       (Receiver.config ~cert_interval:cfg.cert_interval ?metrics:cfg.metrics
-         ~spool_dir:dir ~socket:cfg.ship_socket ())
+         ?trace_shard:cfg.server.Server.trace_shard ~spool_dir:dir
+         ~socket:cfg.ship_socket ())
   in
   (try Unix.unlink cfg.server.Server.socket with Unix.Unix_error _ -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -230,6 +274,7 @@ let start cfg =
   let t =
     {
       cfg;
+      started = Unix.gettimeofday ();
       mu = Mutex.create ();
       cond = Condition.create ();
       state = Receiving receiver;

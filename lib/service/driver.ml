@@ -20,6 +20,7 @@ module Watchdog = Chase_engine.Watchdog
 module Critical = Chase_engine.Critical
 module Profile = Chase_engine.Profile
 module Obs = Chase_obs.Obs
+module Flight = Chase_obs.Flight
 module Session = Chase_persist.Session
 module Recovery = Chase_persist.Recovery
 module Decide = Chase_termination.Decide
@@ -125,6 +126,9 @@ let watchdog_of ?on_snapshot ~err ~obs progress =
       (Watchdog.create ~every ~min_interval (fun s ->
            Obs.series obs "watchdog" (Watchdog.fields s);
            Obs.flush obs;
+           Flight.record ~kind:"watchdog"
+             ~name:(Fmt.str "step-%d" s.Watchdog.step)
+             (Fmt.str "%.0f/s" s.Watchdog.steps_per_sec);
            if progress then begin
              Fmt.pf err "%a@." Watchdog.pp_snapshot s;
              (* explicit flush: a kill mid-interval must not eat buffered
@@ -332,6 +336,16 @@ let chase o ~file ~src ~out ~err =
           match result.Engine.status with
           | Engine.Terminated -> 0
           | Engine.Exhausted reason ->
+            (* post-mortem: the flight ring holds the run's last events.
+               A deadline breach is the watchdog's stall verdict — the
+               run was alive but not converging *)
+            Flight.record ~kind:"exhausted" ~name:file
+              (Fmt.str "%a" Limits.pp_breach reason.Limits.Exhaustion.breach);
+            Flight.dump
+              ~reason:
+                (match reason.Limits.Exhaustion.breach with
+                | Limits.Deadline _ -> "watchdog-stall"
+                | _ -> "exhaustion");
             Fmt.pf err "%a@." Limits.Exhaustion.pp reason;
             2))
     end

@@ -93,6 +93,7 @@ type op =
   | Lint
   | Query
   | Stats
+  | Telemetry
   | Shutdown
   | Promote
 
@@ -103,6 +104,7 @@ let op_to_string = function
   | Lint -> "lint"
   | Query -> "query"
   | Stats -> "stats"
+  | Telemetry -> "telemetry"
   | Shutdown -> "shutdown"
   | Promote -> "promote"
 
@@ -113,6 +115,7 @@ let op_of_string = function
   | "lint" -> Some Lint
   | "query" -> Some Query
   | "stats" -> Some Stats
+  | "telemetry" -> Some Telemetry
   | "shutdown" -> Some Shutdown
   | "promote" -> Some Promote
   | _ -> None
@@ -135,11 +138,16 @@ type request = {
       (** chase only: interleave [progress] frames before the final
           response.  Excluded from the idempotency key — the final
           bytes are identical either way. *)
+  trace : string option;
+      (** distributed trace context ([Tracectx.to_string] form), minted
+          by the client.  Purely observational: excluded from the
+          idempotency key and from the encoding when absent, so frames
+          from trace-unaware peers stay byte-identical. *)
 }
 
 let request ?(id = "0") ?(file = "<request>") ?(program = "") ?variant ?budget
     ?timeout_s ?(quiet = false) ?(durable = false) ?(standard = true) ?query
-    ?(stream = false) op =
+    ?(stream = false) ?trace op =
   {
     id;
     op;
@@ -153,6 +161,7 @@ let request ?(id = "0") ?(file = "<request>") ?(program = "") ?variant ?budget
     standard;
     query;
     stream;
+    trace;
   }
 
 let encode_request r =
@@ -174,7 +183,8 @@ let encode_request r =
            ("standard", Jsonv.Bool r.standard);
          ]
        @ opt (fun q -> ("query", Jsonv.String q)) r.query
-       @ (if r.stream then [ ("stream", Jsonv.Bool true) ] else [])))
+       @ (if r.stream then [ ("stream", Jsonv.Bool true) ] else [])
+       @ opt (fun t -> ("trace", Jsonv.String t)) r.trace))
 
 let get_string k v = Option.bind (Jsonv.member k v) Jsonv.to_string_opt
 
@@ -211,14 +221,16 @@ let decode_request payload =
               standard = get_bool ~default:true "standard" v;
               query = get_string "query" v;
               stream = get_bool ~default:false "stream" v;
+              trace = get_string "trace" v;
             }))
     | _ -> Error "request is not a JSON object")
 
 (** The idempotency key: everything that determines the result bytes —
-    and nothing that does not ([id], the deadline and [stream] are
-    excluded, so a retried request with a fresh deadline deduplicates
-    against the original, and a streaming request shares the flight of
-    a plain one — the final frame's bytes are the same). *)
+    and nothing that does not ([id], the deadline, [stream] and
+    [trace] are excluded, so a retried request with a fresh deadline
+    deduplicates against the original, a streaming request shares the
+    flight of a plain one, and a traced request shares the flight — and
+    the cached bytes — of an untraced twin). *)
 let request_key r =
   Digest.to_hex
     (Digest.string
@@ -257,6 +269,21 @@ let pp_progress fm p =
   Fmt.pf fm "step %d · %d atoms · %d nulls · %.1fs" p.step p.atoms p.nulls
     p.elapsed
 
+(** The one snapshot → progress mapping.  Both progress surfaces — the
+    engine's stderr watchdog line ({!Chase_engine.Watchdog.pp_snapshot})
+    and the service's streaming [progress] frames — draw from
+    {!Chase_engine.Watchdog.fields}; this is the frame side, so the two
+    cannot drift field-by-field. *)
+let progress_of_snapshot (s : Chase_engine.Watchdog.snapshot) =
+  let fields = Chase_engine.Watchdog.fields s in
+  let get name = try List.assoc name fields with Not_found -> 0. in
+  {
+    step = int_of_float (get "step");
+    atoms = int_of_float (get "facts");
+    nulls = int_of_float (get "nulls");
+    elapsed = get "elapsed";
+  }
+
 type response =
   | Ok_response of result
   | Progress of progress
@@ -269,11 +296,17 @@ type response =
   | Bad_request of string  (** well-framed but unintelligible or invalid *)
   | Server_error of string
 
-let encode_response ~id resp =
+(* [?trace] rides on outgoing frames only when the request carried a
+   context — absent-by-default keeps untraced frames byte-identical,
+   and the durable spool always stores the untraced form. *)
+let encode_response ?trace ~id resp =
   let base = [ ("id", Jsonv.String id) ] in
+  let tail =
+    match trace with None -> [] | Some t -> [ ("trace", Jsonv.String t) ]
+  in
   Jsonv.to_string
     (Jsonv.Obj
-       (match resp with
+       ((match resp with
        | Progress p ->
          base
          @ [
@@ -308,7 +341,8 @@ let encode_response ~id resp =
            ]
        | Server_error msg ->
          base
-         @ [ ("status", Jsonv.String "error"); ("error", Jsonv.String msg) ]))
+         @ [ ("status", Jsonv.String "error"); ("error", Jsonv.String msg) ])
+       @ tail))
 
 let decode_response payload =
   match Jsonv.of_string payload with

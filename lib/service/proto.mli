@@ -38,6 +38,10 @@ type op =
   | Lint
   | Query
   | Stats
+  | Telemetry
+      (** a point-in-time snapshot of the full metric registry, served
+          inline (never queued): JSON by default, Prometheus-style text
+          exposition with [variant = "prom"] *)
   | Shutdown
   | Promote
       (** turn a standby into the serving primary (idempotent on a
@@ -62,6 +66,11 @@ type request = {
   stream : bool;
       (** chase only: interleave [progress] frames before the final
           response; the final bytes are identical either way *)
+  trace : string option;
+      (** distributed trace context ({!Chase_obs.Tracectx.to_string}
+          form), minted by the client; excluded from the idempotency
+          key and from the encoding when absent, so trace-unaware
+          peers see byte-identical frames *)
 }
 
 val request :
@@ -76,6 +85,7 @@ val request :
   ?standard:bool ->
   ?query:string ->
   ?stream:bool ->
+  ?trace:string ->
   op ->
   request
 
@@ -84,9 +94,9 @@ val decode_request : string -> (request, string) result
 
 val request_key : request -> string
 (** The idempotency key: an MD5 hex over everything that determines the
-    result bytes, excluding [id], [timeout_s] and [stream] — so a
-    retried request with a fresh deadline deduplicates against the
-    original, and streaming does not partition the cache. *)
+    result bytes, excluding [id], [timeout_s], [stream] and [trace] —
+    so a retried request with a fresh deadline deduplicates against the
+    original, and neither streaming nor tracing partitions the cache. *)
 
 (** {1 Responses} *)
 
@@ -106,6 +116,11 @@ type progress = {
 
 val pp_progress : Format.formatter -> progress -> unit
 
+val progress_of_snapshot : Chase_engine.Watchdog.snapshot -> progress
+(** The canonical snapshot → progress-frame mapping, drawing from
+    {!Chase_engine.Watchdog.fields} — the same list behind the stderr
+    watchdog line, so the two progress surfaces cannot drift. *)
+
 type response =
   | Ok_response of result
   | Progress of progress
@@ -117,6 +132,10 @@ type response =
   | Bad_request of string  (** well-framed but unintelligible or invalid *)
   | Server_error of string
 
-val encode_response : id:string -> response -> string
+val encode_response : ?trace:string -> id:string -> response -> string
+(** [?trace] appends the request's trace context to the outgoing frame;
+    absent-by-default keeps untraced frames byte-identical (the durable
+    spool always stores the untraced form). *)
+
 val decode_response : string -> (string * response, string) Stdlib.result
 val pp_response : Format.formatter -> response -> unit

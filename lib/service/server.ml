@@ -31,6 +31,9 @@ module Variant = Chase_engine.Variant
 module Engine = Chase_engine.Engine
 module Watchdog = Chase_engine.Watchdog
 module Obs = Chase_obs.Obs
+module Tracectx = Chase_obs.Tracectx
+module Flight = Chase_obs.Flight
+module Telemetry = Chase_obs.Telemetry
 
 type config = {
   socket : string;
@@ -45,18 +48,30 @@ type config = {
   max_frame : int;
   read_timeout : float;  (** slow-loris bound on mid-frame stalls *)
   metrics : string option;
+  trace_shard : string option;
+      (** per-process JSONL span shard: requests arriving with a trace
+          context get server-side spans appended here, for offline
+          joining by [chasec trace-merge] *)
+  flight : string option;
+      (** where the flight recorder appends its JSONL post-mortems
+          (crash-recovery boots, load sheds); [None] disables dumping *)
   faults : Faults.service_fault list;
-  on_durable : ([ `Req | `Resp ] -> key:string -> string -> unit) option;
+  on_durable :
+    ([ `Req | `Resp ] -> key:string -> trace:string option -> string -> unit)
+    option;
       (** called with the exact bytes just made durable in the spool,
           after the local fsync and before the client is answered — the
           replication shipper's semi-synchronous hook.  The server knows
-          nothing about replication; it only promises the ordering *)
+          nothing about replication; it only promises the ordering.
+          [trace] is the server span's context when the request carried
+          one, so shipped frames can parent their spans under it *)
 }
 
 let config ?(workers = 4) ?(queue_cap = 16) ?(pool_total = 400_000)
     ?(per_request_cap = 100_000) ?(min_grant = 1_000) ?(cache_capacity = 256)
     ?spool_dir ?(default_timeout = 30.) ?(max_frame = Proto.default_max_frame)
-    ?(read_timeout = 10.) ?metrics ?(faults = []) ?on_durable socket =
+    ?(read_timeout = 10.) ?metrics ?trace_shard ?flight ?(faults = [])
+    ?on_durable socket =
   {
     socket;
     workers;
@@ -70,6 +85,8 @@ let config ?(workers = 4) ?(queue_cap = 16) ?(pool_total = 400_000)
     max_frame;
     read_timeout;
     metrics;
+    trace_shard;
+    flight;
     faults;
     on_durable;
   }
@@ -90,6 +107,9 @@ type t = {
   obs : Obs.t;
   obs_close : unit -> unit;
   obs_mu : Mutex.t;  (* Obs/Metrics are not thread-safe *)
+  started : float;  (* boot wall-clock, for uptime reporting *)
+  shard : Tracectx.Shard.writer option;  (* internally thread-safe *)
+  mutable last_flight_dump : float;  (* shed post-mortems, rate-limited *)
   mu : Mutex.t;  (* conns / tokens / counters *)
   mutable conns : conn list;
   mutable conn_threads : Thread.t list;
@@ -122,6 +142,75 @@ let gauge_depth t =
       Obs.set_gauge obs "svc.queue_depth" (float_of_int (Admission.depth t.adm)))
 
 (* ------------------------------------------------------------------ *)
+(* Trace context and the flight recorder                               *)
+(* ------------------------------------------------------------------ *)
+
+(** A traced request in flight: the client's root context and the
+    server span minted under it.  Only built when the request carried a
+    well-formed context {e and} this server writes a shard — tracing is
+    free for everyone else. *)
+type treq = {
+  root : Tracectx.t;
+  server : Tracectx.t;
+  arrival_us : float;
+}
+
+let treq_of t req =
+  match (t.shard, req.Proto.trace) with
+  | Some _, Some s ->
+    Option.map
+      (fun root ->
+        { root; server = Tracectx.child root; arrival_us = Tracectx.now_us () })
+      (Tracectx.of_string s)
+  | _ -> None
+
+(* A child span of the server span: fresh id, parented under it. *)
+let span_child t c ~name ~ts_us ~dur_us ?args () =
+  Option.iter
+    (fun w ->
+      Tracectx.Shard.span w
+        ~ctx:(Tracectx.child c.root)
+        ~parent:c.server.Tracectx.span ~name ~ts_us ~dur_us ?args ())
+    t.shard
+
+let instant_child t c ~name ?args () =
+  span_child t c ~name ~ts_us:(Tracectx.now_us ()) ~dur_us:0. ?args ()
+
+(* The server span itself, emitted once the final response is known. *)
+let span_server t c ~op ~status =
+  Option.iter
+    (fun w ->
+      Tracectx.Shard.span w ~ctx:c.server ~parent:c.root.Tracectx.span
+        ~name:("server." ^ Proto.op_to_string op)
+        ~ts_us:c.arrival_us
+        ~dur_us:(Tracectx.now_us () -. c.arrival_us)
+        ~args:[ ("status", Chase_obs.Jsonv.String status) ]
+        ())
+    t.shard
+
+let status_of_response = function
+  | Proto.Ok_response r -> if r.Proto.cached then "ok-cached" else "ok"
+  | Proto.Progress _ -> "progress"
+  | Proto.Overloaded _ -> "overloaded"
+  | Proto.Bad_frame _ -> "bad-frame"
+  | Proto.Bad_request _ -> "bad-request"
+  | Proto.Server_error _ -> "error"
+
+(* Anomaly post-mortems: at most one shed dump per window, so a
+   sustained overload yields evidence without drowning the disk. *)
+let flight_dump_limited t ~reason =
+  let now = Unix.gettimeofday () in
+  let due =
+    locked t (fun () ->
+        if now -. t.last_flight_dump >= 5.0 then begin
+          t.last_flight_dump <- now;
+          true
+        end
+        else false)
+  in
+  if due then Flight.dump ~reason
+
+(* ------------------------------------------------------------------ *)
 (* Responding, with chaos faults applied                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -152,9 +241,9 @@ let write_slice fd s pos len =
    system-wide can be chaos-shaped: cut after N bytes (then the
    connection dies), or dribbled out in tiny chunks.  Write errors mark
    the connection dead — the client's problem, handled by its retry. *)
-let respond t conn ~id resp =
+let respond t conn ~id ?trace resp =
   let k = locked t (fun () -> t.responses <- t.responses + 1; t.responses) in
-  let frame = Proto.frame_string (Proto.encode_response ~id resp) in
+  let frame = Proto.frame_string (Proto.encode_response ?trace ~id resp) in
   Mutex.lock conn.wmu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.wmu)
@@ -269,19 +358,13 @@ let execute t req ~grant ~timeout ~cancel ~progress =
           else (Some jpath, None, false)
         | _ -> (None, None, false)
       in
-      (* streaming: forward watchdog snapshots as [progress] frames.
-         The callback never touches [out]/[err], so the final response
+      (* streaming: forward watchdog snapshots as [progress] frames
+         through the one canonical snapshot → progress mapping.  The
+         callback never touches [out]/[err], so the final response
          bytes are identical whether or not anyone is streaming *)
       let on_progress =
         Option.map
-          (fun send (s : Watchdog.snapshot) ->
-            send
-              {
-                Proto.step = s.Watchdog.step;
-                atoms = s.Watchdog.facts;
-                nulls = s.Watchdog.nulls;
-                elapsed = s.Watchdog.elapsed;
-              })
+          (fun send s -> send (Proto.progress_of_snapshot s))
           progress
       in
       let o =
@@ -306,7 +389,8 @@ let execute t req ~grant ~timeout ~cancel ~progress =
   | Proto.Lint ->
     let o = Driver.lint_opts ~budget:grant ~standard:req.Proto.standard () in
     finish (Driver.lint_one o ~file ~src ~out ~err)
-  | Proto.Ping | Proto.Stats | Proto.Shutdown | Proto.Promote ->
+  | Proto.Ping | Proto.Stats | Proto.Telemetry | Proto.Shutdown
+  | Proto.Promote ->
     (* handled inline by the connection thread *)
     finish 0
 
@@ -320,22 +404,40 @@ let default_budget = function
   | _ -> 100_000
 
 (* The worker-side job.  [reply] abstracts over "a connection" vs "boot
-   recovery" (which has nobody to answer). *)
-let run_job t req ~key ~progress ~reply =
+   recovery" (which has nobody to answer).  [tctx]/[queued_us] carry
+   the trace context and the admission-queue entry time for span
+   accounting. *)
+let run_job t req ~key ~tctx ~queued_us ~progress ~reply =
   let t0 = Unix.gettimeofday () in
+  Option.iter
+    (fun c ->
+      let now = Tracectx.now_us () in
+      span_child t c ~name:"admission.queue" ~ts_us:queued_us
+        ~dur_us:(now -. queued_us) ())
+    tctx;
   let timeout_s =
     Option.value ~default:t.cfg.default_timeout req.Proto.timeout_s
   in
   let deadline = t0 +. timeout_s in
   let want = Option.value ~default:(default_budget req.Proto.op) req.Proto.budget in
   gauge_depth t;
+  let acquire_us = Tracectx.now_us () in
   match Pool.acquire t.pool ~want ~deadline () with
   | None ->
     (* budget starvation is overload too: shed late, but honestly *)
     Cache.abort t.cache key;
     with_obs t (fun obs -> Obs.incr obs ~label:"pool" "svc.shed");
+    Flight.record ~kind:"shed" ~name:"pool" key;
+    flight_dump_limited t ~reason:"pool-shed";
     reply (Proto.Overloaded (Admission.ewma_service_s t.adm))
   | Some grant ->
+    Option.iter
+      (fun c ->
+        span_child t c ~name:"pool.acquire" ~ts_us:acquire_us
+          ~dur_us:(Tracectx.now_us () -. acquire_us)
+          ~args:[ ("grant", Chase_obs.Jsonv.Int grant) ]
+          ())
+      tctx;
     let cancel = Limits.Cancel.create () in
     locked t (fun () -> t.tokens <- cancel :: t.tokens);
     Fun.protect
@@ -345,7 +447,19 @@ let run_job t req ~key ~progress ~reply =
             t.tokens <- List.filter (fun c -> c != cancel) t.tokens))
       (fun () ->
         let timeout = Float.max 0.01 (deadline -. Unix.gettimeofday ()) in
+        let run_us = Tracectx.now_us () in
         let result, retain = execute t req ~grant ~timeout ~cancel ~progress in
+        Option.iter
+          (fun c ->
+            span_child t c ~name:"engine.run" ~ts_us:run_us
+              ~dur_us:(Tracectx.now_us () -. run_us)
+              ~args:
+                [
+                  ("op", Chase_obs.Jsonv.String (Proto.op_to_string req.Proto.op));
+                  ("exit", Chase_obs.Jsonv.Int result.Proto.exit_code);
+                ]
+              ())
+          tctx;
         if t.killed then
           (* simulated crash: the process is "dead" — nothing visible
              may happen after this point *)
@@ -356,8 +470,19 @@ let run_job t req ~key ~progress ~reply =
             let bytes =
               Proto.encode_response ~id:"-" (Proto.Ok_response result)
             in
+            let fsync_us = Tracectx.now_us () in
             Spool.put_response spool ~key bytes;
-            Option.iter (fun f -> f `Resp ~key bytes) t.cfg.on_durable
+            Option.iter
+              (fun c ->
+                span_child t c ~name:"spool.fsync" ~ts_us:fsync_us
+                  ~dur_us:(Tracectx.now_us () -. fsync_us)
+                  ~args:[ ("kind", Chase_obs.Jsonv.String "resp") ]
+                  ())
+              tctx;
+            let trace =
+              Option.map (fun c -> Tracectx.to_string c.server) tctx
+            in
+            Option.iter (fun f -> f `Resp ~key ~trace bytes) t.cfg.on_durable
           | _ -> ());
           Cache.publish t.cache key (Some result) ~retain;
           with_obs t (fun obs ->
@@ -370,7 +495,7 @@ let run_job t req ~key ~progress ~reply =
 
 (* The connection-side (or recovery-side) entry: spool-served, cache
    hit, joined flight, or leadership + admission. *)
-let handle_work ?progress t req ~reply =
+let handle_work ?progress ?tctx t req ~reply =
   let key = Proto.request_key req in
   let spooled =
     match (req.Proto.durable, t.spool) with
@@ -387,12 +512,24 @@ let handle_work ?progress t req ~reply =
   | Some r ->
     locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
     with_obs t (fun obs -> Obs.incr obs ~label:"spool" "svc.cache_hit");
+    Option.iter
+      (fun c ->
+        instant_child t c ~name:"cache.hit"
+          ~args:[ ("source", Chase_obs.Jsonv.String "spool") ]
+          ())
+      tctx;
     reply (Proto.Ok_response r)
   | None -> (
     match Cache.take t.cache key with
     | Cache.Hit r ->
       locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
       with_obs t (fun obs -> Obs.incr obs ~label:"mem" "svc.cache_hit");
+      Option.iter
+        (fun c ->
+          instant_child t c ~name:"cache.hit"
+            ~args:[ ("source", Chase_obs.Jsonv.String "mem") ]
+            ())
+        tctx;
       reply (Proto.Ok_response r)
     | Cache.Lead -> (
       (* acknowledge durable requests before admission: from here on a
@@ -400,10 +537,20 @@ let handle_work ?progress t req ~reply =
       (match (req.Proto.durable, t.spool) with
       | true, Some spool ->
         let bytes = Proto.encode_request req in
+        let fsync_us = Tracectx.now_us () in
         Spool.put_request spool ~key bytes;
-        Option.iter (fun f -> f `Req ~key bytes) t.cfg.on_durable
+        Option.iter
+          (fun c ->
+            span_child t c ~name:"spool.fsync" ~ts_us:fsync_us
+              ~dur_us:(Tracectx.now_us () -. fsync_us)
+              ~args:[ ("kind", Chase_obs.Jsonv.String "req") ]
+              ())
+          tctx;
+        let trace = Option.map (fun c -> Tracectx.to_string c.server) tctx in
+        Option.iter (fun f -> f `Req ~key ~trace bytes) t.cfg.on_durable
       | _ -> ());
-      let run () = run_job t req ~key ~progress ~reply in
+      let queued_us = Tracectx.now_us () in
+      let run () = run_job t req ~key ~tctx ~queued_us ~progress ~reply in
       let abandon () =
         Cache.abort t.cache key;
         reply (Proto.Server_error "server shutting down")
@@ -413,6 +560,9 @@ let handle_work ?progress t req ~reply =
       | `Shed retry_after ->
         Cache.abort t.cache key;
         with_obs t (fun obs -> Obs.incr obs ~label:"queue" "svc.shed");
+        Flight.record ~kind:"shed" ~name:"queue" key;
+        flight_dump_limited t ~reason:"queue-shed";
+        Option.iter (fun c -> instant_child t c ~name:"shed" ()) tctx;
         reply (Proto.Overloaded retry_after)))
 
 (* ------------------------------------------------------------------ *)
@@ -450,6 +600,54 @@ let stats_json t =
 let ok_result stdout =
   Proto.Ok_response
     { Proto.exit_code = 0; stdout; stderr = ""; cached = false }
+
+(* ------------------------------------------------------------------ *)
+(* Identity: ping and telemetry                                        *)
+(* ------------------------------------------------------------------ *)
+
+let uptime_s t = Unix.gettimeofday () -. t.started
+
+(* Ping answers with the server's identity — build, uptime, paths —
+   not a bare ack: one round trip tells an operator who they reached. *)
+let ping_body t =
+  let module Jsonv = Chase_obs.Jsonv in
+  Jsonv.to_string
+    (Jsonv.Obj
+       ([
+          ("pong", Jsonv.Bool true);
+          ("role", Jsonv.String "primary");
+          ("build", Jsonv.String Telemetry.build_id);
+          ("uptime_s", Jsonv.Float (uptime_s t));
+          ("pid", Jsonv.Int (Unix.getpid ()));
+          ("socket", Jsonv.String t.cfg.socket);
+        ]
+       @
+       match t.spool with
+       | Some spool -> [ ("spool", Jsonv.String (Spool.dir spool)) ]
+       | None -> []))
+
+let telemetry_extra t =
+  let module Jsonv = Chase_obs.Jsonv in
+  [
+    ("role", Jsonv.String "primary");
+    ("socket", Jsonv.String t.cfg.socket);
+  ]
+  @
+  match t.spool with
+  | Some spool -> [ ("spool", Jsonv.String (Spool.dir spool)) ]
+  | None -> []
+
+(* A registry snapshot, JSON or Prometheus exposition by [variant].
+   Rendering holds the obs lock for the microseconds it takes to walk
+   the registry — read-only, no I/O, workers never wait on a client. *)
+let telemetry_body t req =
+  let extra = telemetry_extra t in
+  let uptime_s = uptime_s t in
+  with_obs t (fun obs ->
+      let m = Obs.metrics obs in
+      match req.Proto.variant with
+      | Some "prom" -> Telemetry.prometheus ~extra ~uptime_s m
+      | _ -> Telemetry.json ~extra ~uptime_s m ^ "\n")
 
 (* [Unix.close] does not wake a thread blocked in [read] on the same
    fd; [shutdown] does (the reader sees EOF).  Always shutdown first.
@@ -504,9 +702,11 @@ let do_stop t ~hard =
     end;
     let threads = locked t (fun () -> t.conn_threads) in
     List.iter Thread.join threads;
-    if not hard then
+    if not hard then begin
       (* final metric summaries — the artifact obs_check validates *)
       with_obs t (fun _ -> t.obs_close ());
+      Option.iter Tracectx.Shard.close t.shard
+    end;
     (try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ());
     locked t (fun () ->
         t.finished <- true;
@@ -540,13 +740,21 @@ let rec handle_conn t conn =
           with_obs t (fun obs ->
               Obs.incr obs ~label:(Proto.op_to_string req.Proto.op)
                 "svc.requests");
-          let reply resp = respond t conn ~id:req.Proto.id resp in
+          Flight.record ~kind:"request"
+            ~name:(Proto.op_to_string req.Proto.op)
+            req.Proto.id;
+          let reply resp =
+            respond t conn ~id:req.Proto.id ?trace:req.Proto.trace resp
+          in
           match req.Proto.op with
           | Proto.Ping ->
-            reply (ok_result "pong\n");
+            reply (ok_result (ping_body t ^ "\n"));
             loop ()
           | Proto.Stats ->
             reply (ok_result (stats_json t ^ "\n"));
+            loop ()
+          | Proto.Telemetry ->
+            reply (ok_result (telemetry_body t req));
             loop ()
           | Proto.Shutdown ->
             reply (ok_result "bye\n");
@@ -562,12 +770,27 @@ let rec handle_conn t conn =
             (* streaming: only a leading chase emits progress frames —
                cache hits, joined flights and spool-served responses
                answer with the final frame alone *)
+            let tctx = treq_of t req in
+            let reply =
+              match tctx with
+              | None -> reply
+              | Some c ->
+                fun resp ->
+                  (* the server span closes with the final frame;
+                     progress frames ride inside it *)
+                  (match resp with
+                  | Proto.Progress _ -> ()
+                  | _ ->
+                    span_server t c ~op:req.Proto.op
+                      ~status:(status_of_response resp));
+                  reply resp
+            in
             let progress =
               if req.Proto.stream && req.Proto.op = Proto.Chase then
                 Some (fun p -> reply (Proto.Progress p))
               else None
             in
-            handle_work ?progress t req ~reply;
+            handle_work ?progress ?tctx t req ~reply;
             loop ()))
   in
   loop ()
@@ -627,6 +850,7 @@ let recover_pending t =
         | Some (Ok req) ->
           locked t (fun () -> t.recovered <- t.recovered + 1);
           with_obs t (fun obs -> Obs.incr obs "svc.recovered");
+          Flight.record ~kind:"recovery" ~name:"replay" key;
           (* Replay through the normal work path (nobody to answer);
              the journal written before the kill is resumed.  An
              acknowledged request must not be dropped by its own
@@ -652,10 +876,26 @@ let start cfg =
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listener (Unix.ADDR_UNIX cfg.socket);
   Unix.listen listener 64;
+  (* [force]d live even with no metrics file: the telemetry op snapshots
+     this registry, so it must always be recording *)
   let obs, obs_close =
-    match Obs.files ?metrics:cfg.metrics () with
+    match Obs.files ?metrics:cfg.metrics ~force:true () with
     | Ok pair -> pair
     | Error _ -> (Obs.disabled, ignore)
+  in
+  (match cfg.flight with
+  | Some _ as path -> Flight.configure ~path
+  | None -> ());
+  let shard =
+    Option.map
+      (fun path ->
+        (* the [check] hook routes the shard through the write-fault
+           registry: arming the path makes every append fail, and the
+           writer must degrade to counting drops, never blocking *)
+        Tracectx.Shard.open_ ~proc:"chased"
+          ~check:(fun () -> Faults.Writes.armed_for path <> [])
+          path)
+      cfg.trace_shard
   in
   let t =
     {
@@ -670,6 +910,9 @@ let start cfg =
       obs;
       obs_close;
       obs_mu = Mutex.create ();
+      started = Unix.gettimeofday ();
+      shard;
+      last_flight_dump = 0.;
       mu = Mutex.create ();
       conns = [];
       conn_threads = [];
@@ -687,6 +930,10 @@ let start cfg =
     }
   in
   recover_pending t;
+  (* a boot that replayed anything was a crash recovery: dump the ring
+     as the post-mortem of whatever killed the previous life *)
+  if locked t (fun () -> t.recovered) > 0 then
+    Flight.dump ~reason:"crash-recovery-boot";
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 

@@ -18,11 +18,27 @@ type config = {
   max_frame : int;
   read_timeout : float;  (** slow-loris bound on mid-frame stalls *)
   metrics : string option;  (** JSONL metrics file (chase-metrics/1) *)
+  trace_shard : string option;
+      (** per-process trace shard (JSONL of {!Chase_obs.Tracectx}
+          records) — the server's contribution to a distributed trace,
+          joined offline by [chasec trace-merge] *)
+  flight : string option;
+      (** flight-recorder dump file: the in-memory ring is appended
+          here on crash-recovery boots, watchdog stalls, exhaustion
+          and sheds *)
   faults : Chase_engine.Faults.service_fault list;
-  on_durable : ([ `Req | `Resp ] -> key:string -> string -> unit) option;
+  on_durable :
+    ([ `Req | `Resp ] ->
+    key:string ->
+    trace:string option ->
+    string ->
+    unit)
+    option;
       (** called with the exact bytes just made durable in the spool,
           after the local fsync and before the client is answered — the
-          replication shipper's semi-synchronous hook *)
+          replication shipper's semi-synchronous hook.  [trace] is the
+          server-side span context of the request being shipped, so the
+          replica's spans can nest under it *)
 }
 
 val config :
@@ -37,8 +53,11 @@ val config :
   ?max_frame:int ->
   ?read_timeout:float ->
   ?metrics:string ->
+  ?trace_shard:string ->
+  ?flight:string ->
   ?faults:Chase_engine.Faults.service_fault list ->
-  ?on_durable:([ `Req | `Resp ] -> key:string -> string -> unit) ->
+  ?on_durable:
+    ([ `Req | `Resp ] -> key:string -> trace:string option -> string -> unit) ->
   string ->
   config
 (** [config socket] with serviceable defaults (4 workers, queue of 16,

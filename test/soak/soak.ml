@@ -53,6 +53,12 @@ let spool_dir = Filename.concat dir "spool"
 let metrics = Filename.concat dir "metrics.jsonl"
 let daemon_log = Filename.concat dir "daemon.log"
 
+(* per-process trace shards: the daemon appends its spans to one file
+   across all its lives, this process writes the client roots; `make
+   soak` merges them with `chasec trace-merge` and validates the tree *)
+let trace_daemon = Filename.concat dir "chased.trace"
+let trace_client = Filename.concat dir "client.trace"
+
 (* ------------------------------------------------------------------ *)
 (* Workload: one terminating program, sized so a run takes long enough
    for kills to land mid-flight; budget generous so the output is the
@@ -129,7 +135,8 @@ let start_daemon ~with_metrics =
       0o644
   in
   let args =
-    [ !daemon; socket; "--spool"; spool_dir; "--workers"; "4"; "--queue"; "8" ]
+    [ !daemon; socket; "--spool"; spool_dir; "--workers"; "4"; "--queue"; "8";
+      "--trace-shard"; trace_daemon ]
     @ (if with_metrics then [ "--metrics"; metrics ] else [])
   in
   let pid =
@@ -230,19 +237,30 @@ let () =
       drain (n - 1)
   in
   drain 300;
-  (* replay every durable request: served from the spool, byte-identical *)
+  (* replay every durable request: served from the spool, byte-identical.
+     Each replay is traced — this process mints the root and writes the
+     client shard, the daemon writes its own server spans *)
+  let shard = Tracectx.Shard.open_ ~proc:"soak" trace_client in
   List.iter
     (fun e ->
       if e.req.Proto.durable then begin
         bump requests;
-        match Client.call_retry ~attempts:4 ~socket e.req with
+        let root = Tracectx.genesis () in
+        let t0_us = Tracectx.now_us () in
+        let req = { e.req with Proto.trace = Some (Tracectx.to_string root) } in
+        match Client.call_retry ~attempts:4 ~socket req with
         | Ok (Proto.Ok_response r) ->
+          Tracectx.Shard.span shard ~ctx:root ~name:"client.request"
+            ~ts_us:t0_us
+            ~dur_us:(Tracectx.now_us () -. t0_us)
+            ();
           bump oks;
           check_parity e r
         | Ok _ -> assert false
         | Error f -> fail "durable replay failed: %a" Client.pp_failure f
       end)
     corpus;
+  Tracectx.Shard.close shard;
   (* graceful shutdown *)
   (match Client.call_retry ~attempts:4 ~socket (Proto.request Proto.Shutdown) with
   | Ok _ -> ()

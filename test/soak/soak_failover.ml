@@ -61,6 +61,12 @@ let spool_s = Filename.concat dir "spool-standby"
 let metrics = Filename.concat dir "metrics.jsonl"
 let daemon_log = Filename.concat dir "daemon.log"
 
+(* only gracefully-shut-down processes get a trace shard: the primary is
+   SIGKILLed mid-request, which could orphan child spans; the standby
+   lives for the whole drill and the audit replays are traced here *)
+let trace_standby = Filename.concat dir "standby.trace"
+let trace_client = Filename.concat dir "client.trace"
+
 (* ------------------------------------------------------------------ *)
 (* Workload (see soak.ml for the sizing rationale)                     *)
 
@@ -171,7 +177,7 @@ let start_standby () =
     (spawn
        [
          standby_socket; "--spool"; spool_s; "--standby-of"; ship_socket;
-         "--metrics"; metrics;
+         "--metrics"; metrics; "--trace-shard"; trace_standby;
        ])
     standby_socket
 
@@ -311,17 +317,27 @@ let () =
       drain (n - 1)
   in
   drain 300;
-  (* every request the dead primary acknowledged, byte-identical *)
+  (* every request the dead primary acknowledged, byte-identical; the
+     audit replays are traced — this process writes the client roots *)
+  let shard = Tracectx.Shard.open_ ~proc:"soak" trace_client in
   Hashtbl.iter
     (fun _ e ->
       bump requests;
-      match Client.call_retry ~attempts:4 ~socket:standby_socket e.req with
+      let root = Tracectx.genesis () in
+      let t0_us = Tracectx.now_us () in
+      let req = { e.req with Proto.trace = Some (Tracectx.to_string root) } in
+      match Client.call_retry ~attempts:4 ~socket:standby_socket req with
       | Ok (Proto.Ok_response r) ->
+        Tracectx.Shard.span shard ~ctx:root ~name:"client.request"
+          ~ts_us:t0_us
+          ~dur_us:(Tracectx.now_us () -. t0_us)
+          ();
         bump oks;
         check_parity "standby" e r
       | Ok _ -> assert false
       | Error f -> fail "standby replay failed: %a" Client.pp_failure f)
     acked;
+  Tracectx.Shard.close shard;
   (* graceful shutdown of the promoted standby *)
   (match
      Client.call_retry ~attempts:4 ~socket:standby_socket

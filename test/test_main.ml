@@ -27,6 +27,7 @@ let () =
       ("reductions", Test_reductions.suite);
       ("model-theory", Test_model_theory.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("service", Test_service.suite);
       ("service-chaos", Test_service_chaos.suite);
       ("replica", Test_replica.suite);

@@ -320,6 +320,36 @@ let stats_totals_agree () =
         pd.Plan.Stats.estimates)
     [ 2; 4 ]
 
+(* PR 8's attribution caveat, closed: per-rule probe counts come from
+   the matcher's domain-local candidate counters, so a parallel run's
+   per-rule profile equals the sequential run's — not just the grand
+   total. *)
+let per_rule_probes_agree () =
+  let rules = Random_tgds.guarded ~seed:11 () in
+  let db = Instance.to_list (Critical.of_rules ~standard:false rules) in
+  let profile domains =
+    let obs = Obs.create [] in
+    ignore
+      (Engine.run
+         ~config:
+           { Engine.variant = Variant.Oblivious; limits = Limits.of_budget 300 }
+         ~obs ~domains rules db);
+    let m = Obs.metrics obs in
+    List.map
+      (fun label -> (label, Metrics.counter_value m ~label "chase.rule.probes"))
+      (List.sort compare (Metrics.labels_of m "chase.rule.probes"))
+  in
+  let seq = profile 1 in
+  Alcotest.(check bool)
+    "sequential profile attributes probes" true
+    (List.exists (fun (_, v) -> v > 0) seq);
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list (pair string int)))
+        (Fmt.str "@%d domains: per-rule probes" domains)
+        seq (profile domains))
+    [ 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Per-domain observability                                            *)
 (* ------------------------------------------------------------------ *)
@@ -369,6 +399,8 @@ let suite =
       `Quick exhaustion_leaves_no_domains;
     Alcotest.test_case "stats: parallel totals = sequential totals" `Quick
       stats_totals_agree;
+    Alcotest.test_case "stats: per-rule probes exact under parallelism" `Quick
+      per_rule_probes_agree;
     Alcotest.test_case "obs: per-domain parallel metrics" `Quick
       parallel_metrics_present;
   ]

@@ -72,7 +72,7 @@ let corpus =
 
 let test_shipframe_roundtrip () =
   let ship seq head kind name data =
-    Shipframe.Ship { Shipframe.seq; head; kind; name; data }
+    Shipframe.Ship { Shipframe.seq; head; kind; name; data; trace = None }
   in
   let msgs =
     [
@@ -120,7 +120,7 @@ let test_shipframe_rejects () =
     Shipframe.encode
       (Shipframe.Ship
          { Shipframe.seq = 1; head = 1; kind = Shipframe.File;
-           name = "k.req"; data })
+           name = "k.req"; data; trace = None })
   in
   (* corrupt payload under an intact CRC *)
   reject "bad crc" (flip_data_digit (ship "0123456789"));
@@ -144,7 +144,7 @@ let test_shipframe_rejects () =
         (Shipframe.encode
            (Shipframe.Ship
               { Shipframe.seq = 1; head = 1; kind = Shipframe.File; name;
-                data = "x" })))
+                data = "x"; trace = None })))
     [ "../evil"; "a/b"; ".hidden"; "" ];
   (* not even JSON *)
   reject "junk" "@@@@";
@@ -208,7 +208,7 @@ let recv_msg fd =
   | `Bad e -> Alcotest.failf "bad reply frame: %s" e
 
 let ship seq head kind name data =
-  Shipframe.Ship { Shipframe.seq; head; kind; name; data }
+  Shipframe.Ship { Shipframe.seq; head; kind; name; data; trace = None }
 
 let test_receiver_fuzz () =
   let spool = tmp ".rspool" in

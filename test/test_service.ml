@@ -411,8 +411,99 @@ let call_ok socket req =
 let test_server_ping () =
   with_server (fun _ socket ->
       let r = call_ok socket (Proto.request Proto.Ping) in
-      Alcotest.(check string) "pong" "pong\n" r.Proto.stdout;
+      (* one JSON line identifying the server, not a bare ack *)
+      let module Jsonv = Chase_obs.Jsonv in
+      let v =
+        match Jsonv.of_string (String.trim r.Proto.stdout) with
+        | Ok v -> v
+        | Error m -> Alcotest.failf "ping is not JSON: %s" m
+      in
+      Alcotest.(check (option bool)) "pong" (Some true)
+        (Option.bind (Jsonv.member "pong" v) (function
+          | Jsonv.Bool b -> Some b
+          | _ -> None));
+      List.iter
+        (fun field ->
+          if Jsonv.member field v = None then
+            Alcotest.failf "ping lacks %S" field)
+        [ "role"; "build"; "uptime_s"; "pid"; "socket" ];
       Alcotest.(check int) "exit" 0 r.Proto.exit_code)
+
+let test_server_telemetry () =
+  with_server (fun _ socket ->
+      (* serve one request first so the registry has live counters *)
+      ignore
+        (call_ok socket
+           (Proto.request ~file:"t.chase" ~program ~budget:10_000 Proto.Chase));
+      let module Jsonv = Chase_obs.Jsonv in
+      (* default rendering: one JSON document *)
+      let r = call_ok socket (Proto.request Proto.Telemetry) in
+      let v =
+        match Jsonv.of_string (String.trim r.Proto.stdout) with
+        | Ok v -> v
+        | Error m -> Alcotest.failf "telemetry is not JSON: %s" m
+      in
+      let str k = Option.bind (Jsonv.member k v) Jsonv.to_string_opt in
+      Alcotest.(check (option string)) "schema" (Some "chase-telemetry/1")
+        (str "schema");
+      Alcotest.(check (option string)) "role" (Some "primary") (str "role");
+      (match Jsonv.member "counters" v with
+      | Some (Jsonv.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "telemetry has no counters");
+      (* variant "prom": Prometheus text exposition of the same registry *)
+      let p =
+        call_ok socket (Proto.request ~variant:"prom" Proto.Telemetry)
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Fmt.str "prom mentions %s" needle) true
+            (let n = String.length needle in
+             let hay = p.Proto.stdout in
+             let rec go i =
+               i + n <= String.length hay
+               && (String.sub hay i n = needle || go (i + 1))
+             in
+             go 0))
+        [
+          "# TYPE chase_build_info gauge";
+          "chase_uptime_seconds";
+          "chase_svc_requests";
+        ])
+
+(* One formatter under every progress surface: the machine frame is
+   derived from the same [Watchdog.fields] list the human line prints,
+   so the two cannot drift field-by-field. *)
+let test_progress_field_parity () =
+  let s =
+    {
+      Chase_engine.Watchdog.step = 1536;
+      elapsed = 2.25;
+      steps_per_sec = 682.7;
+      facts = 4096;
+      queue_length = 17;
+      nulls = 96;
+      max_depth = 5;
+      null_rate = 0.0625;
+    }
+  in
+  let fields = Chase_engine.Watchdog.fields s in
+  let f name = List.assoc name fields in
+  let p = Proto.progress_of_snapshot s in
+  Alcotest.(check int) "step" (int_of_float (f "step")) p.Proto.step;
+  Alcotest.(check int) "atoms" (int_of_float (f "facts")) p.Proto.atoms;
+  Alcotest.(check int) "nulls" (int_of_float (f "nulls")) p.Proto.nulls;
+  Alcotest.(check (float 0.)) "elapsed" (f "elapsed") p.Proto.elapsed;
+  let human = Fmt.str "%a" Chase_engine.Watchdog.pp_snapshot s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Fmt.str "human line shows %s" needle) true
+        (let n = String.length needle in
+         let rec go i =
+           i + n <= String.length human
+           && (String.sub human i n = needle || go (i + 1))
+         in
+         go 0))
+    [ "step 1536"; "facts 4096"; "queue 17"; "nulls 96"; "depth 5" ]
 
 let test_server_parity () =
   with_server (fun _ socket ->
@@ -496,7 +587,9 @@ let test_server_bad_request () =
       | `Frame payload -> (
         match Proto.decode_response payload with
         | Ok (_, Proto.Ok_response r) ->
-          Alcotest.(check string) "still serving" "pong\n" r.Proto.stdout
+          Alcotest.(check bool) "still serving" true
+            (String.length r.Proto.stdout > 12
+            && String.sub r.Proto.stdout 0 13 = {|{"pong":true,|})
         | _ -> Alcotest.fail "expected pong")
       | _ -> Alcotest.fail "expected a pong frame");
       Unix.close fd)
@@ -628,6 +721,10 @@ let suite =
       test_admission_abandon;
     Alcotest.test_case "spool: pending and atomicity" `Quick test_spool;
     Alcotest.test_case "server: ping" `Quick test_server_ping;
+    Alcotest.test_case "server: telemetry op (JSON + prom)" `Quick
+      test_server_telemetry;
+    Alcotest.test_case "proto: progress/watchdog field parity" `Quick
+      test_progress_field_parity;
     Alcotest.test_case "server: CLI byte parity" `Quick test_server_parity;
     Alcotest.test_case "server: query" `Quick test_server_query;
     Alcotest.test_case "server: cache + single flight" `Quick

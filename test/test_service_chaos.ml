@@ -272,7 +272,9 @@ let phase_storm () =
   (* the server survived 120 attacks: it must still answer *)
   (match Client.call_retry ~attempts:5 ~socket (Proto.request Proto.Ping) with
   | Ok (Proto.Ok_response r) ->
-    Alcotest.(check string) "alive after the storm" "pong\n" r.Proto.stdout
+    Alcotest.(check bool) "alive after the storm" true
+      (String.length r.Proto.stdout > 12
+      && String.sub r.Proto.stdout 0 13 = {|{"pong":true,|})
   | _ -> Alcotest.fail "server died during the storm");
   (* attacker threads have joined (bytes written, sockets closed), but
      the server may still be mid-diagnosis on the last few connections:
@@ -338,7 +340,9 @@ let phase_accept_death () =
     bump requests_sent 1;
     match Client.call_retry ~attempts:3 ~socket (Proto.request Proto.Ping) with
     | Ok (Proto.Ok_response r) ->
-      Alcotest.(check string) "served before death" "pong\n" r.Proto.stdout
+      Alcotest.(check bool) "served before death" true
+        (String.length r.Proto.stdout > 12
+        && String.sub r.Proto.stdout 0 13 = {|{"pong":true,|})
     | _ -> Alcotest.fail "ping before accept death"
   done;
   (* the third connection is the sacrifice: the accept loop dies with
